@@ -1,0 +1,44 @@
+//! alpha-Cut vs normalized cut on identical weighted graphs, at supergraph
+//! sizes representative of the paper's M1 (~2k supernodes) and below.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roadpart_cut::{alpha_cut, normalized_cut, SpectralConfig};
+use roadpart_linalg::CsrMatrix;
+
+/// Planted 8-community weighted graph of dimension `n` — the shape of a
+/// mined supergraph (community-structured, sparse, unit-scale weights).
+fn planted_supergraph(n: usize) -> CsrMatrix {
+    let communities = 8;
+    let size = n / communities;
+    let mut edges = Vec::new();
+    for c in 0..communities {
+        let base = c * size;
+        for i in 0..size {
+            // Ring within the community plus two chords per node.
+            edges.push((base + i, base + (i + 1) % size, 0.9));
+            edges.push((base + i, base + (i * 7 + 3) % size, 0.7));
+        }
+        // Weak bridge to the next community.
+        edges.push((base, ((c + 1) % communities) * size, 0.05));
+    }
+    CsrMatrix::from_undirected_edges(n, &edges).unwrap()
+}
+
+fn bench_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supergraph_cuts_k8");
+    group.sample_size(10);
+    let cfg = SpectralConfig::default().with_seed(1);
+    for n in [256usize, 1024, 2048] {
+        let adj = planted_supergraph(n);
+        group.bench_with_input(BenchmarkId::new("alpha", n), &adj, |b, a| {
+            b.iter(|| alpha_cut(a, 8, &cfg).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ncut", n), &adj, |b, a| {
+            b.iter(|| normalized_cut(a, 8, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuts);
+criterion_main!(benches);

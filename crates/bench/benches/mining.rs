@@ -1,0 +1,22 @@
+//! Supergraph mining microbenchmark (Algorithm 1 end to end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roadpart::{mine_supergraph, MiningConfig};
+use roadpart_bench::eval_graph;
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_supergraph");
+    group.sample_size(20);
+    for scale in [0.3f64, 1.0] {
+        let dataset = roadpart::datasets::d1(scale, 42).unwrap();
+        let graph = eval_graph(&dataset).unwrap();
+        let id = format!("d1_scale_{scale}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &graph, |b, g| {
+            b.iter(|| mine_supergraph(g, &MiningConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

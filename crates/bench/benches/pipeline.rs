@@ -1,0 +1,21 @@
+//! End-to-end pipeline benchmark (Table 3's measurement core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roadpart::prelude::*;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asg_pipeline_k4");
+    group.sample_size(10);
+    for scale in [0.3f64, 1.0] {
+        let dataset = roadpart::datasets::d1(scale, 42).unwrap();
+        let cfg = PipelineConfig::asg(4).with_seed(42);
+        let id = format!("d1_scale_{scale}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &dataset, |b, ds| {
+            b.iter(|| partition_network(&ds.network, ds.eval_densities(), &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

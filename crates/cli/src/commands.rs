@@ -1,0 +1,228 @@
+//! The four CLI commands: generate, partition, metrics, select-k.
+
+use crate::args::Args;
+use roadpart::prelude::*;
+use roadpart_net::{geojson, io, RoadGraph, RoadNetwork};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+
+/// CLI-level result: user-facing error strings.
+type CliResult<T> = std::result::Result<T, String>;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+roadpart — congestion-based spatial partitioning of urban road networks
+
+USAGE:
+  roadpart generate  --preset <d1|m1|m2|m3> [--scale F] [--seed N]
+                     --out <network file> [--densities <densities file>]
+  roadpart partition --net <network file> --k N [--scheme <ag|asg|ng|nsg|jg>]
+                     [--densities <densities file>] [--seed N]
+                     [--labels <out labels>] [--geojson <out geojson>]
+  roadpart metrics   --net <network file> --labels <labels file>
+                     [--densities <densities file>]
+  roadpart select-k  --net <network file> [--densities F] [--kmax N]
+                     [--scheme <ag|asg|ng|nsg>] [--seed N]
+
+Files: networks use the roadpart text format; densities and labels are one
+value per line in segment order.";
+
+fn load_network(path: &str) -> CliResult<RoadNetwork> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_network(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_column<T: std::str::FromStr>(path: &str, what: &str) -> CliResult<Vec<T>> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (no, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(
+            trimmed
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad {what} '{trimmed}'", no + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+fn write_column<T: std::fmt::Display>(path: &str, values: &[T]) -> CliResult<()> {
+    let mut f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    for v in values {
+        writeln!(f, "{v}").map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Densities: explicit file, or the ones stored in the network.
+fn resolve_densities(args: &Args, net: &RoadNetwork) -> CliResult<Vec<f64>> {
+    match args.optional("densities") {
+        Some(path) => {
+            let d: Vec<f64> = load_column(path, "density")?;
+            if d.len() != net.segment_count() {
+                return Err(format!(
+                    "{path}: {} densities for {} segments",
+                    d.len(),
+                    net.segment_count()
+                ));
+            }
+            Ok(d)
+        }
+        None => Ok(net.densities()),
+    }
+}
+
+fn parse_scheme(name: &str) -> CliResult<Scheme> {
+    match name.to_ascii_lowercase().as_str() {
+        "ag" => Ok(Scheme::AG),
+        "asg" => Ok(Scheme::ASG),
+        "ng" => Ok(Scheme::NG),
+        "nsg" => Ok(Scheme::NSG),
+        other => Err(format!("unknown scheme '{other}' (use ag|asg|ng|nsg)")),
+    }
+}
+
+/// `roadpart generate`: synthesize a network + simulated traffic densities.
+pub fn generate(argv: &[String]) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let preset = args.required("preset")?;
+    let scale: f64 = args.get_or("scale", 0.5)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out = args.required("out")?;
+
+    let dataset = match preset.to_ascii_lowercase().as_str() {
+        "d1" => roadpart::datasets::d1(scale, seed),
+        "m1" => roadpart::datasets::melbourne(Melbourne::M1, scale, seed),
+        "m2" => roadpart::datasets::melbourne(Melbourne::M2, scale, seed),
+        "m3" => roadpart::datasets::melbourne(Melbourne::M3, scale, seed),
+        other => return Err(format!("unknown preset '{other}' (use d1|m1|m2|m3)")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    // Persist the network with the evaluation-step densities baked in.
+    let mut net = dataset.network.clone();
+    net.set_densities(dataset.eval_densities())
+        .map_err(|e| e.to_string())?;
+    let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    io::write_network(&net, f).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} intersections, {} segments ({} preset at scale {scale})",
+        net.intersection_count(),
+        net.segment_count(),
+        dataset.name
+    );
+    if let Some(dpath) = args.optional("densities") {
+        write_column(dpath, dataset.eval_densities())?;
+        println!("wrote {dpath}: densities at evaluation step t = {}", dataset.eval_step);
+    }
+    Ok(())
+}
+
+/// `roadpart partition`: run the framework and export labels / GeoJSON.
+pub fn partition(argv: &[String]) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let net = load_network(args.required("net")?)?;
+    let k: usize = args.get_or("k", 0)?;
+    if k < 1 {
+        return Err("--k must be at least 1".into());
+    }
+    let seed: u64 = args.get_or("seed", 42)?;
+    let densities = resolve_densities(&args, &net)?;
+    let scheme_name = args.optional("scheme").unwrap_or("asg");
+
+    let (labels, k_out) = if scheme_name.eq_ignore_ascii_case("jg") {
+        let mut graph = RoadGraph::from_network(&net).map_err(|e| e.to_string())?;
+        graph.set_features(densities.clone()).map_err(|e| e.to_string())?;
+        let p = roadpart::jg_partition(&graph, k, &JgConfig::default())
+            .map_err(|e| e.to_string())?;
+        (p.labels().to_vec(), p.k())
+    } else {
+        let scheme = parse_scheme(scheme_name)?;
+        let cfg = PipelineConfig {
+            scheme,
+            k,
+            framework: FrameworkConfig::default().with_seed(seed),
+        };
+        let result =
+            partition_network(&net, &densities, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "timings: module1 {:?} | module2 {:?} | module3 {:?}",
+            result.timings.module1, result.timings.module2, result.timings.module3
+        );
+        if let Some(order) = result.supergraph_order {
+            println!("supergraph: {} supernodes from {} segments", order, net.segment_count());
+        }
+        (result.partition.labels().to_vec(), result.partition.k())
+    };
+    println!("partitioned into {k_out} connected sub-networks");
+
+    if let Some(path) = args.optional("labels") {
+        write_column(path, &labels)?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.optional("geojson") {
+        let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        geojson::write_geojson(&net, Some(&labels), Some(&densities), f)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `roadpart metrics`: evaluate an existing labeling.
+pub fn metrics(argv: &[String]) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let net = load_network(args.required("net")?)?;
+    let densities = resolve_densities(&args, &net)?;
+    let labels: Vec<usize> = load_column(args.required("labels")?, "label")?;
+    if labels.len() != net.segment_count() {
+        return Err(format!(
+            "{} labels for {} segments",
+            labels.len(),
+            net.segment_count()
+        ));
+    }
+    let mut graph = RoadGraph::from_network(&net).map_err(|e| e.to_string())?;
+    graph.set_features(densities).map_err(|e| e.to_string())?;
+    let affinity = roadpart_cut::gaussian_affinity(graph.adjacency(), graph.features())
+        .map_err(|e| e.to_string())?;
+    let dense = roadpart_cut::Partition::from_labels(&labels);
+    let rep = QualityReport::compute(&affinity, graph.features(), dense.labels());
+    println!("k          : {}", rep.k);
+    println!("inter      : {:.6}  (higher better)", rep.inter);
+    println!("intra      : {:.6}  (lower better)", rep.intra);
+    println!("GDBI       : {:.6}  (lower better)", rep.gdbi);
+    println!("ANS        : {:.6}  (lower better)", rep.ans);
+    println!("alpha-cut  : {:.6}  (lower better)", rep.alpha_cut);
+    println!("ncut       : {:.6}  (lower better)", rep.ncut);
+    println!("modularity : {:.6}  (higher better)", rep.modularity);
+    Ok(())
+}
+
+/// `roadpart select-k`: sweep k and report the ANS-optimal choice.
+pub fn select_k(argv: &[String]) -> CliResult<()> {
+    let args = Args::parse(argv)?;
+    let net = load_network(args.required("net")?)?;
+    let densities = resolve_densities(&args, &net)?;
+    let kmax: usize = args.get_or("kmax", 12)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let scheme = parse_scheme(args.optional("scheme").unwrap_or("asg"))?;
+    let mut graph = RoadGraph::from_network(&net).map_err(|e| e.to_string())?;
+    graph.set_features(densities).map_err(|e| e.to_string())?;
+    let cfg = FrameworkConfig::default().with_seed(seed);
+    let sel = roadpart::select_k(&graph, scheme, 2..=kmax.max(2), &cfg)
+        .map_err(|e| e.to_string())?;
+    println!("{:>4} {:>10} {:>10}", "k", "ANS", "GDBI");
+    for c in &sel.sweep {
+        println!("{:>4} {:>10.4} {:>10.4}", c.k, c.report.ans, c.report.gdbi);
+    }
+    println!(
+        "\nANS-optimal k = {} (ANS {:.4}); local-minimum candidates: {:?}",
+        sel.best_k, sel.best_ans, sel.candidates
+    );
+    Ok(())
+}

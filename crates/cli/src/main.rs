@@ -1,0 +1,41 @@
+//! `roadpart` — command-line interface for congestion-based spatial
+//! partitioning of urban road networks (Anwar et al., EDBT 2014).
+//!
+//! ```text
+//! roadpart generate --preset d1 --scale 0.5 --seed 42 --out city.net --densities city.densities
+//! roadpart partition --net city.net --densities city.densities --k 6 \
+//!                    --scheme asg --labels out.labels --geojson out.geojson
+//! roadpart metrics   --net city.net --densities city.densities --labels out.labels
+//! roadpart select-k  --net city.net --densities city.densities --kmax 12 --scheme asg
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "partition" => commands::partition(rest),
+        "metrics" => commands::metrics(rest),
+        "select-k" => commands::select_k(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

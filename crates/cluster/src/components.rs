@@ -1,0 +1,150 @@
+//! Connected components, optionally constrained to same-cluster links.
+//!
+//! §4.3.1: "Nodes v_i and v_j are considered as directly connected if they
+//! are grouped in the same cluster by k-means and are adjacent as well in
+//! the actual road network" — supernodes are the connected components of
+//! that constrained graph, found with "the standard FIFO based connected
+//! components identification algorithm" (BFS).
+
+use crate::error::{ClusterError, Result};
+use roadpart_linalg::CsrMatrix;
+use std::collections::VecDeque;
+
+/// Labels each node with its component id (dense, `0..n_components`), where
+/// two adjacent nodes are joined only if `labels[i] == labels[j]`.
+///
+/// Passing `None` for `labels` computes ordinary connected components.
+///
+/// # Errors
+/// Returns [`ClusterError::InvalidInput`] if `labels` length mismatches the
+/// adjacency dimension.
+pub fn constrained_components(adj: &CsrMatrix, labels: Option<&[usize]>) -> Result<Vec<usize>> {
+    let n = adj.dim();
+    if let Some(l) = labels {
+        if l.len() != n {
+            return Err(ClusterError::InvalidInput(format!(
+                "label vector length {} != graph order {n}",
+                l.len()
+            )));
+        }
+    }
+    let same = |a: usize, b: usize| match labels {
+        Some(l) => l[a] == l[b],
+        None => true,
+    };
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(start);
+        while let Some(i) = queue.pop_front() {
+            let (cols, _) = adj.row(i);
+            for &j in cols {
+                if comp[j] == usize::MAX && same(i, j) {
+                    comp[j] = next;
+                    queue.push_back(j);
+                }
+            }
+        }
+        next += 1;
+    }
+    Ok(comp)
+}
+
+/// Number of constrained components (see [`constrained_components`]).
+///
+/// # Errors
+/// Same conditions as [`constrained_components`].
+pub fn count_components(adj: &CsrMatrix, labels: Option<&[usize]>) -> Result<usize> {
+    let comp = constrained_components(adj, labels)?;
+    Ok(comp.iter().copied().max().map_or(0, |m| m + 1))
+}
+
+/// Groups node indices by component id: `groups[c]` lists the members of
+/// component `c`, in ascending node order.
+pub fn component_groups(comp: &[usize]) -> Vec<Vec<usize>> {
+    let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut groups = vec![Vec::new(); n_comp];
+    for (i, &c) in comp.iter().enumerate() {
+        groups[c].push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2-3-4.
+    fn path5() -> CsrMatrix {
+        CsrMatrix::from_undirected_edges(
+            5,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unconstrained_connected_graph_is_one_component() {
+        let comp = constrained_components(&path5(), None).unwrap();
+        assert!(comp.iter().all(|&c| c == 0));
+        assert_eq!(count_components(&path5(), None).unwrap(), 1);
+    }
+
+    #[test]
+    fn labels_split_components() {
+        // Labels: [0, 0, 1, 0, 0] -> components {0,1}, {2}, {3,4}.
+        let labels = [0, 0, 1, 0, 0];
+        let comp = constrained_components(&path5(), Some(&labels)).unwrap();
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+        assert_ne!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_eq!(count_components(&path5(), Some(&labels)).unwrap(), 3);
+    }
+
+    #[test]
+    fn same_label_disconnected_nodes_stay_apart() {
+        // Nodes 0 and 4 share a label but are separated by other labels.
+        let labels = [0, 1, 1, 1, 0];
+        let comp = constrained_components(&path5(), Some(&labels)).unwrap();
+        assert_ne!(comp[0], comp[4]);
+        assert_eq!(count_components(&path5(), Some(&labels)).unwrap(), 3);
+    }
+
+    #[test]
+    fn groups_partition_the_nodes() {
+        let labels = [0, 0, 1, 0, 0];
+        let comp = constrained_components(&path5(), Some(&labels)).unwrap();
+        let groups = component_groups(&comp);
+        assert_eq!(groups.len(), 3);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        // Every node appears exactly once.
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let adj = CsrMatrix::from_triplets(3, &[]).unwrap();
+        assert_eq!(count_components(&adj, None).unwrap(), 3);
+    }
+
+    #[test]
+    fn label_length_validated() {
+        assert!(constrained_components(&path5(), Some(&[0, 1])).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj = CsrMatrix::from_triplets(0, &[]).unwrap();
+        assert_eq!(count_components(&adj, None).unwrap(), 0);
+        assert!(component_groups(&[]).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Error types for clustering.
+
+use std::fmt;
+
+/// Errors produced by the clustering algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Requested more clusters than data points (or zero clusters).
+    BadClusterCount {
+        /// Requested number of clusters.
+        requested: usize,
+        /// Number of available data points.
+        points: usize,
+    },
+    /// Input data violates a precondition (NaN, shape mismatch, ...).
+    InvalidInput(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::BadClusterCount { requested, points } => write!(
+                f,
+                "cannot form {requested} clusters from {points} data points"
+            ),
+            ClusterError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,289 @@
+//! General k-means (k-means++ / Lloyd) over row-vector points.
+//!
+//! Used by Algorithm 3 line 10: the row-normalized eigenvector matrix `Z` is
+//! clustered into `k` groups. Initialization is randomized (k-means++), so
+//! the partitioning pipeline runs it with an explicit seed and the
+//! experiment harness reports medians over repeated executions, matching the
+//! paper's 100-run protocol.
+
+use crate::error::{ClusterError, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use roadpart_linalg::DenseMatrix;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Independent k-means++ restarts; the lowest-inertia run wins.
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative center-movement tolerance for early convergence.
+    pub tol: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            restarts: 4,
+            seed: 0,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster index per row of the input matrix.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids (`k x d`).
+    pub centers: DenseMatrix,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.rows()
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters the rows of `points` (`n x d`) into `k` groups.
+///
+/// # Errors
+/// Returns [`ClusterError::BadClusterCount`] unless `1 <= k <= n`, and
+/// [`ClusterError::InvalidInput`] on non-finite data.
+pub fn kmeans(points: &DenseMatrix, k: usize, cfg: &KMeansConfig) -> Result<KMeans> {
+    let n = points.rows();
+    if k == 0 || k > n {
+        return Err(ClusterError::BadClusterCount {
+            requested: k,
+            points: n,
+        });
+    }
+    if points.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(ClusterError::InvalidInput(
+            "k-means points must be finite".into(),
+        ));
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut best: Option<KMeans> = None;
+    for _ in 0..cfg.restarts.max(1) {
+        let run = single_run(points, k, cfg, &mut rng);
+        if best.as_ref().map_or(true, |b| run.inertia < b.inertia) {
+            best = Some(run);
+        }
+    }
+    let mut best = best.expect("at least one restart");
+    best.inertia = best.inertia.max(0.0);
+    Ok(best)
+}
+
+#[allow(clippy::needless_range_loop)] // index style keeps the math readable
+fn single_run(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut ChaCha8Rng) -> KMeans {
+    let n = points.rows();
+    let d = points.cols();
+
+    // k-means++ seeding.
+    let mut centers = DenseMatrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centers.row_mut(0).copy_from_slice(points.row(first));
+    let mut min_d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), centers.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n) // all points coincide with chosen centers
+        } else {
+            let mut u = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                if u < w {
+                    pick = i;
+                    break;
+                }
+                u -= w;
+            }
+            pick
+        };
+        centers.row_mut(c).copy_from_slice(points.row(chosen));
+        for i in 0..n {
+            min_d2[i] = min_d2[i].min(sq_dist(points.row(i), centers.row(c)));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n];
+    let mut counts = vec![0usize; k];
+    let mut inertia = f64::INFINITY;
+    for _ in 0..cfg.max_iters.max(1) {
+        // Assignment.
+        let mut new_inertia = 0.0;
+        for i in 0..n {
+            let p = points.row(i);
+            let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
+            for c in 0..k {
+                let dist = sq_dist(p, centers.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best_c = c;
+                }
+            }
+            assignments[i] = best_c;
+            new_inertia += best_d;
+        }
+        // Update.
+        let mut sums = DenseMatrix::zeros(k, d);
+        counts.iter_mut().for_each(|c| *c = 0);
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            let row = sums.row_mut(c);
+            for (s, &v) in row.iter_mut().zip(points.row(i)) {
+                *s += v;
+            }
+        }
+        let mut moved = 0.0f64;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed an empty cluster at the point farthest from its
+                // assigned center.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(points.row(a), centers.row(assignments[a]));
+                        let db = sq_dist(points.row(b), centers.row(assignments[b]));
+                        da.partial_cmp(&db).expect("finite")
+                    })
+                    .expect("n >= 1");
+                moved += sq_dist(centers.row(c), points.row(far));
+                centers.row_mut(c).copy_from_slice(points.row(far));
+                assignments[far] = c;
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mut delta = 0.0;
+            for j in 0..d {
+                let new = sums.get(c, j) * inv;
+                let old = centers.get(c, j);
+                delta += (new - old) * (new - old);
+                centers.set(c, j, new);
+            }
+            moved += delta;
+        }
+        let converged = moved <= cfg.tol * (1.0 + inertia.min(new_inertia));
+        inertia = new_inertia;
+        if converged {
+            break;
+        }
+    }
+
+    KMeans {
+        assignments,
+        centers,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data() -> DenseMatrix {
+        // Three well-separated 2-D blobs of 10 points each.
+        let mut rows = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)] {
+            for i in 0..10 {
+                let dx = (i as f64 * 0.13).sin() * 0.2;
+                let dy = (i as f64 * 0.29).cos() * 0.2;
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        DenseMatrix::from_fn(30, 2, |i, j| rows[i][j])
+    }
+
+    #[test]
+    fn recovers_blobs() {
+        let data = blob_data();
+        let r = kmeans(&data, 3, &KMeansConfig::default()).unwrap();
+        // Points within each blob share a label; labels differ across blobs.
+        for blob in 0..3 {
+            let label = r.assignments[blob * 10];
+            for i in 0..10 {
+                assert_eq!(r.assignments[blob * 10 + i], label);
+            }
+        }
+        let mut labels: Vec<usize> = (0..3).map(|b| r.assignments[b * 10]).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+        assert!(r.inertia < 5.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blob_data();
+        let a = kmeans(&data, 3, &KMeansConfig::default()).unwrap();
+        let b = kmeans(&data, 3, &KMeansConfig::default()).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let data = blob_data();
+        let r = kmeans(&data, 30, &KMeansConfig::default()).unwrap();
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn error_cases() {
+        let data = blob_data();
+        assert!(kmeans(&data, 0, &KMeansConfig::default()).is_err());
+        assert!(kmeans(&data, 31, &KMeansConfig::default()).is_err());
+        let bad = DenseMatrix::from_vec(1, 1, vec![f64::NAN]).unwrap();
+        assert!(kmeans(&bad, 1, &KMeansConfig::default()).is_err());
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = DenseMatrix::from_fn(8, 2, |_, _| 3.25);
+        let r = kmeans(&data, 3, &KMeansConfig::default()).unwrap();
+        assert_eq!(r.assignments.len(), 8);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn restarts_never_worsen_best_inertia() {
+        let data = blob_data();
+        let one = kmeans(
+            &data,
+            3,
+            &KMeansConfig {
+                restarts: 1,
+                ..KMeansConfig::default()
+            },
+        )
+        .unwrap();
+        let many = kmeans(
+            &data,
+            3,
+            &KMeansConfig {
+                restarts: 8,
+                ..KMeansConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(many.inertia <= one.inertia + 1e-9);
+    }
+}

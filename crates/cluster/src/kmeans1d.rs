@@ -1,0 +1,309 @@
+//! Exact one-dimensional k-means.
+//!
+//! §4.1 observes that 1-D k-means with sorted initialization avoids the bad
+//! local optima of random seeding. We go one step further: in one dimension
+//! optimal clusters are contiguous ranges of the sorted values, so the
+//! globally optimal clustering is computable exactly by dynamic programming
+//! with divide-and-conquer optimization in `O(kappa * n log n)` — fully
+//! deterministic, and never worse than any Lloyd run. (The classic
+//! reference is the Ckmeans.1d.dp algorithm of Wang & Song.)
+
+use crate::error::{ClusterError, Result};
+
+/// Result of a 1-D k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans1d {
+    /// Cluster index per input value (in input order).
+    pub assignments: Vec<usize>,
+    /// Cluster means, ascending.
+    pub centers: Vec<f64>,
+    /// DP layers evaluated (kept for API compatibility with iterative
+    /// solvers; equals `kappa`).
+    pub iterations: usize,
+    /// Final sum of squared within-cluster errors (the global optimum).
+    pub sse: f64,
+}
+
+impl KMeans1d {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Number of points per cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centers.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Prefix sums enabling `O(1)` within-range squared-error queries.
+struct RangeCost {
+    /// Prefix sums of values.
+    s1: Vec<f64>,
+    /// Prefix sums of squared values.
+    s2: Vec<f64>,
+}
+
+impl RangeCost {
+    fn new(sorted: &[f64]) -> Self {
+        let mut s1 = Vec::with_capacity(sorted.len() + 1);
+        let mut s2 = Vec::with_capacity(sorted.len() + 1);
+        s1.push(0.0);
+        s2.push(0.0);
+        for &v in sorted {
+            s1.push(s1.last().unwrap() + v);
+            s2.push(s2.last().unwrap() + v * v);
+        }
+        Self { s1, s2 }
+    }
+
+    /// Sum of squared deviations from the mean over `sorted[j..=i]`.
+    #[inline]
+    fn cost(&self, j: usize, i: usize) -> f64 {
+        let len = (i - j + 1) as f64;
+        let sum = self.s1[i + 1] - self.s1[j];
+        let ssq = self.s2[i + 1] - self.s2[j];
+        (ssq - sum * sum / len).max(0.0)
+    }
+
+    /// Mean over `sorted[j..=i]`.
+    #[inline]
+    fn mean(&self, j: usize, i: usize) -> f64 {
+        (self.s1[i + 1] - self.s1[j]) / (i - j + 1) as f64
+    }
+}
+
+/// Runs exact k-means on scalar values.
+///
+/// # Errors
+/// Returns [`ClusterError::BadClusterCount`] unless `1 <= kappa <= values.len()`
+/// and [`ClusterError::InvalidInput`] on non-finite values.
+#[allow(clippy::needless_range_loop)] // DP index style mirrors the recurrence
+pub fn kmeans_1d(values: &[f64], kappa: usize) -> Result<KMeans1d> {
+    let n = values.len();
+    if kappa == 0 || kappa > n {
+        return Err(ClusterError::BadClusterCount {
+            requested: kappa,
+            points: n,
+        });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(ClusterError::InvalidInput(
+            "k-means values must be finite".into(),
+        ));
+    }
+
+    // Sort once; remember original positions.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+    let rc = RangeCost::new(&sorted);
+
+    // dp[i] = optimal SSE of sorted[0..=i] using the current layer count;
+    // split[k][i] = first index of the last cluster in that optimum.
+    let mut dp: Vec<f64> = (0..n).map(|i| rc.cost(0, i)).collect();
+    let mut split: Vec<Vec<usize>> = vec![vec![0; n]; kappa];
+
+    for k in 1..kappa {
+        let prev = dp.clone();
+        // Divide-and-conquer optimization: the optimal split position is
+        // monotone in i, so solve the midpoint and recurse on halves with a
+        // narrowed candidate window. Explicit stack avoids deep recursion.
+        let mut next = vec![f64::INFINITY; n];
+        // (lo, hi, opt_lo, opt_hi) over the i-range [lo, hi].
+        let mut stack = vec![(k, n - 1, k, n - 1)];
+        while let Some((lo, hi, opt_lo, opt_hi)) = stack.pop() {
+            if lo > hi {
+                continue;
+            }
+            let mid = (lo + hi) / 2;
+            // Last cluster is sorted[j..=mid]; j ranges over the candidate
+            // window intersected with validity (j >= k so that k clusters
+            // fit on the left, j <= mid).
+            let j_lo = opt_lo.max(k);
+            let j_hi = opt_hi.min(mid);
+            let mut best = (f64::INFINITY, j_lo);
+            let mut j = j_lo;
+            while j <= j_hi {
+                let cand = prev[j - 1] + rc.cost(j, mid);
+                if cand < best.0 {
+                    best = (cand, j);
+                }
+                j += 1;
+            }
+            next[mid] = best.0;
+            split[k][mid] = best.1;
+            if mid > lo {
+                stack.push((lo, mid - 1, opt_lo, best.1));
+            }
+            if mid < hi {
+                stack.push((mid + 1, hi, best.1, opt_hi));
+            }
+        }
+        dp = next;
+    }
+
+    // Backtrack cluster boundaries.
+    let mut bounds = vec![0usize; kappa + 1];
+    bounds[kappa] = n;
+    let mut end = n - 1;
+    for k in (1..kappa).rev() {
+        let start = split[k][end];
+        bounds[k] = start;
+        end = start - 1;
+    }
+
+    let mut centers = Vec::with_capacity(kappa);
+    let mut assignments = vec![0usize; n];
+    for q in 0..kappa {
+        let (lo, hi) = (bounds[q], bounds[q + 1]);
+        debug_assert!(hi > lo, "DP clusters are non-empty by construction");
+        centers.push(rc.mean(lo, hi - 1));
+        for s in lo..hi {
+            assignments[order[s]] = q;
+        }
+    }
+    let sse = dp[n - 1].max(0.0);
+    Ok(KMeans1d {
+        assignments,
+        centers,
+        iterations: kappa,
+        sse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimal SSE for tiny inputs (all contiguous splits).
+    fn brute_force_sse(sorted: &[f64], kappa: usize) -> f64 {
+        fn go(rc: &RangeCost, start: usize, n: usize, k: usize) -> f64 {
+            if k == 1 {
+                return rc.cost(start, n - 1);
+            }
+            // Last piece must leave at least k-1 points before it.
+            let mut best = f64::INFINITY;
+            for end in start..=(n - k) {
+                let head = rc.cost(start, end);
+                let tail = go(rc, end + 1, n, k - 1);
+                best = best.min(head + tail);
+            }
+            best
+        }
+        let rc = RangeCost::new(sorted);
+        go(&rc, 0, sorted.len(), kappa)
+    }
+
+    #[test]
+    fn matches_brute_force_optimum() {
+        let mut values = vec![0.3, -1.2, 4.5, 4.4, 0.1, 2.2, -1.0, 7.7, 2.3, 0.0];
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for kappa in 1..=5 {
+            let r = kmeans_1d(&values, kappa).unwrap();
+            let opt = brute_force_sse(&values, kappa);
+            assert!(
+                (r.sse - opt).abs() < 1e-9,
+                "kappa={kappa}: DP {} vs brute force {opt}",
+                r.sse
+            );
+        }
+    }
+
+    #[test]
+    fn two_obvious_groups() {
+        let values = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let r = kmeans_1d(&values, 2).unwrap();
+        assert_eq!(r.assignments[0], r.assignments[1]);
+        assert_eq!(r.assignments[1], r.assignments[2]);
+        assert_eq!(r.assignments[3], r.assignments[4]);
+        assert_ne!(r.assignments[0], r.assignments[3]);
+        assert!((r.centers[0] - 0.1).abs() < 1e-9);
+        assert!((r.centers[1] - 10.1).abs() < 1e-9);
+        assert_eq!(r.sizes(), vec![3, 3]);
+    }
+
+    #[test]
+    fn k_equals_one_gives_global_mean() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let r = kmeans_1d(&values, 1).unwrap();
+        assert!((r.centers[0] - 2.5).abs() < 1e-12);
+        assert!(r.assignments.iter().all(|&a| a == 0));
+        assert!((r.sse - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let values = [3.0, 1.0, 2.0];
+        let r = kmeans_1d(&values, 3).unwrap();
+        assert!(r.sse < 1e-12);
+        let mut a = r.assignments.clone();
+        a.sort_unstable();
+        assert_eq!(a, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64 / 10.0).collect();
+        let a = kmeans_1d(&values, 5).unwrap();
+        let b = kmeans_1d(&values, 5).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centers, b.centers);
+    }
+
+    #[test]
+    fn centers_are_sorted_and_clusters_contiguous() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 5.0).collect();
+        let r = kmeans_1d(&values, 4).unwrap();
+        for w in r.centers.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        let mut pairs: Vec<(f64, usize)> = values
+            .iter()
+            .copied()
+            .zip(r.assignments.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_data() {
+        let values = [1.0, 1.0, 1.0, 1.0, 1.0, 9.0];
+        let r = kmeans_1d(&values, 3).unwrap();
+        assert_eq!(r.k(), 3);
+        assert_eq!(r.assignments.len(), 6);
+        // DP clusters are all non-empty; no cluster may hold everything.
+        assert!(r.sizes().iter().all(|&s| s > 0 && s < 6));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(kmeans_1d(&[1.0, 2.0], 0).is_err());
+        assert!(kmeans_1d(&[1.0, 2.0], 3).is_err());
+        assert!(kmeans_1d(&[1.0, f64::NAN], 1).is_err());
+    }
+
+    #[test]
+    fn sse_strictly_monotone_in_kappa() {
+        // The DP finds global optima, so SSE is non-increasing in kappa for
+        // *any* input — the property Lloyd-style solvers cannot guarantee.
+        let values: Vec<f64> = (0..120).map(|i| ((i * 61) % 97) as f64 * 0.13).collect();
+        let mut prev = f64::INFINITY;
+        for kappa in 1..10 {
+            let r = kmeans_1d(&values, kappa).unwrap();
+            assert!(
+                r.sse <= prev + 1e-9,
+                "SSE rose from {prev} to {} at kappa={kappa}",
+                r.sse
+            );
+            prev = r.sse;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # roadpart-cluster
+//!
+//! Clustering substrate for the `roadpart` partitioning stack (paper §4.1,
+//! §4.2 and Algorithm 3 line 10):
+//!
+//! * [`kmeans1d::kmeans_1d`] — deterministic 1-D k-means with the paper's
+//!   sorted equal-interval initialization, used to cluster traffic
+//!   densities;
+//! * [`kmeans::kmeans`] — general k-means++ / Lloyd over row vectors, used
+//!   to cluster spectral-embedding rows;
+//! * [`optimality`] — the moderated clustering gain (MCG, Eq. 1) together
+//!   with the clustering gain and clustering balance of Jung et al. \[6\];
+//! * [`components`] — FIFO (BFS) connected components constrained to
+//!   same-cluster links, the supernode-forming primitive of §4.3.1.
+
+pub mod components;
+pub mod error;
+pub mod kmeans;
+pub mod kmeans1d;
+pub mod optimality;
+
+pub use components::{component_groups, constrained_components, count_components};
+pub use error::{ClusterError, Result};
+pub use kmeans::{kmeans, KMeans, KMeansConfig};
+pub use kmeans1d::{kmeans_1d, KMeans1d};
+pub use optimality::{
+    clustering_balance, clustering_gain, mcg, mcg_argmax, optimality_sweep, OptimalityPoint,
+};

@@ -1,0 +1,98 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+use roadpart_cluster::{
+    clustering_balance, clustering_gain, constrained_components, kmeans_1d, mcg,
+};
+use roadpart_linalg::CsrMatrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 1-D k-means structural invariants: valid assignments, sorted
+    /// centers, contiguous clusters in value order, SSE consistency.
+    #[test]
+    fn kmeans_1d_invariants(
+        values in proptest::collection::vec(-10.0f64..10.0, 2..60),
+        kappa in 1usize..8,
+    ) {
+        let kappa = kappa.min(values.len());
+        let r = kmeans_1d(&values, kappa).unwrap();
+        prop_assert_eq!(r.assignments.len(), values.len());
+        prop_assert!(r.assignments.iter().all(|&a| a < kappa));
+        for w in r.centers.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        // Contiguity: sort values; cluster ids must be non-decreasing.
+        let mut pairs: Vec<(f64, usize)> = values
+            .iter().copied().zip(r.assignments.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        // Reported SSE matches a recomputation.
+        let sse: f64 = values.iter().zip(&r.assignments)
+            .map(|(&v, &a)| (v - r.centers[a]).powi(2)).sum();
+        prop_assert!((sse - r.sse).abs() < 1e-6 * (1.0 + sse));
+    }
+
+    /// More clusters never increase the optimal SSE.
+    #[test]
+    fn kmeans_1d_sse_monotone(values in proptest::collection::vec(-5.0f64..5.0, 8..50)) {
+        let mut prev = f64::INFINITY;
+        for kappa in 1..6.min(values.len()) {
+            let r = kmeans_1d(&values, kappa).unwrap();
+            prop_assert!(r.sse <= prev + 1e-9, "kappa={kappa}: {} > {prev}", r.sse);
+            prev = r.sse;
+        }
+    }
+
+    /// gain + balance equals the total SSE around the global mean, and MCG
+    /// never exceeds the gain (theta2 is in [0,1]).
+    #[test]
+    fn optimality_identities(
+        values in proptest::collection::vec(-5.0f64..5.0, 4..60),
+        kappa in 1usize..6,
+    ) {
+        let kappa = kappa.min(values.len());
+        let km = kmeans_1d(&values, kappa).unwrap();
+        let g = clustering_gain(&values, &km.assignments, kappa).unwrap();
+        let b = clustering_balance(&values, &km.assignments, kappa).unwrap();
+        let m = mcg(&values, &km.assignments, kappa).unwrap();
+        let mu = values.iter().sum::<f64>() / values.len() as f64;
+        let total: f64 = values.iter().map(|v| (v - mu).powi(2)).sum();
+        prop_assert!((g + b - total).abs() < 1e-6 * (1.0 + total));
+        prop_assert!(m <= g + 1e-9);
+        prop_assert!(m >= 0.0);
+    }
+
+    /// Constrained components: same component implies same label and
+    /// mutual reachability through that label.
+    #[test]
+    fn components_respect_labels(
+        n in 4usize..30,
+        chords in proptest::collection::vec((0usize..30, 0usize..30), 0..20),
+        label_seed in proptest::collection::vec(0usize..3, 30),
+    ) {
+        let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        for &(a, b) in &chords {
+            if a < n && b < n && a != b {
+                edges.push((a, b, 1.0));
+            }
+        }
+        let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+        let labels: Vec<usize> = (0..n).map(|i| label_seed[i]).collect();
+        let comp = constrained_components(&adj, Some(&labels)).unwrap();
+        prop_assert_eq!(comp.len(), n);
+        for (u, v, _) in adj.iter() {
+            if comp[u] == comp[v] {
+                prop_assert_eq!(labels[u], labels[v]);
+            }
+        }
+        // Component ids are dense.
+        let k = comp.iter().copied().max().unwrap() + 1;
+        for c in 0..k {
+            prop_assert!(comp.contains(&c));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Supernode stability (Definition 9, Eq. 2) and the stability check
+//! (Algorithm 2, §4.3.2).
+//!
+//! A supernode is *stable* when its members sit close to its density mean:
+//! `η(ς) = (1/|ς|) Σ_v exp(-|((v.f + 1)/(μ(ς) + 1)) - 1|) ∈ (0, 1]`.
+//! Unstable supernodes are split at their mean (LIFO) until every piece is
+//! stable; threshold 0 disables the check (the paper's ASG/NSG schemes),
+//! threshold 1 splits down to equal-valued runs.
+
+use serde::{Deserialize, Serialize};
+
+/// The stability measure `η(ς)` of a set of member feature values (Eq. 2).
+/// Returns 1.0 for empty or singleton sets (maximally stable by definition).
+pub fn stability(features: &[f64]) -> f64 {
+    if features.len() <= 1 {
+        return 1.0;
+    }
+    let mu = features.iter().sum::<f64>() / features.len() as f64;
+    let total: f64 = features
+        .iter()
+        .map(|&f| (-((f + 1.0) / (mu + 1.0) - 1.0).abs()).exp())
+        .sum();
+    total / features.len() as f64
+}
+
+/// One supernode's member set plus its feature value, as produced by the
+/// stability check.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StableSupernode {
+    /// Road-graph node indices.
+    pub members: Vec<usize>,
+    /// Feature value: the original cluster mean for supernodes accepted
+    /// untouched, the member mean for supernodes created by splitting
+    /// ("the supernodes that were unstable earlier and made stable this
+    /// way, their means become their new feature values").
+    pub feature: f64,
+    /// Final stability measure η.
+    pub eta: f64,
+}
+
+/// Algorithm 2: pushes every supernode on a stack; unstable ones are split
+/// at their member-mean into a `pre` (≤ mean) and `post` (> mean) side and
+/// re-checked until all pieces are stable.
+///
+/// `supernodes` pairs each member list with its current feature value.
+/// `node_features` are the road-graph node densities.
+///
+/// A floating-point guard force-accepts a supernode whose split would leave
+/// one side empty (only possible when all members share a value, which is
+/// maximally stable anyway).
+pub fn stability_check(
+    supernodes: Vec<(Vec<usize>, f64)>,
+    node_features: &[f64],
+    threshold: f64,
+) -> Vec<StableSupernode> {
+    let threshold = threshold.clamp(0.0, 1.0);
+    let mut out = Vec::with_capacity(supernodes.len());
+    // (members, feature, was_split)
+    let mut stack: Vec<(Vec<usize>, f64, bool)> = supernodes
+        .into_iter()
+        .map(|(m, f)| (m, f, false))
+        .collect();
+    while let Some((members, feature, was_split)) = stack.pop() {
+        let values: Vec<f64> = members.iter().map(|&m| node_features[m]).collect();
+        let eta = stability(&values);
+        if eta >= threshold || members.len() <= 1 {
+            let feature = if was_split {
+                mean(&values).unwrap_or(feature)
+            } else {
+                feature
+            };
+            out.push(StableSupernode {
+                members,
+                feature,
+                eta,
+            });
+            continue;
+        }
+        let mu = mean(&values).expect("non-empty unstable supernode");
+        let mut pre = Vec::new();
+        let mut post = Vec::new();
+        for (&m, &v) in members.iter().zip(&values) {
+            if v <= mu {
+                pre.push(m);
+            } else {
+                post.push(m);
+            }
+        }
+        if pre.is_empty() || post.is_empty() {
+            // All values identical (or FP degeneracy): force-accept.
+            out.push(StableSupernode {
+                members,
+                feature: mu,
+                eta,
+            });
+            continue;
+        }
+        stack.push((pre, mu, true));
+        stack.push((post, mu, true));
+    }
+    out
+}
+
+fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_supernode_is_maximally_stable() {
+        assert_eq!(stability(&[0.5, 0.5, 0.5]), 1.0);
+        assert_eq!(stability(&[]), 1.0);
+        assert_eq!(stability(&[3.0]), 1.0);
+    }
+
+    #[test]
+    fn stability_decreases_with_spread() {
+        let tight = stability(&[1.0, 1.05, 0.95]);
+        let loose = stability(&[1.0, 2.0, 0.1]);
+        assert!(tight > loose);
+        assert!(tight > 0.9);
+        assert!((0.0..=1.0).contains(&loose));
+    }
+
+    #[test]
+    fn threshold_zero_accepts_everything() {
+        let features = [0.0, 100.0, 50.0];
+        let sns = vec![(vec![0, 1, 2], 42.0)];
+        let out = stability_check(sns, &features, 0.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].feature, 42.0); // untouched keeps cluster mean
+    }
+
+    #[test]
+    fn unstable_supernode_splits_at_mean() {
+        // Features {0, 0, 10, 10}: mean 5; stability low; split -> two
+        // uniform halves.
+        let features = [0.0, 0.0, 10.0, 10.0];
+        let out = stability_check(vec![(vec![0, 1, 2, 3], 5.0)], &features, 0.9);
+        assert_eq!(out.len(), 2);
+        let mut sorted: Vec<Vec<usize>> = out.iter().map(|s| s.members.clone()).collect();
+        sorted.sort();
+        assert_eq!(sorted, vec![vec![0, 1], vec![2, 3]]);
+        // Split pieces get their member means as features.
+        for s in &out {
+            let expect = if s.members.contains(&0) { 0.0 } else { 10.0 };
+            assert!((s.feature - expect).abs() < 1e-12);
+            assert_eq!(s.eta, 1.0);
+        }
+    }
+
+    #[test]
+    fn recursive_splitting_terminates() {
+        // A geometric spread forces several split levels at threshold ~1.
+        let features: Vec<f64> = (0..32).map(|i| (i as f64) * 0.8).collect();
+        let members: Vec<usize> = (0..32).collect();
+        let out = stability_check(vec![(members, 1.0)], &features, 0.999);
+        // All pieces stable, cover preserved.
+        let mut all: Vec<usize> = out.iter().flat_map(|s| s.members.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..32).collect::<Vec<_>>());
+        for s in &out {
+            let vals: Vec<f64> = s.members.iter().map(|&m| features[m]).collect();
+            assert!(stability(&vals) >= 0.999 || s.members.len() == 1);
+        }
+    }
+
+    #[test]
+    fn identical_values_never_split_even_at_threshold_one() {
+        let features = [2.0; 6];
+        let out = stability_check(vec![((0..6).collect(), 2.0)], &features, 1.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].members.len(), 6);
+    }
+
+    #[test]
+    fn multiple_input_supernodes_processed_independently() {
+        let features = [0.0, 0.0, 5.0, 5.0, 1.0, 1.0];
+        let sns = vec![(vec![0, 1, 2, 3], 2.5), (vec![4, 5], 1.0)];
+        let out = stability_check(sns, &features, 0.95);
+        // First splits into two; second stays.
+        assert_eq!(out.len(), 3);
+    }
+}

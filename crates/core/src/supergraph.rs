@@ -1,0 +1,187 @@
+//! The road supergraph `G_s = (V_s, E_s, W_s)` (Definitions 6–8).
+
+use crate::error::{Result, RoadpartError};
+use roadpart_linalg::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// A supernode: a set of road-graph nodes that are similar in density and
+/// interlinked (Definition 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Supernode {
+    /// Road-graph node indices belonging to this supernode.
+    pub members: Vec<usize>,
+    /// The supernode feature value `ς.f` (a cluster/supernode density mean).
+    pub feature: f64,
+}
+
+impl Supernode {
+    /// Number of member nodes `|ς|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the supernode holds no members (never produced by mining).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The condensed road supergraph: supernodes plus weighted superlinks
+/// (Definition 8). The superlink weights `W_s` live in the symmetric
+/// adjacency matrix.
+#[derive(Debug, Clone)]
+pub struct Supergraph {
+    nodes: Vec<Supernode>,
+    adjacency: CsrMatrix,
+    /// `member_of[v]` = index of the supernode containing road-graph node v.
+    member_of: Vec<usize>,
+}
+
+impl Supergraph {
+    /// Assembles a supergraph, checking that `nodes` disjointly cover
+    /// `0..n_road_nodes` and that the adjacency dimension matches.
+    ///
+    /// # Errors
+    /// Returns [`RoadpartError::InvalidConfig`] on any structural violation.
+    pub fn new(
+        nodes: Vec<Supernode>,
+        adjacency: CsrMatrix,
+        n_road_nodes: usize,
+    ) -> Result<Self> {
+        if adjacency.dim() != nodes.len() {
+            return Err(RoadpartError::InvalidConfig(format!(
+                "superlink matrix dimension {} != supernode count {}",
+                adjacency.dim(),
+                nodes.len()
+            )));
+        }
+        let mut member_of = vec![usize::MAX; n_road_nodes];
+        for (s, node) in nodes.iter().enumerate() {
+            for &m in &node.members {
+                if m >= n_road_nodes || member_of[m] != usize::MAX {
+                    return Err(RoadpartError::InvalidConfig(format!(
+                        "road node {m} missing, repeated, or out of range in supernode cover"
+                    )));
+                }
+                member_of[m] = s;
+            }
+        }
+        if member_of.contains(&usize::MAX) {
+            return Err(RoadpartError::InvalidConfig(
+                "supernodes must cover every road-graph node".into(),
+            ));
+        }
+        Ok(Self {
+            nodes,
+            adjacency,
+            member_of,
+        })
+    }
+
+    /// Supergraph order `n_ς` (number of supernodes).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The supernodes.
+    #[inline]
+    pub fn nodes(&self) -> &[Supernode] {
+        &self.nodes
+    }
+
+    /// The weighted superlink adjacency matrix.
+    #[inline]
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adjacency
+    }
+
+    /// Supernode index per road-graph node.
+    #[inline]
+    pub fn member_of(&self) -> &[usize] {
+        &self.member_of
+    }
+
+    /// Supernode feature values in supernode order.
+    pub fn features(&self) -> Vec<f64> {
+        self.nodes.iter().map(|s| s.feature).collect()
+    }
+
+    /// Number of superlinks `n_ε`.
+    pub fn link_count(&self) -> usize {
+        self.adjacency.nnz() / 2
+    }
+
+    /// Expands supernode labels to road-graph node labels: road node `v`
+    /// receives `labels[member_of[v]]`.
+    ///
+    /// # Errors
+    /// Returns [`RoadpartError::InvalidConfig`] on label-length mismatch.
+    pub fn expand_labels(&self, labels: &[usize]) -> Result<Vec<usize>> {
+        if labels.len() != self.order() {
+            return Err(RoadpartError::InvalidConfig(format!(
+                "label vector length {} != supergraph order {}",
+                labels.len(),
+                self.order()
+            )));
+        }
+        Ok(self.member_of.iter().map(|&s| labels[s]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_supernodes() -> Supergraph {
+        let nodes = vec![
+            Supernode {
+                members: vec![0, 1],
+                feature: 0.1,
+            },
+            Supernode {
+                members: vec![2],
+                feature: 0.9,
+            },
+        ];
+        let adj = CsrMatrix::from_undirected_edges(2, &[(0, 1, 0.5)]).unwrap();
+        Supergraph::new(nodes, adj, 3).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let sg = two_supernodes();
+        assert_eq!(sg.order(), 2);
+        assert_eq!(sg.link_count(), 1);
+        assert_eq!(sg.member_of(), &[0, 0, 1]);
+        assert_eq!(sg.features(), vec![0.1, 0.9]);
+        assert!(!sg.nodes()[0].is_empty());
+        assert_eq!(sg.nodes()[0].len(), 2);
+    }
+
+    #[test]
+    fn expand_labels_maps_members() {
+        let sg = two_supernodes();
+        assert_eq!(sg.expand_labels(&[5, 7]).unwrap(), vec![5, 5, 7]);
+        assert!(sg.expand_labels(&[1]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_covers() {
+        let adj = CsrMatrix::from_triplets(1, &[]).unwrap();
+        // Missing node 1.
+        let nodes = vec![Supernode {
+            members: vec![0],
+            feature: 0.0,
+        }];
+        assert!(Supergraph::new(nodes.clone(), adj.clone(), 2).is_err());
+        // Duplicate member.
+        let dup = vec![Supernode {
+            members: vec![0, 0],
+            feature: 0.0,
+        }];
+        assert!(Supergraph::new(dup, adj.clone(), 1).is_err());
+        // Dimension mismatch.
+        assert!(Supergraph::new(nodes, CsrMatrix::from_triplets(3, &[]).unwrap(), 1).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for graph cuts.
+
+use std::fmt;
+
+/// Errors produced by the spectral partitioners.
+#[derive(Debug)]
+pub enum CutError {
+    /// Requested partition count is impossible for this graph.
+    BadPartitionCount {
+        /// Requested `k`.
+        requested: usize,
+        /// Graph order.
+        nodes: usize,
+    },
+    /// Input violates a precondition (asymmetric adjacency, NaN weights...).
+    InvalidInput(String),
+    /// Underlying eigensolver failure.
+    Linalg(roadpart_linalg::LinalgError),
+    /// Underlying clustering failure.
+    Cluster(roadpart_cluster::ClusterError),
+}
+
+impl fmt::Display for CutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CutError::BadPartitionCount { requested, nodes } => {
+                write!(f, "cannot cut a {nodes}-node graph into {requested} partitions")
+            }
+            CutError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CutError::Linalg(e) => write!(f, "eigensolver error: {e}"),
+            CutError::Cluster(e) => write!(f, "clustering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CutError::Linalg(e) => Some(e),
+            CutError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<roadpart_linalg::LinalgError> for CutError {
+    fn from(e: roadpart_linalg::LinalgError) -> Self {
+        CutError::Linalg(e)
+    }
+}
+
+impl From<roadpart_cluster::ClusterError> for CutError {
+    fn from(e: roadpart_cluster::ClusterError) -> Self {
+        CutError::Cluster(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CutError>;

@@ -1,0 +1,268 @@
+//! The full k-way spectral partitioning pipeline (Algorithm 3).
+//!
+//! 1. build the cut matrix (α-Cut `M` or normalized Laplacian) and take its
+//!    `k` smallest eigenvectors → `Y` (lines 1–7);
+//! 2. row-normalize into `Z` (Eq. 8, line 8);
+//! 3. k-means the rows of `Z` into `k` clusters (lines 9–10);
+//! 4. extract connected components inside each cluster → k′ ≥ k disjoint,
+//!    spatially connected partitions (line 11);
+//! 5. refine to exactly `k`: global recursive bipartitioning of the
+//!    condensed partition-connectivity graph for k′ > k (lines 12–24),
+//!    largest-first splitting for k′ < k.
+
+use crate::embedding::{embedding, row_normalize, CutKind};
+use crate::error::{CutError, Result};
+use crate::partition::Partition;
+use crate::refine::{partition_connectivity, recursive_bipartition, split_to_k};
+use roadpart_cluster::{constrained_components, kmeans, KMeansConfig};
+use roadpart_linalg::{CsrMatrix, EigenConfig};
+use serde::{Deserialize, Serialize};
+
+/// How k′ ≠ k is resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefineStrategy {
+    /// Global recursive bipartitioning of the condensed graph (the paper's
+    /// choice, efficient for large k′).
+    RecursiveBipartition,
+    /// Greedy pruning: merge the most-connected adjacent pair until k
+    /// (the paper's alternative; quadratic in k′).
+    GreedyMerge,
+    /// Keep the k′ natural partitions ("These k′ partitions may be accepted
+    /// as the final result", §5.4).
+    AcceptNatural,
+}
+
+/// Configuration for [`spectral_partition`].
+#[derive(Debug, Clone)]
+pub struct SpectralConfig {
+    /// Eigensolver settings.
+    pub eigen: EigenConfig,
+    /// Eigenspace k-means settings (seeded; the paper reports medians over
+    /// repeated runs because of this randomization).
+    pub kmeans: KMeansConfig,
+    /// k′ ≠ k resolution strategy.
+    pub refine: RefineStrategy,
+    /// Re-split any final partition that ends up spatially disconnected
+    /// (condition C.2). Recursive bipartitioning of the condensed graph can
+    /// in principle group non-adjacent fine partitions; this restores
+    /// connectivity as a post-pass.
+    pub enforce_connectivity: bool,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        Self {
+            eigen: EigenConfig::default(),
+            kmeans: KMeansConfig::default(),
+            refine: RefineStrategy::RecursiveBipartition,
+            enforce_connectivity: true,
+        }
+    }
+}
+
+impl SpectralConfig {
+    /// Re-seeds both stochastic components (for median-over-runs protocols).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.kmeans.seed = seed;
+        self.eigen.seed = seed ^ 0x9e37_79b9_7f4a_7c15;
+        self
+    }
+}
+
+/// Partitions a weighted symmetric graph into `k` groups using the chosen
+/// spectral cut. See the module docs for the pipeline.
+///
+/// # Errors
+/// Returns [`CutError::BadPartitionCount`] for `k == 0` or `k > n`, plus any
+/// eigensolver/k-means failure.
+pub fn spectral_partition(
+    adj: &CsrMatrix,
+    k: usize,
+    kind: CutKind,
+    cfg: &SpectralConfig,
+) -> Result<Partition> {
+    let n = adj.dim();
+    if k == 0 || k > n {
+        return Err(CutError::BadPartitionCount {
+            requested: k,
+            nodes: n,
+        });
+    }
+    if k == n {
+        return Ok(Partition::from_labels(&(0..n).collect::<Vec<_>>()));
+    }
+
+    // Lines 1-8: embedding.
+    let mut y = embedding(adj, k, kind, &cfg.eigen)?;
+    row_normalize(&mut y);
+    // Lines 9-10: eigenspace k-means.
+    let km = kmeans(&y, k, &cfg.kmeans)?;
+    // Line 11: connected components within clusters -> k' fine partitions.
+    let comp = constrained_components(adj, Some(&km.assignments))?;
+    let fine = Partition::from_labels(&comp);
+
+    let mut result = refine_to_k(adj, &fine, k, kind, cfg)?;
+    if cfg.enforce_connectivity {
+        // Alternate connectivity enforcement and re-refinement a bounded
+        // number of times; if the graph fundamentally cannot host k
+        // connected partitions (more components than k), connectivity wins.
+        for _ in 0..2 {
+            let connected = enforce_connectivity(adj, &result)?;
+            if connected.k() == result.k() {
+                break;
+            }
+            result = connected;
+            if result.k() > k {
+                result = refine_to_k(adj, &result, k, kind, cfg)?;
+            }
+        }
+        result = enforce_connectivity(adj, &result)?;
+    }
+    Ok(result)
+}
+
+/// Applies the configured refinement strategy to move from k′ to k.
+fn refine_to_k(
+    adj: &CsrMatrix,
+    fine: &Partition,
+    k: usize,
+    kind: CutKind,
+    cfg: &SpectralConfig,
+) -> Result<Partition> {
+    use std::cmp::Ordering;
+    let kp = fine.k();
+    match kp.cmp(&k) {
+        Ordering::Equal => Ok(fine.clone()),
+        Ordering::Less => split_to_k(adj, fine, k, kind, &cfg.eigen, &cfg.kmeans),
+        Ordering::Greater => match cfg.refine {
+            RefineStrategy::AcceptNatural => Ok(fine.clone()),
+            RefineStrategy::RecursiveBipartition => {
+                let conn = partition_connectivity(adj, &fine.groups())?;
+                let meta = recursive_bipartition(&conn, k, kind, &cfg.eigen, &cfg.kmeans)?;
+                Ok(fine.compose(&meta))
+            }
+            RefineStrategy::GreedyMerge => {
+                let conn = partition_connectivity(adj, &fine.groups())?;
+                let meta = crate::refine::greedy_merge(&conn, k)?;
+                Ok(fine.compose(&meta))
+            }
+        },
+    }
+}
+
+/// Splits spatially disconnected partitions into their components (C.2).
+fn enforce_connectivity(adj: &CsrMatrix, p: &Partition) -> Result<Partition> {
+    let comp = constrained_components(adj, Some(p.labels()))?;
+    Ok(Partition::from_labels(&comp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain of `c` cliques of size `s`, bridged weakly.
+    fn clique_chain(c: usize, s: usize) -> CsrMatrix {
+        let mut edges = Vec::new();
+        for ci in 0..c {
+            let b = ci * s;
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    edges.push((b + i, b + j, 1.0));
+                }
+            }
+            if ci > 0 {
+                edges.push((b - 1, b, 0.02));
+            }
+        }
+        CsrMatrix::from_undirected_edges(c * s, &edges).unwrap()
+    }
+
+    #[test]
+    fn recovers_planted_partitions_both_kinds() {
+        let adj = clique_chain(3, 5);
+        for kind in [CutKind::Alpha, CutKind::Normalized] {
+            let p = spectral_partition(&adj, 3, kind, &SpectralConfig::default()).unwrap();
+            assert_eq!(p.k(), 3, "{kind:?}");
+            for c in 0..3 {
+                let l = p.label(c * 5);
+                for i in 1..5 {
+                    assert_eq!(p.label(c * 5 + i), l, "{kind:?} clique {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_are_connected() {
+        let adj = clique_chain(4, 4);
+        for k in 2..=5 {
+            let p =
+                spectral_partition(&adj, k, CutKind::Alpha, &SpectralConfig::default()).unwrap();
+            // Every partition must be internally connected (C.2).
+            let comp = constrained_components(&adj, Some(p.labels())).unwrap();
+            let recount = Partition::from_labels(&comp);
+            assert_eq!(recount.k(), p.k(), "k = {k}: disconnected partition");
+        }
+    }
+
+    #[test]
+    fn k_bounds() {
+        let adj = clique_chain(2, 3);
+        assert!(spectral_partition(&adj, 0, CutKind::Alpha, &SpectralConfig::default()).is_err());
+        assert!(spectral_partition(&adj, 7, CutKind::Alpha, &SpectralConfig::default()).is_err());
+        let p = spectral_partition(&adj, 6, CutKind::Alpha, &SpectralConfig::default()).unwrap();
+        assert_eq!(p.k(), 6); // k == n: singletons
+    }
+
+    #[test]
+    fn k1_on_connected_graph() {
+        let adj = clique_chain(2, 3);
+        let p = spectral_partition(&adj, 1, CutKind::Alpha, &SpectralConfig::default()).unwrap();
+        assert_eq!(p.k(), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_cannot_go_below_component_count() {
+        // Two disjoint cliques, k = 1: connectivity enforcement keeps 2.
+        let mut edges = Vec::new();
+        for b in [0usize, 3] {
+            edges.push((b, b + 1, 1.0));
+            edges.push((b + 1, b + 2, 1.0));
+            edges.push((b, b + 2, 1.0));
+        }
+        let adj = CsrMatrix::from_undirected_edges(6, &edges).unwrap();
+        let p = spectral_partition(&adj, 1, CutKind::Alpha, &SpectralConfig::default()).unwrap();
+        assert_eq!(p.k(), 2, "two components cannot form one connected partition");
+    }
+
+    #[test]
+    fn greedy_merge_strategy_also_reaches_k() {
+        let adj = clique_chain(4, 4);
+        let cfg = SpectralConfig {
+            refine: RefineStrategy::GreedyMerge,
+            ..SpectralConfig::default()
+        };
+        let p = spectral_partition(&adj, 2, CutKind::Alpha, &cfg).unwrap();
+        assert_eq!(p.k(), 2);
+    }
+
+    #[test]
+    fn accept_natural_keeps_k_prime() {
+        let adj = clique_chain(4, 4);
+        let cfg = SpectralConfig {
+            refine: RefineStrategy::AcceptNatural,
+            ..SpectralConfig::default()
+        };
+        let p = spectral_partition(&adj, 2, CutKind::Alpha, &cfg).unwrap();
+        assert!(p.k() >= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let adj = clique_chain(3, 4);
+        let cfg = SpectralConfig::default().with_seed(7);
+        let a = spectral_partition(&adj, 3, CutKind::Alpha, &cfg).unwrap();
+        let b = spectral_partition(&adj, 3, CutKind::Alpha, &cfg).unwrap();
+        assert_eq!(a.labels(), b.labels());
+    }
+}

@@ -1,0 +1,131 @@
+//! The partition type shared by all cut algorithms.
+
+use serde::{Deserialize, Serialize};
+
+/// A disjoint partition of graph nodes: `labels[i]` is the partition index
+/// of node `i`, with labels dense in `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl Partition {
+    /// Builds a partition from arbitrary labels, re-mapping them to the
+    /// dense range `0..k` in first-appearance order.
+    pub fn from_labels(raw: &[usize]) -> Self {
+        let mut remap = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(raw.len());
+        for &l in raw {
+            let next = remap.len();
+            let dense = *remap.entry(l).or_insert(next);
+            labels.push(dense);
+        }
+        Self {
+            labels,
+            k: remap.len(),
+        }
+    }
+
+    /// Number of partitions `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for a partition of the empty graph.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of node `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels in node order.
+    #[inline]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Member lists per partition, ascending node order within each.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k];
+        for (i, &l) in self.labels.iter().enumerate() {
+            groups[l].push(i);
+        }
+        groups
+    }
+
+    /// Node count per partition.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Composes with a coarser partition of the partitions themselves:
+    /// `meta.label(p)` gives the final group of partition `p`.
+    ///
+    /// # Panics
+    /// Panics if `meta.len() != self.k()` (an internal-logic error).
+    pub fn compose(&self, meta: &Partition) -> Partition {
+        assert_eq!(meta.len(), self.k, "meta partition must cover k groups");
+        let raw: Vec<usize> = self.labels.iter().map(|&l| meta.label(l)).collect();
+        Partition::from_labels(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densifies_labels() {
+        let p = Partition::from_labels(&[7, 7, 3, 9, 3]);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.labels(), &[0, 0, 1, 2, 1]);
+        assert_eq!(p.sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn groups_cover_all_nodes() {
+        let p = Partition::from_labels(&[0, 1, 0, 2, 1]);
+        let groups = p.groups();
+        assert_eq!(groups.len(), 3);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn compose_applies_meta_grouping() {
+        // 4 fine partitions merged into 2 groups: {0, 2} and {1, 3}.
+        let fine = Partition::from_labels(&[0, 1, 2, 3, 0, 1]);
+        let meta = Partition::from_labels(&[0, 1, 0, 1]);
+        let coarse = fine.compose(&meta);
+        assert_eq!(coarse.k(), 2);
+        assert_eq!(coarse.label(0), coarse.label(2));
+        assert_eq!(coarse.label(1), coarse.label(3));
+        assert_ne!(coarse.label(0), coarse.label(1));
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::from_labels(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.k(), 0);
+        assert!(p.groups().is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the graph-cut layer.
+
+use proptest::prelude::*;
+use roadpart_cut::{
+    gaussian_affinity, greedy_merge, partition_connectivity, Partition,
+};
+use roadpart_linalg::CsrMatrix;
+
+fn arb_graph() -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (4usize..24).prop_flat_map(|n| {
+        let chords = proptest::collection::vec((0..n, 0..n), 0..n);
+        let feats = proptest::collection::vec(0.0f64..1.0, n);
+        (Just(n), chords, feats).prop_map(|(n, chords, feats)| {
+            let mut edges: Vec<(usize, usize, f64)> =
+                (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+            for (a, b) in chords {
+                if a != b {
+                    edges.push((a, b, 1.0));
+                }
+            }
+            (CsrMatrix::from_undirected_edges(n, &edges).unwrap(), feats)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Partition label densification: dense ids, stable group structure.
+    #[test]
+    fn partition_densification(raw in proptest::collection::vec(0usize..10, 1..40)) {
+        let p = Partition::from_labels(&raw);
+        prop_assert_eq!(p.len(), raw.len());
+        // Dense labels 0..k, all present.
+        for c in 0..p.k() {
+            prop_assert!(p.labels().contains(&c));
+        }
+        // Same raw label <=> same dense label.
+        for i in 0..raw.len() {
+            for j in 0..raw.len() {
+                prop_assert_eq!(raw[i] == raw[j], p.label(i) == p.label(j));
+            }
+        }
+        // Sizes sum to n.
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), p.len());
+    }
+
+    /// Gaussian affinity keeps the adjacency pattern, symmetry, and (0,1]
+    /// weights.
+    #[test]
+    fn affinity_structure((adj, feats) in arb_graph()) {
+        let a = gaussian_affinity(&adj, &feats).unwrap();
+        prop_assert_eq!(a.nnz(), adj.nnz(), "pattern must be preserved");
+        prop_assert!(a.is_symmetric(1e-12));
+        for (i, j, w) in a.iter() {
+            prop_assert!(w > 0.0 && w <= 1.0);
+            prop_assert!(adj.get(i, j) != 0.0);
+        }
+    }
+
+    /// The condensed partition-connectivity matrix is symmetric, has zero
+    /// diagonal, and links exactly the spatially adjacent partition pairs.
+    #[test]
+    fn connectivity_matrix_structure((adj, _) in arb_graph(), seed in proptest::collection::vec(0usize..4, 24)) {
+        let labels: Vec<usize> = (0..adj.dim()).map(|i| seed[i]).collect();
+        let p = Partition::from_labels(&labels);
+        let conn = partition_connectivity(&adj, &p.groups()).unwrap();
+        prop_assert_eq!(conn.dim(), p.k());
+        prop_assert!(conn.is_symmetric(1e-12));
+        for i in 0..p.k() {
+            prop_assert_eq!(conn.get(i, i), 0.0);
+        }
+        // Non-zero iff some road link crosses the pair.
+        for gi in 0..p.k() {
+            for gj in (gi + 1)..p.k() {
+                let crossing = adj.iter().any(|(u, v, _)| {
+                    (p.label(u) == gi && p.label(v) == gj)
+                        || (p.label(u) == gj && p.label(v) == gi)
+                });
+                prop_assert_eq!(conn.get(gi, gj) > 0.0, crossing);
+            }
+        }
+    }
+
+    /// Greedy merging never merges past k and never splits.
+    #[test]
+    fn greedy_merge_bounds((adj, _) in arb_graph(), seed in proptest::collection::vec(0usize..5, 24), k in 1usize..4) {
+        let labels: Vec<usize> = (0..adj.dim()).map(|i| seed[i]).collect();
+        let p = Partition::from_labels(&labels);
+        let conn = partition_connectivity(&adj, &p.groups()).unwrap();
+        let meta = greedy_merge(&conn, k).unwrap();
+        prop_assert!(meta.k() >= k.min(p.k()));
+        prop_assert!(meta.k() <= p.k());
+        prop_assert_eq!(meta.len(), p.k());
+    }
+}

@@ -1,0 +1,61 @@
+//! Partition-level spatial adjacency.
+
+use roadpart_linalg::CsrMatrix;
+use std::collections::HashSet;
+
+/// The set of unordered partition pairs `(i, j)`, `i < j`, connected by at
+/// least one graph link, plus per-partition neighbor lists.
+#[derive(Debug, Clone)]
+pub struct PartitionAdjacency {
+    /// Unordered adjacent pairs, each with `i < j`.
+    pub pairs: Vec<(usize, usize)>,
+    /// Neighboring partitions per partition.
+    pub neighbors: Vec<Vec<usize>>,
+}
+
+/// Computes which partitions are spatially adjacent under `labels`
+/// (`labels[v]` = partition of node `v`, dense in `0..k`).
+pub fn partition_adjacency(adj: &CsrMatrix, labels: &[usize], k: usize) -> PartitionAdjacency {
+    let mut set: HashSet<(usize, usize)> = HashSet::new();
+    for (u, v, _) in adj.iter() {
+        let (a, b) = (labels[u], labels[v]);
+        if a != b {
+            set.insert((a.min(b), a.max(b)));
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = set.into_iter().collect();
+    pairs.sort_unstable();
+    let mut neighbors = vec![Vec::new(); k];
+    for &(a, b) in &pairs {
+        neighbors[a].push(b);
+        neighbors[b].push(a);
+    }
+    PartitionAdjacency { pairs, neighbors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_partitions_adjacent_in_order() {
+        // Path 0-1-2-3 with labels [0,0,1,2]: pairs (0,1), (1,2).
+        let adj = CsrMatrix::from_undirected_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let pa = partition_adjacency(&adj, &[0, 0, 1, 2], 3);
+        assert_eq!(pa.pairs, vec![(0, 1), (1, 2)]);
+        assert_eq!(pa.neighbors[0], vec![1]);
+        assert_eq!(pa.neighbors[1], vec![0, 2]);
+    }
+
+    #[test]
+    fn no_cross_links_no_pairs() {
+        let adj = CsrMatrix::from_undirected_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let pa = partition_adjacency(&adj, &[0, 0, 1, 1], 2);
+        assert!(pa.pairs.is_empty());
+        assert!(pa.neighbors[0].is_empty());
+    }
+}

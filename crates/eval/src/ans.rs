@@ -1,0 +1,207 @@
+//! The average NcutSilhouette (ANS) measure.
+//!
+//! Defined in Ji & Geroliminis \[5\] specifically for road-network partition
+//! evaluation and used by the paper both as its overall quality score and as
+//! the criterion selecting the optimal number of partitions (the k at the
+//! ANS minimum). We reconstruct it as a silhouette over *nodes* (silhouettes
+//! average over points, which keeps the measure from rewarding degenerate
+//! outlier-carving — a singleton partition has zero internal distance but
+//! negligible node weight):
+//!
+//! `ANS(P) = (1/|V|) Σ_v a(v) / b(v)`
+//!
+//! where `a(v)` is the mean absolute density difference between `v` and the
+//! other members of its partition, and `b(v)` the mean absolute difference
+//! between `v` and the nodes of partitions spatially adjacent to `v`'s.
+//! **Lower is better.** See DESIGN.md "Substitutions" for the
+//! reconstruction rationale.
+
+use crate::adjacency::PartitionAdjacency;
+
+/// Floor on the inter distance (caps the ratio for adjacent partitions with
+/// indistinguishable densities instead of dividing by zero).
+const MIN_INTER: f64 = 1e-12;
+
+/// Computes the node-averaged NcutSilhouette.
+///
+/// Nodes in singleton partitions contribute `0` (no internal
+/// heterogeneity); nodes whose partition has no spatial neighbour
+/// contribute `1` if their partition is internally heterogeneous, else `0`.
+pub fn ans(groups: &[Vec<f64>], adjacency: &PartitionAdjacency) -> f64 {
+    let n: usize = groups.iter().map(Vec::len).sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (i, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        // Sorted own-group values with prefix sums for O(log) per-node
+        // mean absolute difference.
+        let own = SortedPrefix::new(group);
+        // Sorted union of all spatially adjacent partitions' values.
+        let neigh_values: Vec<f64> = adjacency.neighbors[i]
+            .iter()
+            .flat_map(|&j| groups[j].iter().copied())
+            .collect();
+        let neigh = if neigh_values.is_empty() {
+            None
+        } else {
+            Some(SortedPrefix::new(&neigh_values))
+        };
+        for &v in group {
+            // a(v): mean |v - u| over the other members (0 for singletons).
+            let a = if group.len() >= 2 {
+                own.sum_abs_diff(v) / (group.len() - 1) as f64
+            } else {
+                0.0
+            };
+            match &neigh {
+                Some(nb) => {
+                    let b = nb.sum_abs_diff(v) / neigh_values.len() as f64;
+                    total += a / b.max(MIN_INTER);
+                }
+                None => {
+                    total += if a > 0.0 { 1.0 } else { 0.0 };
+                }
+            }
+        }
+    }
+    total / n as f64
+}
+
+/// Sorted values plus prefix sums: `sum_abs_diff(x)` returns
+/// `Σ_u |x - u|` in `O(log n)`.
+struct SortedPrefix {
+    sorted: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl SortedPrefix {
+    fn new(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        prefix.push(0.0);
+        for &v in &sorted {
+            prefix.push(prefix.last().unwrap() + v);
+        }
+        Self { sorted, prefix }
+    }
+
+    /// `Σ_u |x - u|` over all stored values (including an exact copy of x,
+    /// which contributes 0).
+    fn sum_abs_diff(&self, x: f64) -> f64 {
+        let pos = self.sorted.partition_point(|&y| y <= x);
+        let total: f64 = *self.prefix.last().unwrap();
+        let below = x * pos as f64 - self.prefix[pos];
+        let above = (total - self.prefix[pos]) - x * (self.sorted.len() - pos) as f64;
+        below + above
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::partition_adjacency;
+    use crate::inter_intra::grouped_features;
+    use roadpart_linalg::CsrMatrix;
+
+    fn path6() -> CsrMatrix {
+        CsrMatrix::from_undirected_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_split_near_zero() {
+        let features = [1.0, 1.0, 1.0, 5.0, 5.0, 5.0];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let score = ans(
+            &grouped_features(&features, &labels, 2),
+            &partition_adjacency(&path6(), &labels, 2),
+        );
+        assert!(score < 1e-9, "perfect split: {score}");
+    }
+
+    #[test]
+    fn clean_beats_mixed() {
+        let features = [1.0, 1.1, 0.9, 5.0, 5.1, 4.9];
+        let clean = [0, 0, 0, 1, 1, 1];
+        let mixed = [0, 1, 0, 1, 0, 1];
+        let s_clean = ans(
+            &grouped_features(&features, &clean, 2),
+            &partition_adjacency(&path6(), &clean, 2),
+        );
+        let s_mixed = ans(
+            &grouped_features(&features, &mixed, 2),
+            &partition_adjacency(&path6(), &mixed, 2),
+        );
+        assert!(s_clean < s_mixed, "{s_clean} !< {s_mixed}");
+    }
+
+    #[test]
+    fn outlier_carving_not_rewarded() {
+        // Carving one extreme node into a singleton must not drive ANS to
+        // ~0 while the rest of the network stays badly mixed.
+        let features = [1.0, 5.0, 1.2, 4.8, 0.9, 99.0];
+        let carved = [0, 0, 0, 0, 0, 1]; // outlier alone, everything else mixed
+        let honest = [0, 1, 0, 1, 0, 2]; // density-consistent grouping
+        let s_carved = ans(
+            &grouped_features(&features, &carved, 2),
+            &partition_adjacency(&path6(), &carved, 2),
+        );
+        let s_honest = ans(
+            &grouped_features(&features, &honest, 3),
+            &partition_adjacency(&path6(), &honest, 3),
+        );
+        assert!(
+            s_honest < s_carved,
+            "honest {s_honest} should beat outlier carving {s_carved}"
+        );
+    }
+
+    #[test]
+    fn homogeneous_everything_capped() {
+        let features = [2.0; 6];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let score = ans(
+            &grouped_features(&features, &labels, 2),
+            &partition_adjacency(&path6(), &labels, 2),
+        );
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn isolated_heterogeneous_partition_penalized() {
+        let adj = CsrMatrix::from_undirected_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let labels = [0, 0, 1, 1];
+        let features = [0.0, 9.0, 5.0, 5.0];
+        let score = ans(
+            &grouped_features(&features, &labels, 2),
+            &partition_adjacency(&adj, &labels, 2),
+        );
+        // Partition 0 isolated and heterogeneous: both nodes contribute 1.
+        // Partition 1 isolated and uniform: both contribute 0. Mean = 0.5.
+        assert!((score - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_prefix_matches_naive() {
+        let values = [3.0, -1.0, 2.0, 2.0, 7.5];
+        let sp = SortedPrefix::new(&values);
+        for x in [-2.0, 0.0, 2.0, 10.0] {
+            let naive: f64 = values.iter().map(|v| (x - v).abs()).sum();
+            assert!((sp.sum_abs_diff(x) - naive).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Graph-cut objective values (Definitions 3–4, 10–11 and Eq. 5).
+//!
+//! These evaluate a partitioning against the *weighted* graph the cut
+//! optimized: cut/association sums, the α-Cut objective with the paper's
+//! data-driven `α_i = W(P_i, V)/W(V, V)`, and the normalized-cut value.
+
+use roadpart_linalg::CsrMatrix;
+
+/// Per-partition weight sums extracted in one pass over the matrix.
+#[derive(Debug, Clone)]
+pub struct PartitionWeights {
+    /// `W(P_i, P_i)` — internal association (both link directions counted,
+    /// i.e. 2× the undirected internal weight, matching `Σ_{p,q} A(p,q)`).
+    pub association: Vec<f64>,
+    /// `W(P_i, ~P_i)` — cut to all other partitions.
+    pub cut: Vec<f64>,
+    /// Partition sizes `|P_i|`.
+    pub sizes: Vec<usize>,
+    /// `W(V, V)` — total weight `1ᵀ A 1`.
+    pub total: f64,
+}
+
+impl PartitionWeights {
+    /// Computes all sums for `labels` (dense in `0..k`).
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != adj.dim()` (internal-logic error).
+    pub fn compute(adj: &CsrMatrix, labels: &[usize], k: usize) -> Self {
+        assert_eq!(labels.len(), adj.dim(), "label/graph size mismatch");
+        let mut association = vec![0.0; k];
+        let mut cut = vec![0.0; k];
+        let mut sizes = vec![0usize; k];
+        for &l in labels {
+            sizes[l] += 1;
+        }
+        let mut total = 0.0;
+        for (u, v, w) in adj.iter() {
+            total += w;
+            if labels[u] == labels[v] {
+                association[labels[u]] += w;
+            } else {
+                cut[labels[u]] += w;
+            }
+        }
+        Self {
+            association,
+            cut,
+            sizes,
+            total,
+        }
+    }
+
+    /// `W(P_i, V) = W(P_i, P_i) + W(P_i, ~P_i)`.
+    pub fn volume(&self, i: usize) -> f64 {
+        self.association[i] + self.cut[i]
+    }
+
+    /// The paper's data-driven balance factor `α_i = W(P_i, V)/W(V, V)`.
+    pub fn alpha(&self, i: usize) -> f64 {
+        if self.total > 0.0 {
+            self.volume(i) / self.total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The α-Cut objective (Eq. 5) with the data-driven `α` vector:
+/// `Σ_i ( α_i W(P_i,~P_i)/|P_i| − (1−α_i) W(P_i,P_i)/|P_i| )`.
+/// **Lower is better** (it is negative for good partitionings).
+pub fn alpha_cut_value(adj: &CsrMatrix, labels: &[usize], k: usize) -> f64 {
+    let w = PartitionWeights::compute(adj, labels, k);
+    (0..k)
+        .filter(|&i| w.sizes[i] > 0)
+        .map(|i| {
+            let a = w.alpha(i);
+            let n = w.sizes[i] as f64;
+            a * w.cut[i] / n - (1.0 - a) * w.association[i] / n
+        })
+        .sum()
+}
+
+/// The normalized-cut value `Σ_i W(P_i, ~P_i) / W(P_i, V)`;
+/// partitions with zero volume contribute zero. **Lower is better.**
+pub fn ncut_value(adj: &CsrMatrix, labels: &[usize], k: usize) -> f64 {
+    let w = PartitionWeights::compute(adj, labels, k);
+    (0..k)
+        .map(|i| {
+            let vol = w.volume(i);
+            if vol > 0.0 {
+                w.cut[i] / vol
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Total cost of partitioning (Definition 3): sum of affinities across
+/// partition boundaries, counting each unordered pair once.
+pub fn partition_cost(adj: &CsrMatrix, labels: &[usize], k: usize) -> f64 {
+    let w = PartitionWeights::compute(adj, labels, k);
+    w.cut.iter().sum::<f64>() / 2.0
+}
+
+/// Total partition volume (Definition 4): sum of within-partition
+/// affinities, counting each unordered pair once.
+pub fn partition_volume(adj: &CsrMatrix, labels: &[usize], k: usize) -> f64 {
+    let w = PartitionWeights::compute(adj, labels, k);
+    w.association.iter().sum::<f64>() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles bridged by one 0.5 link.
+    fn graph() -> CsrMatrix {
+        CsrMatrix::from_undirected_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (3, 5, 1.0),
+                (2, 3, 0.5),
+            ],
+        )
+        .unwrap()
+    }
+
+    const GOOD: [usize; 6] = [0, 0, 0, 1, 1, 1];
+    const BAD: [usize; 6] = [0, 1, 0, 1, 0, 1];
+
+    #[test]
+    fn weights_hand_computed() {
+        let w = PartitionWeights::compute(&graph(), &GOOD, 2);
+        // Each triangle: 3 undirected unit links -> association 6 per side.
+        assert_eq!(w.association, vec![6.0, 6.0]);
+        // Bridge 0.5 counted from each side once.
+        assert_eq!(w.cut, vec![0.5, 0.5]);
+        assert_eq!(w.sizes, vec![3, 3]);
+        assert!((w.total - 13.0).abs() < 1e-12); // 2*(6*1 + 0.5)
+        assert!((w.volume(0) - 6.5).abs() < 1e-12);
+        assert!((w.alpha(0) - 6.5 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objectives_prefer_the_planted_cut() {
+        let g = graph();
+        assert!(alpha_cut_value(&g, &GOOD, 2) < alpha_cut_value(&g, &BAD, 2));
+        assert!(ncut_value(&g, &GOOD, 2) < ncut_value(&g, &BAD, 2));
+    }
+
+    #[test]
+    fn cost_and_volume_partition_total() {
+        let g = graph();
+        let cost = partition_cost(&g, &GOOD, 2);
+        let vol = partition_volume(&g, &GOOD, 2);
+        assert!((cost - 0.5).abs() < 1e-12);
+        assert!((vol - 6.0).abs() < 1e-12);
+        // cost + volume = total undirected weight.
+        assert!((cost + vol - g.total() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_partition_edge_cases() {
+        let g = graph();
+        let labels = [0usize; 6];
+        assert_eq!(partition_cost(&g, &labels, 1), 0.0);
+        assert_eq!(ncut_value(&g, &labels, 1), 0.0);
+        // With one partition alpha_1 = 1, so both terms vanish: the trivial
+        // partitioning is never "better" than a genuine balanced cut.
+        assert_eq!(alpha_cut_value(&g, &labels, 1), 0.0);
+        assert!(alpha_cut_value(&g, &GOOD, 2) < 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_all_zero() {
+        let g = CsrMatrix::from_triplets(3, &[]).unwrap();
+        let labels = [0, 1, 2];
+        assert_eq!(alpha_cut_value(&g, &labels, 3), 0.0);
+        assert_eq!(ncut_value(&g, &labels, 3), 0.0);
+    }
+}

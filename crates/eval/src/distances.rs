@@ -1,0 +1,129 @@
+//! Efficient mean-absolute-difference kernels.
+//!
+//! All four paper metrics are built on average absolute density differences
+//! between node sets. Naive all-pairs evaluation is quadratic; sorting plus
+//! prefix sums brings every kernel to `O(n log n)`.
+
+/// Mean `|x_i - x_j|` over all unordered pairs within `values`;
+/// `0.0` for fewer than two values.
+pub fn mean_abs_pairwise(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // For sorted x: sum_{i<j} (x_j - x_i) = sum_j x_j * j - prefix_j.
+    let mut prefix = 0.0;
+    let mut total = 0.0;
+    for (j, &x) in sorted.iter().enumerate() {
+        total += x * j as f64 - prefix;
+        prefix += x;
+    }
+    total / (n as f64 * (n - 1) as f64 / 2.0)
+}
+
+/// Mean `|x - y|` over all cross pairs `(x, y) ∈ a × b`;
+/// `0.0` when either set is empty.
+pub fn mean_abs_cross(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Sort b once; for each x in a, sum |x - y| over sorted b via binary
+    // search + prefix sums.
+    let mut sb = b.to_vec();
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite values"));
+    let mut prefix = Vec::with_capacity(sb.len() + 1);
+    prefix.push(0.0);
+    for &y in &sb {
+        prefix.push(prefix.last().unwrap() + y);
+    }
+    let total_b: f64 = *prefix.last().unwrap();
+    let mut total = 0.0;
+    for &x in a {
+        let pos = sb.partition_point(|&y| y <= x);
+        // y <= x contribute (x - y); y > x contribute (y - x).
+        let below = x * pos as f64 - prefix[pos];
+        let above = (total_b - prefix[pos]) - x * (sb.len() - pos) as f64;
+        total += below + above;
+    }
+    total / (a.len() as f64 * b.len() as f64)
+}
+
+/// Mean absolute deviation from the mean; `0.0` for an empty slice.
+pub fn mean_abs_deviation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mu = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mu).abs()).sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_pairwise(values: &[f64]) -> f64 {
+        let n = values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += (values[i] - values[j]).abs();
+            }
+        }
+        sum / (n as f64 * (n - 1) as f64 / 2.0)
+    }
+
+    fn naive_cross(a: &[f64], b: &[f64]) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for &x in a {
+            for &y in b {
+                sum += (x - y).abs();
+            }
+        }
+        sum / (a.len() * b.len()) as f64
+    }
+
+    #[test]
+    fn pairwise_matches_naive() {
+        let values: Vec<f64> = (0..50).map(|i| ((i * 17) % 23) as f64 * 0.3 - 2.0).collect();
+        assert!((mean_abs_pairwise(&values) - naive_pairwise(&values)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cross_matches_naive() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).cos() * 2.0).collect();
+        assert!((mean_abs_cross(&a, &b) - naive_cross(&a, &b)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean_abs_pairwise(&[]), 0.0);
+        assert_eq!(mean_abs_pairwise(&[5.0]), 0.0);
+        assert_eq!(mean_abs_cross(&[], &[1.0]), 0.0);
+        assert_eq!(mean_abs_deviation(&[]), 0.0);
+    }
+
+    #[test]
+    fn simple_hand_computed() {
+        // pairs: |1-3| = 2, |1-5| = 4, |3-5| = 2 -> mean 8/3.
+        assert!((mean_abs_pairwise(&[1.0, 3.0, 5.0]) - 8.0 / 3.0).abs() < 1e-12);
+        // cross {0} x {1, 3}: (1 + 3)/2 = 2.
+        assert!((mean_abs_cross(&[0.0], &[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        // MAD of {0, 4}: mean 2, deviations 2, 2 -> 2.
+        assert!((mean_abs_deviation(&[0.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_values_zero_distance() {
+        assert_eq!(mean_abs_pairwise(&[2.0; 10]), 0.0);
+        assert_eq!(mean_abs_cross(&[2.0; 5], &[2.0; 7]), 0.0);
+    }
+}

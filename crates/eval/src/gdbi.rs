@@ -1,0 +1,123 @@
+//! The graph Davies–Bouldin index (GDBI, paper §6.2 footnote 5).
+//!
+//! Davies–Bouldin restricted to *spatially adjacent* partitions:
+//! `GDBI(P) = (1/k) Σ_i max_{j ∈ neigh(i)} (S(P_i) + S(P_j)) / S(P_i, P_j)`
+//! with `S(P_i)` the mean absolute deviation of densities from the
+//! partition mean and `S(P_i, P_j) = |μ_i − μ_j|`. **Lower is better.**
+
+use crate::adjacency::PartitionAdjacency;
+use crate::distances::mean_abs_deviation;
+
+/// Floor on the centroid separation, preventing division blow-ups when two
+/// adjacent partitions share a mean (a maximally bad configuration — the
+/// ratio is capped rather than infinite).
+const MIN_SEPARATION: f64 = 1e-12;
+
+/// Computes GDBI. Partitions without neighbors contribute zero; an empty
+/// partition set scores zero.
+pub fn gdbi(groups: &[Vec<f64>], adjacency: &PartitionAdjacency) -> f64 {
+    let k = groups.len();
+    if k == 0 {
+        return 0.0;
+    }
+    let means: Vec<f64> = groups
+        .iter()
+        .map(|g| {
+            if g.is_empty() {
+                0.0
+            } else {
+                g.iter().sum::<f64>() / g.len() as f64
+            }
+        })
+        .collect();
+    let scatters: Vec<f64> = groups.iter().map(|g| mean_abs_deviation(g)).collect();
+    let mut total = 0.0;
+    for i in 0..k {
+        let worst = adjacency.neighbors[i]
+            .iter()
+            .map(|&j| {
+                let sep = (means[i] - means[j]).abs().max(MIN_SEPARATION);
+                (scatters[i] + scatters[j]) / sep
+            })
+            .fold(0.0f64, f64::max);
+        total += worst;
+    }
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::partition_adjacency;
+    use crate::inter_intra::grouped_features;
+    use roadpart_linalg::CsrMatrix;
+
+    fn path6() -> CsrMatrix {
+        CsrMatrix::from_undirected_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_split_beats_mixed_split() {
+        let features = [1.0, 1.1, 0.9, 5.0, 5.1, 4.9];
+        let adj = path6();
+        let clean_labels = [0, 0, 0, 1, 1, 1];
+        let mixed_labels = [0, 1, 0, 1, 0, 1];
+        let clean = gdbi(
+            &grouped_features(&features, &clean_labels, 2),
+            &partition_adjacency(&adj, &clean_labels, 2),
+        );
+        let mixed = gdbi(
+            &grouped_features(&features, &mixed_labels, 2),
+            &partition_adjacency(&adj, &mixed_labels, 2),
+        );
+        assert!(
+            clean < mixed,
+            "clean {clean} should beat (be lower than) mixed {mixed}"
+        );
+        assert!(clean < 0.1);
+    }
+
+    #[test]
+    fn coincident_means_capped_not_infinite() {
+        // Both partitions have mean 2 but non-zero scatter.
+        let features = [1.0, 3.0, 2.0, 3.0, 1.0, 2.0];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let g = gdbi(
+            &grouped_features(&features, &labels, 2),
+            &partition_adjacency(&path6(), &labels, 2),
+        );
+        assert!(g.is_finite());
+        assert!(g > 1e6, "coincident means must score terribly: {g}");
+    }
+
+    #[test]
+    fn isolated_partition_contributes_zero() {
+        let adj = CsrMatrix::from_undirected_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let labels = [0, 0, 1, 1];
+        let features = [1.0, 2.0, 5.0, 6.0];
+        let g = gdbi(
+            &grouped_features(&features, &labels, 2),
+            &partition_adjacency(&adj, &labels, 2),
+        );
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn empty_partition_set() {
+        let pa = PartitionAdjacency {
+            pairs: vec![],
+            neighbors: vec![],
+        };
+        assert_eq!(gdbi(&[], &pa), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The `inter` and `intra` metrics (paper §6.2, footnotes 3–4).
+//!
+//! * `inter(P)` — average, over spatially adjacent partition pairs, of the
+//!   mean absolute density difference between the two partitions' nodes.
+//!   Quantifies C.3 (inter-partition heterogeneity): **higher is better**.
+//! * `intra(P)` — average, over partitions, of the mean absolute pairwise
+//!   density difference within the partition. Quantifies C.4
+//!   (intra-partition homogeneity): **lower is better**.
+
+use crate::adjacency::PartitionAdjacency;
+use crate::distances::{mean_abs_cross, mean_abs_pairwise};
+
+/// Groups feature values by partition label.
+pub(crate) fn grouped_features(features: &[f64], labels: &[usize], k: usize) -> Vec<Vec<f64>> {
+    let mut groups = vec![Vec::new(); k];
+    for (&f, &l) in features.iter().zip(labels) {
+        groups[l].push(f);
+    }
+    groups
+}
+
+/// `inter(P)`: mean inter-partition distance over adjacent pairs;
+/// `0.0` when no two partitions are adjacent.
+pub fn inter_metric(groups: &[Vec<f64>], adjacency: &PartitionAdjacency) -> f64 {
+    if adjacency.pairs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = adjacency
+        .pairs
+        .iter()
+        .map(|&(a, b)| mean_abs_cross(&groups[a], &groups[b]))
+        .sum();
+    total / adjacency.pairs.len() as f64
+}
+
+/// `intra(P)`: mean intra-partition pairwise distance over partitions;
+/// singleton partitions contribute `0.0`.
+pub fn intra_metric(groups: &[Vec<f64>]) -> f64 {
+    if groups.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = groups.iter().map(|g| mean_abs_pairwise(g)).sum();
+    total / groups.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::partition_adjacency;
+    use roadpart_linalg::CsrMatrix;
+
+    /// Path of 6 nodes, densities two tight groups, labels split 3/3.
+    fn setup() -> (Vec<Vec<f64>>, PartitionAdjacency) {
+        let adj = CsrMatrix::from_undirected_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+            ],
+        )
+        .unwrap();
+        let labels = [0, 0, 0, 1, 1, 1];
+        let features = [1.0, 1.1, 0.9, 5.0, 5.1, 4.9];
+        let pa = partition_adjacency(&adj, &labels, 2);
+        (grouped_features(&features, &labels, 2), pa)
+    }
+
+    #[test]
+    fn good_partitioning_scores_well() {
+        let (groups, pa) = setup();
+        let inter = inter_metric(&groups, &pa);
+        let intra = intra_metric(&groups);
+        assert!(inter > 3.5, "inter = {inter}");
+        assert!(intra < 0.2, "intra = {intra}");
+    }
+
+    #[test]
+    fn mixed_partitioning_scores_poorly() {
+        // Same data, alternating labels: intra large, inter small.
+        let adj = CsrMatrix::from_undirected_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+            ],
+        )
+        .unwrap();
+        let labels = [0, 1, 0, 1, 0, 1];
+        let features = [1.0, 1.1, 0.9, 5.0, 5.1, 4.9];
+        let pa = partition_adjacency(&adj, &labels, 2);
+        let groups = grouped_features(&features, &labels, 2);
+        let inter = inter_metric(&groups, &pa);
+        let intra = intra_metric(&groups);
+        assert!(intra > 2.0, "intra = {intra}");
+        assert!(inter < 3.0, "inter = {inter}");
+    }
+
+    #[test]
+    fn no_adjacency_gives_zero_inter() {
+        let pa = PartitionAdjacency {
+            pairs: vec![],
+            neighbors: vec![vec![], vec![]],
+        };
+        let groups = vec![vec![1.0], vec![2.0]];
+        assert_eq!(inter_metric(&groups, &pa), 0.0);
+    }
+
+    #[test]
+    fn singletons_give_zero_intra() {
+        let groups = vec![vec![1.0], vec![9.0]];
+        assert_eq!(intra_metric(&groups), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # roadpart-eval
+//!
+//! Partition-quality metrics for congestion-based road-network partitioning
+//! (paper §6.2), all built on average absolute density differences:
+//!
+//! * [`inter_intra`] — the `inter` (C.3, heterogeneity; higher better) and
+//!   `intra` (C.4, homogeneity; lower better) metrics;
+//! * [`mod@gdbi`] — the graph Davies–Bouldin index (adjacency-restricted DBI;
+//!   lower better);
+//! * [`mod@ans`] — the average NcutSilhouette of Ji & Geroliminis \[5\] (lower
+//!   better; its minimum over k selects the optimal partition count);
+//! * [`cut_metrics`] — cut/association sums, the α-Cut objective (Eq. 5)
+//!   and the normalized-cut value;
+//! * [`mod@modularity`] — Newman modularity, used to verify the paper's
+//!   α-Cut ≙ −modularity equivalence claim;
+//! * [`similarity`] — Rand index and normalized mutual information for
+//!   tracking partition drift across time steps;
+//! * [`report::QualityReport`] — everything in one call.
+
+pub mod adjacency;
+pub mod ans;
+pub mod cut_metrics;
+pub mod distances;
+pub mod gdbi;
+pub mod inter_intra;
+pub mod modularity;
+pub mod report;
+pub mod similarity;
+
+pub use adjacency::{partition_adjacency, PartitionAdjacency};
+pub use ans::ans;
+pub use cut_metrics::{
+    alpha_cut_value, ncut_value, partition_cost, partition_volume, PartitionWeights,
+};
+pub use gdbi::gdbi;
+pub use inter_intra::{inter_metric, intra_metric};
+pub use modularity::modularity;
+pub use similarity::{nmi, rand_index};
+pub use report::QualityReport;

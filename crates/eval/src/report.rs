@@ -1,0 +1,99 @@
+//! One-call quality report bundling every paper metric.
+
+use crate::adjacency::partition_adjacency;
+use crate::ans::ans;
+use crate::cut_metrics::{alpha_cut_value, ncut_value};
+use crate::gdbi::gdbi;
+use crate::inter_intra::{grouped_features, inter_metric, intra_metric};
+use crate::modularity::modularity;
+use roadpart_linalg::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// All partition-quality metrics for one partitioning — a row of Figure 4
+/// or Figure 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Number of partitions.
+    pub k: usize,
+    /// Inter-partition heterogeneity (higher better).
+    pub inter: f64,
+    /// Intra-partition homogeneity (lower better).
+    pub intra: f64,
+    /// Graph Davies–Bouldin index (lower better).
+    pub gdbi: f64,
+    /// Average NcutSilhouette (lower better).
+    pub ans: f64,
+    /// α-Cut objective value, Eq. 5 (lower better).
+    pub alpha_cut: f64,
+    /// Normalized-cut value (lower better).
+    pub ncut: f64,
+    /// Newman modularity (higher better).
+    pub modularity: f64,
+}
+
+impl QualityReport {
+    /// Evaluates a partitioning of a graph whose nodes carry `features`
+    /// (traffic densities). `adj` supplies both the spatial adjacency
+    /// pattern (for `inter`/`gdbi`/`ans` neighborhoods) and the weights
+    /// (for the cut objectives) — pass the affinity-weighted graph the cut
+    /// optimized, or the binary adjacency for purely spatial evaluation.
+    ///
+    /// # Panics
+    /// Panics when `labels`/`features` length disagrees with the graph
+    /// order (internal-logic error, not data).
+    pub fn compute(adj: &CsrMatrix, features: &[f64], labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), adj.dim(), "label/graph size mismatch");
+        assert_eq!(features.len(), adj.dim(), "feature/graph size mismatch");
+        let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let pa = partition_adjacency(adj, labels, k);
+        let groups = grouped_features(features, labels, k);
+        Self {
+            k,
+            inter: inter_metric(&groups, &pa),
+            intra: intra_metric(&groups),
+            gdbi: gdbi(&groups, &pa),
+            ans: ans(&groups, &pa),
+            alpha_cut: alpha_cut_value(adj, labels, k),
+            ncut: ncut_value(adj, labels, k),
+            modularity: modularity(adj, labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_report_orders_good_above_bad() {
+        let adj = CsrMatrix::from_undirected_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+            ],
+        )
+        .unwrap();
+        let features = [1.0, 1.1, 0.9, 5.0, 5.1, 4.9];
+        let good = QualityReport::compute(&adj, &features, &[0, 0, 0, 1, 1, 1]);
+        let bad = QualityReport::compute(&adj, &features, &[0, 1, 1, 0, 0, 1]);
+        assert_eq!(good.k, 2);
+        assert!(good.intra < bad.intra);
+        assert!(good.gdbi < bad.gdbi);
+        assert!(good.ans < bad.ans);
+        assert!(good.ncut < bad.ncut);
+        assert!(good.modularity > bad.modularity);
+    }
+
+    #[test]
+    fn serializes() {
+        let adj = CsrMatrix::from_undirected_edges(2, &[(0, 1, 1.0)]).unwrap();
+        let r = QualityReport::compute(&adj, &[0.1, 0.2], &[0, 1]);
+        // serde round-trip through the derived impls.
+        let as_debug = format!("{r:?}");
+        assert!(as_debug.contains("QualityReport"));
+    }
+}

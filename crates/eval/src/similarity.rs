@@ -1,0 +1,130 @@
+//! Partition-similarity measures.
+//!
+//! The paper's motivating use case is *repeated* partitioning "at regular
+//! intervals of time": quantifying how much the partition structure drifts
+//! between time steps needs partition-comparison measures. Standard choices:
+//! the Rand index and normalized mutual information.
+
+/// Contingency table between two labelings over the same node set.
+fn contingency(a: &[usize], b: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same nodes");
+    let ka = a.iter().copied().max().map_or(0, |m| m + 1);
+    let kb = b.iter().copied().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0.0f64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1.0;
+    }
+    let row: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col: Vec<f64> = (0..kb).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    (table, row, col)
+}
+
+/// The Rand index: fraction of node pairs on which the two partitionings
+/// agree (same-same or different-different). `1.0` = identical partitions;
+/// `1.0` for fewer than two nodes by convention.
+///
+/// # Panics
+/// Panics if the labelings differ in length (an internal-logic error).
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    let n = a.len() as f64;
+    if a.len() < 2 {
+        return 1.0;
+    }
+    let (table, row, col) = contingency(a, b);
+    let pairs = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_cells: f64 = table.iter().flatten().map(|&x| pairs(x)).sum();
+    let sum_rows: f64 = row.iter().map(|&x| pairs(x)).sum();
+    let sum_cols: f64 = col.iter().map(|&x| pairs(x)).sum();
+    let total = pairs(n);
+    // agreements = same-same pairs + different-different pairs.
+    (total + 2.0 * sum_cells - sum_rows - sum_cols) / total
+}
+
+/// Normalized mutual information `NMI = 2 I(A;B) / (H(A) + H(B))`;
+/// `1.0` = identical partitions, `0.0` = independent. When both labelings
+/// are trivial (single partition each) NMI is `1.0` by convention.
+///
+/// # Panics
+/// Panics if the labelings differ in length (an internal-logic error).
+pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 1.0;
+    }
+    let (table, row, col) = contingency(a, b);
+    let entropy = |margin: &[f64]| -> f64 {
+        margin
+            .iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| {
+                let p = x / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = entropy(&row);
+    let hb = entropy(&col);
+    if ha == 0.0 && hb == 0.0 {
+        return 1.0; // both trivial
+    }
+    let mut mi = 0.0;
+    for (i, r) in table.iter().enumerate() {
+        for (j, &cell) in r.iter().enumerate() {
+            if cell > 0.0 {
+                let p = cell / n;
+                mi += p * (p * n * n / (row[i] * col[j])).ln();
+            }
+        }
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_permutation_is_invisible() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [2, 2, 0, 0, 1, 1];
+        assert!((rand_index(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreement_lowers_scores() {
+        let a = [0, 0, 0, 1, 1, 1];
+        let b = [0, 0, 1, 1, 1, 1]; // one node moved
+        let c = [0, 1, 0, 1, 0, 1]; // maximally shuffled
+        assert!(rand_index(&a, &b) < 1.0);
+        assert!(rand_index(&a, &b) > rand_index(&a, &c));
+        assert!(nmi(&a, &b) < 1.0);
+        assert!(nmi(&a, &b) > nmi(&a, &c));
+    }
+
+    #[test]
+    fn hand_computed_rand_index() {
+        // a = {0,1},{2}; b = {0},{1,2}: pairs (01),(02),(12):
+        // a: same,diff,diff; b: diff,diff,same -> agree only on (02): 1/3.
+        let a = [0, 0, 1];
+        let b = [0, 1, 1];
+        assert!((rand_index(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(rand_index(&[0], &[0]), 1.0);
+        assert_eq!(nmi(&[], &[]), 1.0);
+        // One trivial, one not: NMI 0 (no information shared).
+        let a = [0, 0, 0, 0];
+        let b = [0, 1, 0, 1];
+        assert!(nmi(&a, &b) < 1e-12);
+    }
+}

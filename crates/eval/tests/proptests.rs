@@ -1,0 +1,86 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use roadpart_eval::{
+    distances::{mean_abs_cross, mean_abs_pairwise},
+    nmi, partition_cost, partition_volume, rand_index, QualityReport,
+};
+use roadpart_linalg::CsrMatrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fast distance kernels agree with naive quadratic evaluation.
+    #[test]
+    fn distance_kernels_match_naive(
+        a in proptest::collection::vec(-10.0f64..10.0, 0..40),
+        b in proptest::collection::vec(-10.0f64..10.0, 0..40),
+    ) {
+        let naive_pair = {
+            let n = a.len();
+            if n < 2 { 0.0 } else {
+                let mut s = 0.0;
+                for i in 0..n { for j in (i + 1)..n { s += (a[i] - a[j]).abs(); } }
+                s / (n as f64 * (n - 1) as f64 / 2.0)
+            }
+        };
+        prop_assert!((mean_abs_pairwise(&a) - naive_pair).abs() < 1e-9);
+        let naive_cross = if a.is_empty() || b.is_empty() { 0.0 } else {
+            let mut s = 0.0;
+            for &x in &a { for &y in &b { s += (x - y).abs(); } }
+            s / (a.len() * b.len()) as f64
+        };
+        prop_assert!((mean_abs_cross(&a, &b) - naive_cross).abs() < 1e-9);
+    }
+
+    /// Partition-similarity measures: bounds, identity, and label-permutation
+    /// invariance.
+    #[test]
+    fn similarity_invariants(labels in proptest::collection::vec(0usize..4, 2..40), shift in 1usize..4) {
+        let permuted: Vec<usize> = labels.iter().map(|&l| (l + shift) % 4).collect();
+        prop_assert!((rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        prop_assert!((nmi(&labels, &labels) - 1.0).abs() < 1e-12);
+        prop_assert!((rand_index(&labels, &permuted) - 1.0).abs() < 1e-12);
+        prop_assert!((nmi(&labels, &permuted) - 1.0).abs() < 1e-12);
+        // Bounds against an arbitrary second labeling.
+        let other: Vec<usize> = labels.iter().rev().copied().collect();
+        let ri = rand_index(&labels, &other);
+        let mi = nmi(&labels, &other);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ri));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&mi));
+        // Symmetry.
+        prop_assert!((ri - rand_index(&other, &labels)).abs() < 1e-12);
+        prop_assert!((mi - nmi(&other, &labels)).abs() < 1e-12);
+    }
+
+    /// Cost + volume = total weight (Definitions 3-4) on arbitrary graphs,
+    /// and the full report stays finite.
+    #[test]
+    fn report_consistency(
+        n in 3usize..20,
+        chords in proptest::collection::vec((0usize..20, 0usize..20, 0.1f64..2.0), 0..25),
+        seed in proptest::collection::vec(0usize..3, 20),
+        feats in proptest::collection::vec(0.0f64..1.0, 20),
+    ) {
+        let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        for &(a, b, w) in &chords {
+            if a < n && b < n && a != b {
+                edges.push((a, b, w));
+            }
+        }
+        let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+        let labels: Vec<usize> = (0..n).map(|i| seed[i]).collect();
+        let dense = roadpart_cut::Partition::from_labels(&labels);
+        let k = dense.k();
+        let cost = partition_cost(&adj, dense.labels(), k);
+        let volume = partition_volume(&adj, dense.labels(), k);
+        let total = adj.total() / 2.0;
+        prop_assert!((cost + volume - total).abs() < 1e-9 * total.max(1.0));
+        let rep = QualityReport::compute(&adj, &feats[..n], dense.labels());
+        prop_assert!(rep.inter.is_finite() && rep.inter >= 0.0);
+        prop_assert!(rep.intra.is_finite() && rep.intra >= 0.0);
+        prop_assert!(rep.ans.is_finite() && rep.ans >= 0.0);
+        prop_assert!(rep.gdbi.is_finite() && rep.gdbi >= 0.0);
+        prop_assert!(rep.modularity.is_finite());
+    }
+}

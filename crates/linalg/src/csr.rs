@@ -1,0 +1,342 @@
+//! Compressed-sparse-row matrix.
+//!
+//! The road graph and supergraph adjacency matrices are stored in this
+//! format, as the paper prescribes ("stored in the form of its n x n binary
+//! adjacency matrix using sparse matrix representation", §2.1).
+
+use crate::error::{LinalgError, Result};
+
+/// A square sparse matrix in CSR layout.
+///
+/// Duplicate triplets passed to the constructors are summed; explicit zeros
+/// are dropped. Column indices within each row are sorted ascending, which
+/// the binary-search lookups in [`CsrMatrix::get`] rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds an `n x n` matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicates are summed and resulting zeros dropped.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] if any index is out of range or
+    /// any value is non-finite.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+        for &(i, j, v) in triplets {
+            if i >= n || j >= n {
+                return Err(LinalgError::InvalidInput(format!(
+                    "triplet index ({i},{j}) out of range for dimension {n}"
+                )));
+            }
+            if !v.is_finite() {
+                return Err(LinalgError::InvalidInput(format!(
+                    "non-finite value {v} at ({i},{j})"
+                )));
+            }
+        }
+        // Count per-row entries, then bucket-sort triplets into rows.
+        let mut counts = vec![0usize; n + 1];
+        for &(i, _, _) in triplets {
+            counts[i + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0usize; triplets.len()];
+        let mut vals = vec![0.0f64; triplets.len()];
+        let mut cursor = counts.clone();
+        for &(i, j, v) in triplets {
+            let p = cursor[i];
+            cols[p] = j;
+            vals[p] = v;
+            cursor[i] += 1;
+        }
+        // Sort each row by column, merging duplicates and dropping zeros.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for i in 0..n {
+            scratch.clear();
+            scratch.extend(
+                cols[counts[i]..counts[i + 1]]
+                    .iter()
+                    .copied()
+                    .zip(vals[counts[i]..counts[i + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut k = 0;
+            while k < scratch.len() {
+                let c = scratch[k].0;
+                let mut v = 0.0;
+                while k < scratch.len() && scratch[k].0 == c {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds a symmetric matrix from undirected weighted edges: for each
+    /// `(a, b, w)` both `(a,b)` and `(b,a)` are inserted. Self-loops `(a, a, w)`
+    /// are inserted once.
+    ///
+    /// # Errors
+    /// Same conditions as [`CsrMatrix::from_triplets`].
+    pub fn from_undirected_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self> {
+        let mut triplets = Vec::with_capacity(edges.len() * 2);
+        for &(a, b, w) in edges {
+            triplets.push((a, b, w));
+            if a != b {
+                triplets.push((b, a, w));
+            }
+        }
+        Self::from_triplets(n, &triplets)
+    }
+
+    /// The matrix dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of row `i` as parallel `(columns, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(i, j)`; `0.0` when the entry is not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                found: x.len(),
+                context: "CsrMatrix::matvec input",
+            });
+        }
+        if y.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                found: y.len(),
+                context: "CsrMatrix::matvec output",
+            });
+        }
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c];
+            }
+            *yi = acc;
+        }
+        Ok(())
+    }
+
+    /// Row sums — the weighted degree vector `d` of a graph adjacency matrix.
+    pub fn degrees(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
+    }
+
+    /// Sum of all stored values (`1ᵀ A 1`); for a symmetric adjacency matrix
+    /// this is twice the total edge weight.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// True if `|A_ij - A_ji| <= tol` for every stored entry.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if (v - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the principal submatrix on `keep` (rows and columns),
+    /// renumbering so that `keep[p]` becomes index `p`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] if `keep` contains an
+    /// out-of-range or duplicate index.
+    pub fn submatrix(&self, keep: &[usize]) -> Result<CsrMatrix> {
+        let mut remap = vec![usize::MAX; self.n];
+        for (new, &old) in keep.iter().enumerate() {
+            if old >= self.n {
+                return Err(LinalgError::InvalidInput(format!(
+                    "submatrix index {old} out of range for dimension {}",
+                    self.n
+                )));
+            }
+            if remap[old] != usize::MAX {
+                return Err(LinalgError::InvalidInput(format!(
+                    "duplicate submatrix index {old}"
+                )));
+            }
+            remap[old] = new;
+        }
+        let mut triplets = Vec::new();
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            let (cols, vals) = self.row(old_i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if remap[c] != usize::MAX {
+                    triplets.push((new_i, remap[c], v));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(keep.len(), &triplets)
+    }
+
+    /// Converts to a dense matrix (intended for small dimensions and tests).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut m = crate::dense::DenseMatrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Iterator over all stored `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&j, &v)| (i, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CsrMatrix {
+        // 0 - 1 - 2 path with unit weights.
+        CsrMatrix::from_undirected_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn triplets_dedup_and_sort() {
+        let m =
+            CsrMatrix::from_triplets(2, &[(0, 1, 1.0), (0, 1, 2.0), (0, 0, 5.0)]).unwrap();
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(0, 0), 5.0);
+        assert_eq!(m.nnz(), 2);
+        let (cols, _) = m.row(0);
+        assert_eq!(cols, &[0, 1]);
+    }
+
+    #[test]
+    fn zero_sum_entries_dropped() {
+        let m = CsrMatrix::from_triplets(2, &[(0, 1, 1.0), (0, 1, -1.0)]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_and_nan_rejected() {
+        assert!(CsrMatrix::from_triplets(2, &[(2, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(2, &[(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn undirected_is_symmetric() {
+        let m = path3();
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.degrees(), vec![1.0, 2.0, 1.0]);
+        assert_eq!(m.total(), 4.0);
+    }
+
+    #[test]
+    fn self_loop_inserted_once() {
+        let m = CsrMatrix::from_undirected_edges(2, &[(0, 0, 3.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = path3();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        m.matvec(&x, &mut y).unwrap();
+        // A = path adjacency: y = [x1, x0+x2, x1]
+        assert_eq!(y, [2.0, 4.0, 2.0]);
+        let mut yd = [0.0; 3];
+        m.to_dense().matvec(&x, &mut yd).unwrap();
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    fn submatrix_renumbers() {
+        let m = path3();
+        let s = m.submatrix(&[1, 2]).unwrap();
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.get(0, 1), 1.0); // old (1,2) edge
+        assert_eq!(s.get(1, 0), 1.0);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn submatrix_rejects_duplicates() {
+        assert!(path3().submatrix(&[0, 0]).is_err());
+        assert!(path3().submatrix(&[5]).is_err());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let m = path3();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries.len(), 4);
+        assert!(entries.contains(&(0, 1, 1.0)));
+        assert!(entries.contains(&(2, 1, 1.0)));
+    }
+}

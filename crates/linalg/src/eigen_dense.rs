@@ -1,0 +1,284 @@
+#![allow(clippy::needless_range_loop)] // EISPACK index style is clearest here
+//! Dense symmetric eigendecomposition via Householder tridiagonalization
+//! (`tred2`) followed by implicit-shift QL (`tql2`).
+//!
+//! This mirrors the "reduce to condensed form by orthogonal transformations,
+//! decompose, transform back" strategy of the high-performance solver the
+//! paper employed (Dongarra, Sorensen & Hammarling \[3\]), implemented here
+//! from scratch because sparse/dense eigensolver crates are immature.
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+use crate::tridiag::tql2;
+
+/// A full symmetric eigendecomposition `A = V diag(values) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` corresponds to `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+impl EigenDecomposition {
+    /// Copies eigenvector `j` (column of [`EigenDecomposition::vectors`]).
+    pub fn vector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(j)
+    }
+}
+
+/// Householder reduction of a symmetric matrix to tridiagonal form
+/// (EISPACK `tred2`, JAMA formulation).
+///
+/// `v` enters holding the symmetric matrix and exits holding the accumulated
+/// orthogonal transformation; `d` receives the diagonal and `e` the
+/// sub-diagonal in the convention expected by [`tql2`] (`e[i]` couples
+/// `d[i-1]` and `d[i]`, with `e\[0\] = 0`).
+fn tred2(v: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) {
+    let n = v.rows();
+    if n == 0 {
+        return;
+    }
+    for j in 0..n {
+        d[j] = v.get(n - 1, j);
+    }
+
+    // Householder reduction to tridiagonal form.
+    for i in (1..n).rev() {
+        let mut scale = 0.0f64;
+        let mut h = 0.0f64;
+        for item in d.iter().take(i) {
+            scale += item.abs();
+        }
+        if scale == 0.0 {
+            e[i] = d[i - 1];
+            for j in 0..i {
+                d[j] = v.get(i - 1, j);
+                v.set(i, j, 0.0);
+                v.set(j, i, 0.0);
+            }
+        } else {
+            for item in d.iter_mut().take(i) {
+                *item /= scale;
+                h += *item * *item;
+            }
+            let f = d[i - 1];
+            let mut g = h.sqrt();
+            if f > 0.0 {
+                g = -g;
+            }
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for item in e.iter_mut().take(i) {
+                *item = 0.0;
+            }
+
+            // Apply similarity transformation to remaining rows/columns.
+            for j in 0..i {
+                let f = d[j];
+                v.set(j, i, f);
+                let mut g = e[j] + v.get(j, j) * f;
+                for k in (j + 1)..i {
+                    g += v.get(k, j) * d[k];
+                    e[k] += v.get(k, j) * f;
+                }
+                e[j] = g;
+            }
+            let mut f = 0.0f64;
+            for j in 0..i {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..i {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..i {
+                let f = d[j];
+                let g = e[j];
+                for k in j..i {
+                    let val = v.get(k, j) - (f * e[k] + g * d[k]);
+                    v.set(k, j, val);
+                }
+                d[j] = v.get(i - 1, j);
+                v.set(i, j, 0.0);
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate transformations.
+    for i in 0..n - 1 {
+        v.set(n - 1, i, v.get(i, i));
+        v.set(i, i, 1.0);
+        let h = d[i + 1];
+        if h != 0.0 {
+            for k in 0..=i {
+                d[k] = v.get(k, i + 1) / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += v.get(k, i + 1) * v.get(k, j);
+                }
+                for k in 0..=i {
+                    let val = v.get(k, j) - g * d[k];
+                    v.set(k, j, val);
+                }
+            }
+        }
+        for k in 0..=i {
+            v.set(k, i + 1, 0.0);
+        }
+    }
+    for j in 0..n {
+        d[j] = v.get(n - 1, j);
+        v.set(n - 1, j, 0.0);
+    }
+    v.set(n - 1, n - 1, 1.0);
+    e[0] = 0.0;
+}
+
+/// Full eigendecomposition of a dense symmetric matrix.
+///
+/// Runs in `O(n^3)` time and `O(n^2)` space; intended for matrices up to a
+/// few thousand rows. Larger problems should go through the matrix-free
+/// [Lanczos solver](crate::lanczos).
+///
+/// # Errors
+/// Returns [`LinalgError::InvalidInput`] when `a` is not square, not
+/// symmetric (within `1e-8` relative to its magnitude) or contains
+/// non-finite entries, and [`LinalgError::NotConverged`] if the QL sweep
+/// fails (pathological inputs only).
+pub fn eigh(a: &DenseMatrix) -> Result<EigenDecomposition> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::InvalidInput(format!(
+            "eigh requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if crate::vecops::has_non_finite(a.as_slice()) {
+        return Err(LinalgError::InvalidInput(
+            "eigh input contains non-finite entries".into(),
+        ));
+    }
+    let magnitude = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |acc, x| acc.max(x.abs()))
+        .max(1.0);
+    if a.asymmetry() > 1e-8 * magnitude {
+        return Err(LinalgError::InvalidInput(
+            "eigh input is not symmetric".into(),
+        ));
+    }
+
+    let n = a.rows();
+    let mut v = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tred2(&mut v, &mut d, &mut e);
+    tql2(&mut d, &mut e, &mut v)?;
+    Ok(EigenDecomposition {
+        values: d,
+        vectors: v,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, dec: &EigenDecomposition) -> f64 {
+        let n = a.rows();
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            let q = dec.vector(j);
+            let mut aq = vec![0.0; n];
+            a.matvec(&q, &mut aq).unwrap();
+            for i in 0..n {
+                worst = worst.max((aq[i] - dec.values[j] * q[i]).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn two_by_two() {
+        let a = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let dec = eigh(&a).unwrap();
+        assert!((dec.values[0] - 1.0).abs() < 1e-12);
+        assert!((dec.values[1] - 3.0).abs() < 1e-12);
+        assert!(residual(&a, &dec) < 1e-10);
+    }
+
+    #[test]
+    fn known_graph_laplacian() {
+        // Laplacian of the complete graph K4: eigenvalues {0, 4, 4, 4}.
+        let a = DenseMatrix::from_fn(4, 4, |i, j| if i == j { 3.0 } else { -1.0 });
+        let dec = eigh(&a).unwrap();
+        assert!(dec.values[0].abs() < 1e-10);
+        for v in &dec.values[1..] {
+            assert!((v - 4.0).abs() < 1e-10);
+        }
+        assert!(residual(&a, &dec) < 1e-10);
+    }
+
+    #[test]
+    fn random_symmetric_residual_and_orthonormality() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let n = 25;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let dec = eigh(&a).unwrap();
+        assert!(residual(&a, &dec) < 1e-8);
+        // Orthonormal columns.
+        for i in 0..n {
+            for j in i..n {
+                let dot = crate::vecops::dot(&dec.vector(i), &dec.vector(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (dot - expect).abs() < 1e-8,
+                    "columns {i},{j}: dot = {dot}"
+                );
+            }
+        }
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let sum: f64 = dec.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_nonsquare() {
+        let bad = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 9.0, 1.0]).unwrap();
+        assert!(eigh(&bad).is_err());
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(eigh(&rect).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, f64::NAN);
+        assert!(eigh(&a).is_err());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let dec = eigh(&DenseMatrix::zeros(0, 0)).unwrap();
+        assert!(dec.values.is_empty());
+        let one = DenseMatrix::from_vec(1, 1, vec![7.5]).unwrap();
+        let dec = eigh(&one).unwrap();
+        assert_eq!(dec.values, vec![7.5]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and eigensolvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Shape expected by the operation, e.g. the matrix dimension.
+        expected: usize,
+        /// Shape actually supplied.
+        found: usize,
+        /// Which operation raised the mismatch.
+        context: &'static str,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    NotConverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Which solver failed to converge.
+        context: &'static str,
+    },
+    /// The input violates a documented precondition (NaN entries,
+    /// zero dimension, out-of-range index, ...).
+    InvalidInput(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
+            LinalgError::NotConverged {
+                iterations,
+                context,
+            } => write!(f, "{context} did not converge after {iterations} iterations"),
+            LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,632 @@
+//! Matrix-free symmetric Lanczos with full reorthogonalization, deflated
+//! restarts, and the unified partial-eigendecomposition entry point
+//! [`sym_eigs`].
+//!
+//! The partitioning stack needs the `k` *smallest* eigenpairs of the α-Cut
+//! matrix and of the normalized Laplacian. Both are extremal, which is
+//! exactly what Lanczos converges first. Two numerical hazards matter here:
+//!
+//! * **loss of orthogonality** — handled with full two-pass
+//!   reorthogonalization (subspaces stay small, a few hundred vectors);
+//! * **degenerate eigenvalues** — a single Krylov sequence can never produce
+//!   two eigenvectors of the same eigenvalue (disconnected supergraphs have
+//!   multi-dimensional Laplacian kernels!), so converged Ritz pairs are
+//!   *locked* and the iteration restarts deflated against them until the
+//!   requested count is reached.
+
+use crate::dense::DenseMatrix;
+use crate::eigen_dense::eigh;
+use crate::error::{LinalgError, Result};
+use crate::operator::SymOp;
+use crate::tridiag::tql2;
+use crate::vecops;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Which end of the spectrum to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Which {
+    /// The algebraically smallest eigenvalues.
+    Smallest,
+    /// The algebraically largest eigenvalues.
+    Largest,
+}
+
+/// Configuration for [`sym_eigs`].
+#[derive(Debug, Clone)]
+pub struct EigenConfig {
+    /// Below this dimension the operator is densified (one apply per unit
+    /// vector) and solved exactly with [`eigh`]. Default: 512.
+    pub dense_cutoff: usize,
+    /// Hard cap on the Krylov subspace dimension per restart. Default: 400.
+    pub max_subspace: usize,
+    /// Maximum number of deflated restarts. Default: 24.
+    pub max_restarts: usize,
+    /// Relative residual tolerance for Ritz-pair convergence. Default: 1e-8.
+    pub tol: f64,
+    /// Seed for the random starting vectors.
+    pub seed: u64,
+}
+
+impl Default for EigenConfig {
+    fn default() -> Self {
+        Self {
+            dense_cutoff: 512,
+            max_subspace: 400,
+            max_restarts: 24,
+            tol: 1e-8,
+            seed: 0x5eed_1a27,
+        }
+    }
+}
+
+/// A partial symmetric eigendecomposition: `nev` eigenpairs.
+#[derive(Debug, Clone)]
+pub struct PartialEigen {
+    /// Selected eigenvalues, always sorted ascending.
+    pub values: Vec<f64>,
+    /// `n x nev` matrix whose column `j` is the eigenvector of `values[j]`.
+    pub vectors: DenseMatrix,
+}
+
+impl PartialEigen {
+    /// Copies eigenvector `j`.
+    pub fn vector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(j)
+    }
+}
+
+/// Computes `nev` extremal eigenpairs of a symmetric operator.
+///
+/// Small operators (`dim <= cfg.dense_cutoff`) are densified and solved
+/// exactly; larger ones go through deflated-restart Lanczos.
+///
+/// # Errors
+/// Returns [`LinalgError::InvalidInput`] if `nev > op.dim()`, and
+/// [`LinalgError::NotConverged`] if Lanczos exhausts its restart budget
+/// without locking `nev` pairs at the requested tolerance.
+pub fn sym_eigs(
+    op: &impl SymOp,
+    nev: usize,
+    which: Which,
+    cfg: &EigenConfig,
+) -> Result<PartialEigen> {
+    let n = op.dim();
+    if nev > n {
+        return Err(LinalgError::InvalidInput(format!(
+            "requested {nev} eigenpairs of a dimension-{n} operator"
+        )));
+    }
+    if nev == 0 {
+        return Ok(PartialEigen {
+            values: vec![],
+            vectors: DenseMatrix::zeros(n, 0),
+        });
+    }
+    if n <= cfg.dense_cutoff {
+        let dense = densify(op);
+        let dec = eigh(&dense)?;
+        let idx: Vec<usize> = match which {
+            Which::Smallest => (0..nev).collect(),
+            Which::Largest => (n - nev..n).collect(),
+        };
+        let values: Vec<f64> = idx.iter().map(|&i| dec.values[i]).collect();
+        let vectors = DenseMatrix::from_fn(n, nev, |r, c| dec.vectors.get(r, idx[c]));
+        return Ok(PartialEigen { values, vectors });
+    }
+    lanczos_deflated(op, nev, which, cfg)
+}
+
+/// Materializes a matrix-free operator by applying it to every unit vector.
+/// The result is symmetrized to wash out round-off asymmetry.
+pub fn densify(op: &impl SymOp) -> DenseMatrix {
+    let n = op.dim();
+    let mut a = DenseMatrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    let mut col = vec![0.0; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        op.apply(&e, &mut col);
+        for (i, &c) in col.iter().enumerate() {
+            a.set(i, j, c);
+        }
+        e[j] = 0.0;
+    }
+    // Symmetrize in place: A <- (A + A^T) / 2.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = 0.5 * (a.get(i, j) + a.get(j, i));
+            a.set(i, j, v);
+            a.set(j, i, v);
+        }
+    }
+    a
+}
+
+/// Outer driver: restart Lanczos in the orthogonal complement of the locked
+/// eigenvectors until `nev` pairs are locked.
+fn lanczos_deflated(
+    op: &impl SymOp,
+    nev: usize,
+    which: Which,
+    cfg: &EigenConfig,
+) -> Result<PartialEigen> {
+    let n = op.dim();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut locked_vals: Vec<f64> = Vec::with_capacity(nev);
+    let mut locked_vecs: Vec<Vec<f64>> = Vec::with_capacity(nev);
+    let mut total_iters = 0usize;
+
+    for _restart in 0..cfg.max_restarts {
+        if locked_vals.len() >= nev {
+            // Verification pass: a single Krylov sequence converges only one
+            // copy of each degenerate eigenvalue, so the locked set may hold
+            // one eigenpair per *distinct* value and miss a multiplicity that
+            // belongs in the wanted set. Probe the deflated complement: if
+            // its extremal eigenvalue beats the current k-th selected value,
+            // a copy was missed — lock it and probe again.
+            if locked_vecs.len() >= n {
+                break;
+            }
+            let probe = lanczos_run(op, 1, which, cfg, &locked_vecs, &mut rng)?;
+            total_iters += probe.iterations;
+            let Some((&new_val, new_vec)) =
+                probe.values.first().zip(probe.vectors.into_iter().next())
+            else {
+                break; // nothing converged in the complement; accept result
+            };
+            let scale = locked_vals
+                .iter()
+                .fold(1.0f64, |a, &x| a.max(x.abs()))
+                .max(new_val.abs());
+            let gap = 1e-7 * scale;
+            let kth = kth_selected(&locked_vals, nev, which);
+            let improves = match which {
+                Which::Smallest => new_val < kth - gap,
+                Which::Largest => new_val > kth + gap,
+            };
+            if !improves {
+                break;
+            }
+            locked_vals.push(new_val);
+            locked_vecs.push(new_vec);
+            continue;
+        }
+        let need = nev - locked_vals.len();
+        let run = lanczos_run(op, need, which, cfg, &locked_vecs, &mut rng)?;
+        total_iters += run.iterations;
+        if run.values.is_empty() {
+            // No progress in a full inner run: further restarts are hopeless.
+            return Err(LinalgError::NotConverged {
+                iterations: total_iters,
+                context: "Lanczos (no Ritz pair converged within subspace cap)",
+            });
+        }
+        for (val, vec) in run.values.into_iter().zip(run.vectors) {
+            locked_vals.push(val);
+            locked_vecs.push(vec);
+        }
+    }
+
+    if locked_vals.len() < nev {
+        return Err(LinalgError::NotConverged {
+            iterations: total_iters,
+            context: "Lanczos (restart budget exhausted)",
+        });
+    }
+
+    // Sort the locked pairs ascending and keep the wanted `nev`.
+    let mut order: Vec<usize> = (0..locked_vals.len()).collect();
+    order.sort_by(|&a, &b| {
+        locked_vals[a]
+            .partial_cmp(&locked_vals[b])
+            .expect("finite eigenvalues")
+    });
+    let selected: Vec<usize> = match which {
+        Which::Smallest => order[..nev].to_vec(),
+        Which::Largest => order[order.len() - nev..].to_vec(),
+    };
+    let values: Vec<f64> = selected.iter().map(|&i| locked_vals[i]).collect();
+    let mut vectors = DenseMatrix::zeros(n, nev);
+    for (c, &i) in selected.iter().enumerate() {
+        for (r, &v) in locked_vecs[i].iter().enumerate() {
+            vectors.set(r, c, v);
+        }
+    }
+    Ok(PartialEigen { values, vectors })
+}
+
+/// The k-th selected eigenvalue from the wanted end: for `Smallest` the
+/// `nev`-th smallest locked value, for `Largest` the `nev`-th largest.
+fn kth_selected(vals: &[f64], nev: usize, which: Which) -> f64 {
+    let mut sorted = vals.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite eigenvalues"));
+    match which {
+        Which::Smallest => sorted[nev - 1],
+        Which::Largest => sorted[sorted.len() - nev],
+    }
+}
+
+/// Result of one inner Lanczos run: converged extremal Ritz pairs.
+struct RunResult {
+    values: Vec<f64>,
+    vectors: Vec<Vec<f64>>,
+    iterations: usize,
+}
+
+/// One Lanczos run in the orthogonal complement of `locked`, returning up to
+/// `need` converged Ritz pairs from the wanted end of the spectrum.
+fn lanczos_run(
+    op: &impl SymOp,
+    need: usize,
+    which: Which,
+    cfg: &EigenConfig,
+    locked: &[Vec<f64>],
+    rng: &mut ChaCha8Rng,
+) -> Result<RunResult> {
+    let n = op.dim();
+    let m_max = cfg.max_subspace.min(n - locked.len()).max(1);
+
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m_max);
+    let mut alphas: Vec<f64> = Vec::with_capacity(m_max);
+    let mut betas: Vec<f64> = Vec::with_capacity(m_max);
+
+    let mut q = fresh_direction(n, locked, &[], rng)?;
+    let mut w = vec![0.0; n];
+    let mut exhausted_complement = false;
+
+    while basis.len() < m_max {
+        op.apply_checked(&q, &mut w)?;
+        let alpha = vecops::dot(&w, &q);
+        vecops::axpy(-alpha, &q, &mut w);
+        if let Some(prev) = basis.last() {
+            let beta_prev = *betas.last().expect("beta recorded with each basis push");
+            vecops::axpy(-beta_prev, prev, &mut w);
+        }
+        basis.push(std::mem::replace(&mut q, vec![0.0; n]));
+        alphas.push(alpha);
+
+        // Full reorthogonalization against locked and basis vectors.
+        for _ in 0..2 {
+            for b in locked.iter().chain(basis.iter()) {
+                let c = vecops::dot(&w, b);
+                if c != 0.0 {
+                    vecops::axpy(-c, b, &mut w);
+                }
+            }
+        }
+
+        let beta = vecops::norm2(&w);
+        let scale = alphas
+            .iter()
+            .fold(0.0f64, |a, &x| a.max(x.abs()))
+            .max(betas.iter().fold(0.0f64, |a, &x| a.max(x.abs())))
+            .max(1.0);
+
+        if beta <= 1e-12 * scale {
+            // Invariant subspace of the complement: every Ritz pair is exact.
+            if basis.len() + locked.len() >= n {
+                exhausted_complement = true;
+                break;
+            }
+            match fresh_direction(n, locked, &basis, rng) {
+                Ok(fresh) => {
+                    betas.push(0.0);
+                    q = fresh;
+                    continue;
+                }
+                Err(_) => {
+                    exhausted_complement = true;
+                    break;
+                }
+            }
+        }
+
+        // Periodic convergence check (tridiagonal solve is O(j^3); keep rare).
+        let j = basis.len();
+        if j >= need.min(m_max) && (j == m_max || j % 20 == 0) {
+            let (theta, s) = solve_tridiag(&alphas, &betas)?;
+            let count = converged_extremal(&theta, &s, beta, which, cfg.tol, scale);
+            if count >= need || j == m_max {
+                if count > 0 {
+                    return Ok(extract_pairs(
+                        &basis, &theta, &s, which, count.min(need), locked,
+                    ));
+                }
+                if j == m_max {
+                    break;
+                }
+            }
+        }
+
+        vecops::scale(1.0 / beta, &mut w);
+        betas.push(beta);
+        std::mem::swap(&mut q, &mut w);
+    }
+
+    // Final solve on whatever subspace we accumulated.
+    if basis.is_empty() {
+        return Ok(RunResult {
+            values: vec![],
+            vectors: vec![],
+            iterations: 0,
+        });
+    }
+    let (theta, s) = solve_tridiag(&alphas, &betas)?;
+    let count = if exhausted_complement {
+        // Exact invariant subspace: every pair is converged.
+        theta.len()
+    } else {
+        let last_beta = betas.last().copied().unwrap_or(0.0);
+        let scale = theta.iter().fold(1.0f64, |a, &x| a.max(x.abs()));
+        converged_extremal(&theta, &s, last_beta, which, cfg.tol, scale)
+    };
+    Ok(extract_pairs(
+        &basis,
+        &theta,
+        &s,
+        which,
+        count.min(need),
+        locked,
+    ))
+}
+
+/// Counts how many Ritz pairs are converged, contiguously from the wanted
+/// end of the spectrum (locking non-contiguous pairs could skip over a
+/// not-yet-converged extremal eigenvalue).
+fn converged_extremal(
+    theta: &[f64],
+    s: &DenseMatrix,
+    beta: f64,
+    which: Which,
+    tol: f64,
+    scale: f64,
+) -> usize {
+    let j = theta.len();
+    let mut count = 0;
+    for k in 0..j {
+        let i = match which {
+            Which::Smallest => k,
+            Which::Largest => j - 1 - k,
+        };
+        let bound = beta * s.get(j - 1, i).abs();
+        if bound <= tol * scale {
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+/// Forms `count` Ritz vectors from the wanted end, re-orthogonalized against
+/// the locked set.
+fn extract_pairs(
+    basis: &[Vec<f64>],
+    theta: &[f64],
+    s: &DenseMatrix,
+    which: Which,
+    count: usize,
+    locked: &[Vec<f64>],
+) -> RunResult {
+    let j = theta.len();
+    let n = basis.first().map_or(0, Vec::len);
+    let mut values = Vec::with_capacity(count);
+    let mut vectors = Vec::with_capacity(count);
+    for k in 0..count {
+        let i = match which {
+            Which::Smallest => k,
+            Which::Largest => j - 1 - k,
+        };
+        let mut y = vec![0.0; n];
+        for (r, b) in basis.iter().enumerate() {
+            vecops::axpy(s.get(r, i), b, &mut y);
+        }
+        for l in locked.iter().chain(vectors.iter()) {
+            let c = vecops::dot(&y, l);
+            vecops::axpy(-c, l, &mut y);
+        }
+        if vecops::normalize(&mut y) == 0.0 {
+            continue; // fully deflated direction; skip rather than emit junk
+        }
+        values.push(theta[i]);
+        vectors.push(y);
+    }
+    RunResult {
+        values,
+        vectors,
+        iterations: j,
+    }
+}
+
+/// Solves the `j x j` symmetric tridiagonal eigenproblem defined by
+/// `alphas` (diagonal) and `betas` (couplings). Returns ascending
+/// eigenvalues and the `j x j` eigenvector matrix.
+fn solve_tridiag(alphas: &[f64], betas: &[f64]) -> Result<(Vec<f64>, DenseMatrix)> {
+    let j = alphas.len();
+    let mut d = alphas.to_vec();
+    let mut e = vec![0.0; j];
+    e[1..j].copy_from_slice(&betas[..j.saturating_sub(1)]);
+    let mut z = DenseMatrix::identity(j);
+    tql2(&mut d, &mut e, &mut z)?;
+    Ok((d, z))
+}
+
+/// Draws a random unit vector orthogonal to `locked` and `basis`.
+fn fresh_direction(
+    n: usize,
+    locked: &[Vec<f64>],
+    basis: &[Vec<f64>],
+    rng: &mut ChaCha8Rng,
+) -> Result<Vec<f64>> {
+    for _ in 0..8 {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for _ in 0..2 {
+            for b in locked.iter().chain(basis.iter()) {
+                let c = vecops::dot(&v, b);
+                vecops::axpy(-c, b, &mut v);
+            }
+        }
+        if vecops::normalize(&mut v) > 1e-8 {
+            return Ok(v);
+        }
+    }
+    Err(LinalgError::NotConverged {
+        iterations: 8,
+        context: "Lanczos fresh-direction generation",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::operator::RankOneUpdate;
+
+    /// Ring graph Laplacian as a CSR matrix (eigenvalues 2 - 2cos(2 pi k/n)).
+    fn ring_laplacian(n: usize) -> CsrMatrix {
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            triplets.push((i, i, 2.0));
+            triplets.push((i, (i + 1) % n, -1.0));
+            triplets.push(((i + 1) % n, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, &triplets).unwrap()
+    }
+
+    fn lanczos_cfg() -> EigenConfig {
+        EigenConfig {
+            dense_cutoff: 0, // force Lanczos even for small dims
+            ..EigenConfig::default()
+        }
+    }
+
+    #[test]
+    fn smallest_of_ring_laplacian_with_degeneracy() {
+        let n = 200;
+        let a = ring_laplacian(n);
+        let dec = sym_eigs(&a, 4, Which::Smallest, &lanczos_cfg()).unwrap();
+        // lambda_0 = 0; lambda_1 = lambda_2 = 2 - 2cos(2 pi / n) (degenerate).
+        let l1 = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!(dec.values[0].abs() < 1e-7, "lambda0 = {}", dec.values[0]);
+        assert!((dec.values[1] - l1).abs() < 1e-6);
+        assert!((dec.values[2] - l1).abs() < 1e-6, "degenerate copy missed");
+        // Residual check against the operator itself.
+        for j in 0..4 {
+            let q = dec.vector(j);
+            let mut aq = vec![0.0; n];
+            a.apply(&q, &mut aq);
+            for i in 0..n {
+                assert!((aq[i] - dec.values[j] * q[i]).abs() < 1e-5);
+            }
+        }
+        // Returned vectors are mutually orthonormal.
+        for i in 0..4 {
+            for j in i..4 {
+                let dot = vecops::dot(&dec.vector(i), &dec.vector(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn largest_matches_dense() {
+        let n = 120;
+        let a = ring_laplacian(n);
+        let lan = sym_eigs(&a, 3, Which::Largest, &lanczos_cfg()).unwrap();
+        let dense = eigh(&a.to_dense()).unwrap();
+        for j in 0..3 {
+            assert!(
+                (lan.values[j] - dense.values[n - 3 + j]).abs() < 1e-6,
+                "largest eigenvalue {j}: {} vs {}",
+                lan.values[j],
+                dense.values[n - 3 + j]
+            );
+        }
+    }
+
+    #[test]
+    fn rank_one_operator_spectrum() {
+        // M = d d^T / s - A for a weighted ring: validate against densified M.
+        let n = 90;
+        let a = ring_laplacian(n); // treat as generic symmetric sparse
+        let d: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let s: f64 = d.iter().sum();
+        let op = RankOneUpdate::new(&a, d, 1.0 / s, -1.0).unwrap();
+        let lan = sym_eigs(&op, 5, Which::Smallest, &lanczos_cfg()).unwrap();
+        let dense = eigh(&densify(&op)).unwrap();
+        for j in 0..5 {
+            assert!(
+                (lan.values[j] - dense.values[j]).abs() < 1e-6,
+                "eigenvalue {j}: {} vs {}",
+                lan.values[j],
+                dense.values[j]
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_multiplicity() {
+        // Two disjoint rings: Laplacian kernel has dimension 2; deflated
+        // restarts must find both zero eigenvalues.
+        let n = 60;
+        let mut triplets = Vec::new();
+        for half in 0..2 {
+            let off = half * (n / 2);
+            let m = n / 2;
+            for i in 0..m {
+                triplets.push((off + i, off + i, 2.0));
+                triplets.push((off + i, off + (i + 1) % m, -1.0));
+                triplets.push((off + (i + 1) % m, off + i, -1.0));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, &triplets).unwrap();
+        let dec = sym_eigs(&a, 3, Which::Smallest, &lanczos_cfg()).unwrap();
+        assert!(dec.values[0].abs() < 1e-7);
+        assert!(dec.values[1].abs() < 1e-7, "second zero: {}", dec.values[1]);
+        assert!(dec.values[2] > 1e-4);
+    }
+
+    #[test]
+    fn dense_path_used_below_cutoff() {
+        let a = ring_laplacian(16);
+        let dec = sym_eigs(&a, 2, Which::Smallest, &EigenConfig::default()).unwrap();
+        assert!(dec.values[0].abs() < 1e-10);
+        assert_eq!(dec.vectors.rows(), 16);
+        assert_eq!(dec.vectors.cols(), 2);
+    }
+
+    #[test]
+    fn nev_zero_and_too_large() {
+        let a = ring_laplacian(10);
+        let dec = sym_eigs(&a, 0, Which::Smallest, &EigenConfig::default()).unwrap();
+        assert!(dec.values.is_empty());
+        assert!(sym_eigs(&a, 11, Which::Smallest, &EigenConfig::default()).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ring_laplacian(150);
+        let d1 = sym_eigs(&a, 3, Which::Smallest, &lanczos_cfg()).unwrap();
+        let d2 = sym_eigs(&a, 3, Which::Smallest, &lanczos_cfg()).unwrap();
+        assert_eq!(d1.values, d2.values);
+    }
+
+    #[test]
+    fn full_spectrum_request() {
+        // nev == n exercises complement exhaustion.
+        let n = 24;
+        let a = ring_laplacian(n);
+        let dec = sym_eigs(&a, n, Which::Smallest, &lanczos_cfg()).unwrap();
+        let dense = eigh(&a.to_dense()).unwrap();
+        for j in 0..n {
+            assert!(
+                (dec.values[j] - dense.values[j]).abs() < 1e-6,
+                "eigenvalue {j}: {} vs {}",
+                dec.values[j],
+                dense.values[j]
+            );
+        }
+    }
+}

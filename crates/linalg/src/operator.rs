@@ -1,0 +1,242 @@
+//! Matrix-free linear operators.
+//!
+//! The α-Cut matrix `M = d dᵀ / (1ᵀD1) − A` is dense (the rank-one term
+//! touches every entry) but has sparse-plus-rank-one structure, so large
+//! instances are eigensolved through this trait rather than materialized.
+
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+use crate::vecops;
+
+/// A symmetric linear operator `y = Op(x)` known only through its action.
+pub trait SymOp {
+    /// Operator dimension `n` (it maps `R^n -> R^n`).
+    fn dim(&self) -> usize;
+
+    /// Computes `y = Op(x)`. Implementations may assume
+    /// `x.len() == y.len() == self.dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Checked wrapper around [`SymOp::apply`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    fn apply_checked(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                found: x.len(),
+                context: "SymOp::apply input",
+            });
+        }
+        if y.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                found: y.len(),
+                context: "SymOp::apply output",
+            });
+        }
+        self.apply(x, y);
+        Ok(())
+    }
+}
+
+impl SymOp for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // Shapes are validated by apply_checked; infallible here.
+        self.matvec(x, y).expect("CSR matvec with validated shapes");
+    }
+}
+
+impl SymOp for DenseMatrix {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec(x, y)
+            .expect("dense matvec with validated shapes");
+    }
+}
+
+/// `Op(x) = scale * u (uᵀ x) + base(x) * base_sign`.
+///
+/// With `u = d` (the degree vector), `scale = 1 / sum(d)` and
+/// `base_sign = -1.0` this is exactly the α-Cut matrix
+/// `M = d dᵀ / (1ᵀ D 1) − A` of Eq. 6 without ever materializing the dense
+/// rank-one term.
+pub struct RankOneUpdate<'a, B: SymOp> {
+    base: &'a B,
+    u: Vec<f64>,
+    scale: f64,
+    base_sign: f64,
+}
+
+impl<'a, B: SymOp> RankOneUpdate<'a, B> {
+    /// Creates the operator `scale * u uᵀ + base_sign * base`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `u.len() != base.dim()`,
+    /// and [`LinalgError::InvalidInput`] on non-finite inputs.
+    pub fn new(base: &'a B, u: Vec<f64>, scale: f64, base_sign: f64) -> Result<Self> {
+        if u.len() != base.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: base.dim(),
+                found: u.len(),
+                context: "RankOneUpdate vector",
+            });
+        }
+        if vecops::has_non_finite(&u) || !scale.is_finite() || !base_sign.is_finite() {
+            return Err(LinalgError::InvalidInput(
+                "RankOneUpdate requires finite inputs".into(),
+            ));
+        }
+        Ok(Self {
+            base,
+            u,
+            scale,
+            base_sign,
+        })
+    }
+}
+
+impl<B: SymOp> SymOp for RankOneUpdate<'_, B> {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.base.apply(x, y);
+        if self.base_sign != 1.0 {
+            vecops::scale(self.base_sign, y);
+        }
+        let coeff = self.scale * vecops::dot(&self.u, x);
+        vecops::axpy(coeff, &self.u, y);
+    }
+}
+
+/// Operator scaled on both sides by a diagonal: `Op(x) = S · base(S · x) · sign + shift·x`,
+/// where `S = diag(s)`.
+///
+/// With `s = d^{-1/2}`, `sign = -1` and `shift = 1` this is the normalized
+/// Laplacian `L_sym = I − D^{-1/2} A D^{-1/2}` used by the normalized-cut
+/// baseline.
+pub struct DiagScaledOp<'a, B: SymOp> {
+    base: &'a B,
+    s: Vec<f64>,
+    sign: f64,
+    shift: f64,
+}
+
+impl<'a, B: SymOp> DiagScaledOp<'a, B> {
+    /// Creates `sign * S base S + shift * I` with `S = diag(s)`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `s.len() != base.dim()`.
+    pub fn new(base: &'a B, s: Vec<f64>, sign: f64, shift: f64) -> Result<Self> {
+        if s.len() != base.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: base.dim(),
+                found: s.len(),
+                context: "DiagScaledOp diagonal",
+            });
+        }
+        Ok(Self {
+            base,
+            s,
+            sign,
+            shift,
+        })
+    }
+}
+
+impl<B: SymOp> SymOp for DiagScaledOp<'_, B> {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.dim();
+        let mut sx = vec![0.0; n];
+        for i in 0..n {
+            sx[i] = self.s[i] * x[i];
+        }
+        self.base.apply(&sx, y);
+        for i in 0..n {
+            y[i] = self.sign * self.s[i] * y[i] + self.shift * x[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> CsrMatrix {
+        CsrMatrix::from_undirected_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn csr_as_op() {
+        let a = path3();
+        let mut y = [0.0; 3];
+        a.apply_checked(&[1.0, 1.0, 1.0], &mut y).unwrap();
+        assert_eq!(y, [1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn rank_one_matches_explicit_alpha_cut_matrix() {
+        let a = path3();
+        let d = a.degrees();
+        let s: f64 = d.iter().sum();
+        let op = RankOneUpdate::new(&a, d.clone(), 1.0 / s, -1.0).unwrap();
+        // Explicit M = d d^T / s - A
+        let dense_a = a.to_dense();
+        let m = DenseMatrix::from_fn(3, 3, |i, j| d[i] * d[j] / s - dense_a.get(i, j));
+        for x in [[1.0, 0.0, 0.0], [0.3, -1.2, 2.0]] {
+            let mut y1 = [0.0; 3];
+            let mut y2 = [0.0; 3];
+            op.apply_checked(&x, &mut y1).unwrap();
+            m.matvec(&x, &mut y2).unwrap();
+            for (a, b) in y1.iter().zip(&y2) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diag_scaled_matches_normalized_laplacian() {
+        let a = path3();
+        let d = a.degrees();
+        let s: Vec<f64> = d.iter().map(|&x| 1.0 / x.sqrt()).collect();
+        let op = DiagScaledOp::new(&a, s.clone(), -1.0, 1.0).unwrap();
+        let dense_a = a.to_dense();
+        let lsym = DenseMatrix::from_fn(3, 3, |i, j| {
+            let delta = if i == j { 1.0 } else { 0.0 };
+            delta - s[i] * dense_a.get(i, j) * s[j]
+        });
+        let x = [0.5, -0.25, 1.0];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        op.apply_checked(&x, &mut y1).unwrap();
+        lsym.matvec(&x, &mut y2).unwrap();
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = path3();
+        assert!(RankOneUpdate::new(&a, vec![1.0; 2], 1.0, 1.0).is_err());
+        assert!(DiagScaledOp::new(&a, vec![1.0; 4], 1.0, 0.0).is_err());
+        let op = RankOneUpdate::new(&a, vec![1.0; 3], 1.0, 1.0).unwrap();
+        let mut y = [0.0; 2];
+        assert!(op.apply_checked(&[1.0; 3], &mut y).is_err());
+    }
+}

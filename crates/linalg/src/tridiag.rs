@@ -1,0 +1,278 @@
+//! Symmetric tridiagonal eigensolver: implicit-shift QL (`tql2`).
+//!
+//! This is the classic EISPACK/JAMA algorithm. It diagonalizes a symmetric
+//! tridiagonal matrix given by its diagonal `d` and sub-diagonal `e`, and
+//! accumulates the rotations into a caller-supplied matrix `z` so the same
+//! routine serves both the dense solver (where `z` starts as the Householder
+//! accumulation) and the Lanczos post-processing (where `z` starts as the
+//! identity).
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+
+/// Maximum QL iterations per eigenvalue before declaring failure.
+const MAX_QL_ITERS: usize = 50;
+
+/// Diagonalizes the symmetric tridiagonal matrix `T = tridiag(e, d, e)`.
+///
+/// On entry `d[0..n]` holds the diagonal and `e[0..n-1]` the sub-diagonal
+/// (`e[n-1]` is ignored and used as scratch). On successful exit `d` holds the
+/// eigenvalues in ascending order and the columns of `z` hold the
+/// corresponding eigenvectors, i.e. column `j` of `z_in * Q` where `Q`
+/// diagonalizes `T`.
+///
+/// `z` must be an `m x n` matrix for any `m` (rotation columns are applied on
+/// the right); pass [`DenseMatrix::identity`] to obtain the eigenvectors of
+/// `T` itself.
+///
+/// # Errors
+/// Returns [`LinalgError::NotConverged`] if any eigenvalue fails to converge
+/// within 50 implicit-shift sweeps, and
+/// [`LinalgError::DimensionMismatch`] when slice/matrix shapes disagree.
+pub fn tql2(d: &mut [f64], e: &mut [f64], z: &mut DenseMatrix) -> Result<()> {
+    let n = d.len();
+    if e.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            found: e.len(),
+            context: "tql2 sub-diagonal",
+        });
+    }
+    if z.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            found: z.cols(),
+            context: "tql2 rotation matrix",
+        });
+    }
+    if n == 0 {
+        return Ok(());
+    }
+    let m_rows = z.rows();
+
+    // Shift the sub-diagonal so e[i] couples d[i] and d[i+1].
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0f64;
+    let mut tst1 = 0.0f64;
+    let eps = f64::EPSILON;
+
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m == n {
+            m = n - 1;
+        }
+
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                if iter > MAX_QL_ITERS {
+                    return Err(LinalgError::NotConverged {
+                        iterations: MAX_QL_ITERS,
+                        context: "tql2 implicit-shift QL",
+                    });
+                }
+
+                // Compute implicit shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for item in d.iter_mut().take(n).skip(l + 2) {
+                    *item -= h;
+                }
+                f += h;
+
+                // Implicit QL transformation.
+                p = d[m];
+                let mut c = 1.0f64;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0f64;
+                let mut s2 = 0.0f64;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g = c * e[i];
+                    h = c * p;
+                    r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+
+                    // Accumulate the rotation into z columns i and i+1.
+                    for k in 0..m_rows {
+                        let h = z.get(k, i + 1);
+                        z.set(k, i + 1, s * z.get(k, i) + c * h);
+                        z.set(k, i, c * z.get(k, i) - s * h);
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+
+    // Selection-sort eigenvalues ascending, permuting the columns of z.
+    for i in 0..n.saturating_sub(1) {
+        let mut k = i;
+        let mut p = d[i];
+        for (j, &dj) in d.iter().enumerate().take(n).skip(i + 1) {
+            if dj < p {
+                k = j;
+                p = dj;
+            }
+        }
+        if k != i {
+            d.swap(i, k);
+            for r in 0..m_rows {
+                let tmp = z.get(r, i);
+                z.set(r, i, z.get(r, k));
+                z.set(r, k, tmp);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the dense tridiagonal matrix from diag/sub-diag for verification.
+    fn tridiag_dense(d: &[f64], e: &[f64]) -> DenseMatrix {
+        let n = d.len();
+        DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                d[i]
+            } else if j + 1 == i {
+                e[j]
+            } else if i + 1 == j {
+                e[i]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// `e[i]` couples `d[i]` and `d[i+1]`; tql2 expects the coupling in
+    /// `e[1..]`, matching the EISPACK convention used by `tred2`.
+    fn solve(d: &[f64], e_couple: &[f64]) -> (Vec<f64>, DenseMatrix) {
+        let n = d.len();
+        let mut dd = d.to_vec();
+        let mut ee = vec![0.0; n];
+        ee[1..n].copy_from_slice(&e_couple[..n - 1]);
+        let mut z = DenseMatrix::identity(n);
+        tql2(&mut dd, &mut ee, &mut z).unwrap();
+        (dd, z)
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let (vals, z) = solve(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 3.0).abs() < 1e-12);
+        // Columns are permuted unit vectors.
+        for j in 0..3 {
+            let col = z.col(j);
+            let nrm: f64 = col.iter().map(|x| x * x).sum();
+            assert!((nrm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_by_two_analytic() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let (vals, _) = solve(&[2.0, 2.0], &[1.0]);
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn path_laplacian_known_spectrum() {
+        // Laplacian of the path P_n is tridiagonal with known eigenvalues
+        // 2 - 2 cos(pi k / n), k = 0..n-1.
+        let n = 8;
+        let d: Vec<f64> = (0..n)
+            .map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 })
+            .collect();
+        let e = vec![-1.0; n - 1];
+        let (vals, z) = solve(&d, &e);
+        for (k, v) in vals.iter().enumerate() {
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!(
+                (v - expect).abs() < 1e-9,
+                "eigenvalue {k}: got {v}, expected {expect}"
+            );
+        }
+        // Verify residual ||T q - lambda q|| for every pair.
+        let t = tridiag_dense(&d, &e);
+        for j in 0..n {
+            let q = z.col(j);
+            let mut tq = vec![0.0; n];
+            t.matvec(&q, &mut tq).unwrap();
+            for i in 0..n {
+                assert!((tq[i] - vals[j] * q[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let (vals, _) = solve(&[5.0, -2.0, 0.5, 9.0], &[1.3, -0.7, 2.2]);
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut d: [f64; 0] = [];
+        let mut e: [f64; 0] = [];
+        let mut z = DenseMatrix::identity(0);
+        tql2(&mut d, &mut e, &mut z).unwrap();
+
+        let mut d1 = [4.2];
+        let mut e1 = [0.0];
+        let mut z1 = DenseMatrix::identity(1);
+        tql2(&mut d1, &mut e1, &mut z1).unwrap();
+        assert_eq!(d1[0], 4.2);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let mut d = [1.0, 2.0];
+        let mut e = [0.0];
+        let mut z = DenseMatrix::identity(2);
+        assert!(tql2(&mut d, &mut e, &mut z).is_err());
+    }
+}

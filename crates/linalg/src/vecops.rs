@@ -1,0 +1,138 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! These are the hot inner kernels of the eigensolvers, kept as plain slice
+//! functions so the compiler can vectorize them and callers avoid any
+//! wrapper-type overhead.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit L2 norm in place and returns the original norm.
+///
+/// A zero vector is left untouched and `0.0` is returned.
+#[inline]
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Sum of all entries.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[inline]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        sum(a) / a.len() as f64
+    }
+}
+
+/// Population variance around `mu`; `0.0` for an empty slice.
+#[inline]
+pub fn variance_around(a: &[f64], mu: f64) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / a.len() as f64
+}
+
+/// `sqrt(a^2 + b^2)` without undue overflow or underflow.
+#[inline]
+pub fn hypot(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+/// True if any entry is NaN or infinite.
+#[inline]
+pub fn has_non_finite(a: &[f64]) -> bool {
+    a.iter().any(|x| !x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut x = [3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_untouched() {
+        let mut x = [0.0, 0.0];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&a), 2.5);
+        assert!((variance_around(&a, 2.5) - 1.25).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance_around(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!has_non_finite(&[1.0, 2.0]));
+        assert!(has_non_finite(&[1.0, f64::NAN]));
+        assert!(has_non_finite(&[f64::INFINITY]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use roadpart_linalg::{eigh, CsrMatrix, DenseMatrix, RankOneUpdate, SymOp};
+
+/// Random symmetric dense matrix of dimension 2..=12.
+fn arb_symmetric() -> impl Strategy<Value = DenseMatrix> {
+    (2usize..12).prop_flat_map(|n| {
+        proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |raw| {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let v = raw[i * n + j];
+                    a.set(i, j, v);
+                    a.set(j, i, v);
+                }
+            }
+            a
+        })
+    })
+}
+
+/// Random sparse symmetric matrix plus a probe vector.
+fn arb_sparse() -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, 0.01f64..3.0), 1..3 * n);
+        let x = proptest::collection::vec(-2.0f64..2.0, n);
+        (edges, x).prop_map(move |(edges, x)| {
+            let a = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+            (a, x)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full eigendecomposition invariants: residuals, orthonormality,
+    /// sortedness, and trace preservation.
+    #[test]
+    fn eigh_invariants(a in arb_symmetric()) {
+        let n = a.rows();
+        let dec = eigh(&a).unwrap();
+        // Sorted ascending.
+        for w in dec.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        // Residuals and orthonormality.
+        for j in 0..n {
+            let q = dec.vector(j);
+            let mut aq = vec![0.0; n];
+            a.matvec(&q, &mut aq).unwrap();
+            for i in 0..n {
+                prop_assert!((aq[i] - dec.values[j] * q[i]).abs() < 1e-7);
+            }
+            for l in j..n {
+                let dot: f64 = q.iter().zip(dec.vector(l)).map(|(x, y)| x * y).sum();
+                let expect = if l == j { 1.0 } else { 0.0 };
+                prop_assert!((dot - expect).abs() < 1e-7);
+            }
+        }
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let sum: f64 = dec.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+    }
+
+    /// CSR matvec agrees with the dense matvec, and symmetry holds.
+    #[test]
+    fn csr_matvec_matches_dense((a, x) in arb_sparse()) {
+        prop_assert!(a.is_symmetric(1e-12));
+        let n = a.dim();
+        let mut ys = vec![0.0; n];
+        a.matvec(&x, &mut ys).unwrap();
+        let mut yd = vec![0.0; n];
+        a.to_dense().matvec(&x, &mut yd).unwrap();
+        for (s, d) in ys.iter().zip(&yd) {
+            prop_assert!((s - d).abs() < 1e-9);
+        }
+        // Degrees are row sums of the dense form.
+        let deg = a.degrees();
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| a.to_dense().get(i, j)).sum();
+            prop_assert!((deg[i] - row_sum).abs() < 1e-9);
+        }
+    }
+
+    /// Principal submatrices preserve entries under renumbering.
+    #[test]
+    fn csr_submatrix_principal((a, _) in arb_sparse(), pick in proptest::collection::vec(any::<bool>(), 30)) {
+        let keep: Vec<usize> = (0..a.dim()).filter(|&i| *pick.get(i).unwrap_or(&false)).collect();
+        let sub = a.submatrix(&keep).unwrap();
+        for (p, &old_p) in keep.iter().enumerate() {
+            for (q, &old_q) in keep.iter().enumerate() {
+                prop_assert_eq!(sub.get(p, q), a.get(old_p, old_q));
+            }
+        }
+    }
+
+    /// The rank-one operator equals its densified form on arbitrary probes.
+    #[test]
+    fn rank_one_operator_consistent((a, x) in arb_sparse()) {
+        let d = a.degrees();
+        let s: f64 = d.iter().sum::<f64>().max(1.0);
+        let op = RankOneUpdate::new(&a, d.clone(), 1.0 / s, -1.0).unwrap();
+        let dense = roadpart_linalg::densify(&op);
+        let n = a.dim();
+        let mut y1 = vec![0.0; n];
+        op.apply(&x, &mut y1);
+        let mut y2 = vec![0.0; n];
+        dense.matvec(&x, &mut y2).unwrap();
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+}

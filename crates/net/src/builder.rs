@@ -1,0 +1,136 @@
+//! Fluent programmatic construction of road networks.
+
+use crate::error::Result;
+use crate::ids::{IntersectionId, SegmentId};
+use crate::network::{Intersection, RoadNetwork, RoadSegment};
+
+/// Default urban free-flow speed (~50 km/h).
+pub const DEFAULT_FREE_SPEED_MPS: f64 = 13.9;
+
+/// Incremental builder for [`RoadNetwork`].
+///
+/// ```
+/// use roadpart_net::builder::RoadNetworkBuilder;
+///
+/// let mut b = RoadNetworkBuilder::new();
+/// let a = b.intersection(0.0, 0.0);
+/// let c = b.intersection(100.0, 0.0);
+/// b.two_way_road(a, c);          // adds two directed segments
+/// let net = b.build().unwrap();
+/// assert_eq!(net.segment_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    intersections: Vec<Intersection>,
+    segments: Vec<RoadSegment>,
+    free_speed_mps: Option<f64>,
+}
+
+impl RoadNetworkBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the free-flow speed used for subsequently added segments.
+    pub fn free_speed(&mut self, mps: f64) -> &mut Self {
+        self.free_speed_mps = Some(mps);
+        self
+    }
+
+    /// Adds an intersection and returns its id.
+    pub fn intersection(&mut self, x: f64, y: f64) -> IntersectionId {
+        let id = IntersectionId::from_index(self.intersections.len());
+        self.intersections.push(Intersection { x, y });
+        id
+    }
+
+    /// Euclidean distance between two existing intersections.
+    fn distance(&self, a: IntersectionId, b: IntersectionId) -> f64 {
+        let pa = self.intersections[a.index()];
+        let pb = self.intersections[b.index()];
+        ((pa.x - pb.x).powi(2) + (pa.y - pb.y).powi(2)).sqrt()
+    }
+
+    /// Adds a one-way segment from `a` to `b`; length defaults to the
+    /// Euclidean distance (minimum 1 m).
+    pub fn one_way_road(&mut self, a: IntersectionId, b: IntersectionId) -> SegmentId {
+        let id = SegmentId::from_index(self.segments.len());
+        self.segments.push(RoadSegment {
+            from: a,
+            to: b,
+            length_m: self.distance(a, b).max(1.0),
+            free_speed_mps: self.free_speed_mps.unwrap_or(DEFAULT_FREE_SPEED_MPS),
+            density: 0.0,
+        });
+        id
+    }
+
+    /// Adds a two-way road as two directed segments; returns both ids.
+    pub fn two_way_road(&mut self, a: IntersectionId, b: IntersectionId) -> (SegmentId, SegmentId) {
+        (self.one_way_road(a, b), self.one_way_road(b, a))
+    }
+
+    /// Number of intersections added so far.
+    pub fn intersection_count(&self) -> usize {
+        self.intersections.len()
+    }
+
+    /// Number of segments added so far.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    /// Propagates [`RoadNetwork::new`] validation failures.
+    pub fn build(self) -> Result<RoadNetwork> {
+        RoadNetwork::new(self.intersections, self.segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_two_way_grid_cell() {
+        let mut b = RoadNetworkBuilder::new();
+        let p: Vec<_> = [(0.0, 0.0), (100.0, 0.0), (100.0, 100.0), (0.0, 100.0)]
+            .iter()
+            .map(|&(x, y)| b.intersection(x, y))
+            .collect();
+        for i in 0..4 {
+            b.two_way_road(p[i], p[(i + 1) % 4]);
+        }
+        let net = b.build().unwrap();
+        assert_eq!(net.intersection_count(), 4);
+        assert_eq!(net.segment_count(), 8);
+        assert!(net.is_weakly_connected());
+        assert!((net.segment(SegmentId(0)).length_m - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_speed_applies_to_later_segments() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.intersection(0.0, 0.0);
+        let c = b.intersection(10.0, 0.0);
+        let s1 = b.one_way_road(a, c);
+        b.free_speed(25.0);
+        let s2 = b.one_way_road(c, a);
+        let net = b.build().unwrap();
+        assert_eq!(net.segment(s1).free_speed_mps, DEFAULT_FREE_SPEED_MPS);
+        assert_eq!(net.segment(s2).free_speed_mps, 25.0);
+    }
+
+    #[test]
+    fn coincident_intersections_get_minimum_length() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.intersection(5.0, 5.0);
+        let c = b.intersection(5.0, 5.0);
+        b.one_way_road(a, c);
+        let net = b.build().unwrap();
+        assert_eq!(net.segment(SegmentId(0)).length_m, 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Strongly-connected components (Kosaraju's algorithm, iterative).
+
+/// Computes SCC labels for a directed graph given forward and reverse
+/// adjacency lists. Labels are dense in `0..n_components`, assigned in
+/// reverse topological order of the condensation.
+pub fn kosaraju(fwd: &[Vec<usize>], rev: &[Vec<usize>]) -> Vec<usize> {
+    let n = fwd.len();
+    debug_assert_eq!(rev.len(), n);
+    // Pass 1: iterative DFS finish order on the forward graph.
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        stack.push((start, 0));
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < fwd[v].len() {
+                let w = fwd[v][*next];
+                *next += 1;
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: reverse-graph DFS in reverse finish order assigns components.
+    let mut comp = vec![usize::MAX; n];
+    let mut label = 0usize;
+    let mut dfs = Vec::new();
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = label;
+        dfs.push(start);
+        while let Some(v) = dfs.pop() {
+            for &w in &rev[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = label;
+                    dfs.push(w);
+                }
+            }
+        }
+        label += 1;
+    }
+    comp
+}
+
+/// Returns `(labels, size_of_largest, label_of_largest)`.
+pub fn largest_component(fwd: &[Vec<usize>], rev: &[Vec<usize>]) -> (Vec<usize>, usize, usize) {
+    let comp = kosaraju(fwd, rev);
+    let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; n_comp];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let (best_label, &best_size) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .unwrap_or((0, &0));
+    (comp, best_size, best_label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let mut fwd = vec![Vec::new(); n];
+        let mut rev = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            fwd[a].push(b);
+            rev[b].push(a);
+        }
+        (fwd, rev)
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let (fwd, rev) = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let comp = kosaraju(&fwd, &rev);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn chain_is_all_singletons() {
+        let (fwd, rev) = graph(3, &[(0, 1), (1, 2)]);
+        let comp = kosaraju(&fwd, &rev);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn mixed_structure() {
+        // SCC {0,1,2} cycle, plus tail 2 -> 3 -> 4.
+        let (fwd, rev) = graph(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let (comp, size, label) = largest_component(&fwd, &rev);
+        assert_eq!(size, 3);
+        assert_eq!(comp[0], label);
+        assert_eq!(comp[1], label);
+        assert_eq!(comp[2], label);
+        assert_ne!(comp[3], label);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (fwd, rev) = graph(0, &[]);
+        let (comp, size, _) = largest_component(&fwd, &rev);
+        assert!(comp.is_empty());
+        assert_eq!(size, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Jittered grid street plans — the skeleton of most CBD street layouts.
+
+use super::StreetPlan;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for a jittered rectangular grid.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Number of intersection columns.
+    pub nx: usize,
+    /// Number of intersection rows.
+    pub ny: usize,
+    /// Block edge length in metres.
+    pub spacing_m: f64,
+    /// Positional jitter as a fraction of `spacing_m` (0 = perfect grid).
+    pub jitter_frac: f64,
+    /// Every `arterial_every`-th grid line is an arterial with
+    /// [`ARTERIAL_SPEED_MPS`] instead of the default local speed
+    /// (0 disables the hierarchy).
+    pub arterial_every: usize,
+}
+
+/// Free-flow speed of arterial streets (~70 km/h).
+pub const ARTERIAL_SPEED_MPS: f64 = 19.4;
+/// Free-flow speed of local streets (~50 km/h).
+pub const LOCAL_SPEED_MPS: f64 = 13.9;
+
+impl GridConfig {
+    /// Picks grid dimensions whose product approximates
+    /// `target_intersections`, with a mild east-west elongation typical of
+    /// CBD grids.
+    pub fn for_target(target_intersections: usize, spacing_m: f64) -> Self {
+        let aspect = 1.3f64;
+        let nx = ((target_intersections as f64 * aspect).sqrt().round() as usize).max(2);
+        let ny = (target_intersections as f64 / nx as f64).round().max(2.0) as usize;
+        Self {
+            nx,
+            ny,
+            spacing_m,
+            jitter_frac: 0.15,
+            arterial_every: 4,
+        }
+    }
+}
+
+/// Generates a jittered grid street plan: `nx * ny` intersections connected
+/// by horizontal and vertical streets.
+pub fn grid_plan(cfg: &GridConfig, rng: &mut ChaCha8Rng) -> StreetPlan {
+    let (nx, ny) = (cfg.nx.max(2), cfg.ny.max(2));
+    let jitter = cfg.spacing_m * cfg.jitter_frac;
+    let mut points = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let dx = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
+            let dy = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
+            points.push((i as f64 * cfg.spacing_m + dx, j as f64 * cfg.spacing_m + dy));
+        }
+    }
+    let idx = |i: usize, j: usize| j * nx + i;
+    let is_arterial_line = |line: usize| cfg.arterial_every > 0 && line % cfg.arterial_every == 0;
+    let mut streets = Vec::with_capacity(2 * nx * ny);
+    let mut street_speed = Vec::with_capacity(2 * nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            if i + 1 < nx {
+                streets.push((idx(i, j), idx(i + 1, j)));
+                street_speed.push(if is_arterial_line(j) {
+                    ARTERIAL_SPEED_MPS
+                } else {
+                    LOCAL_SPEED_MPS
+                });
+            }
+            if j + 1 < ny {
+                streets.push((idx(i, j), idx(i, j + 1)));
+                street_speed.push(if is_arterial_line(i) {
+                    ARTERIAL_SPEED_MPS
+                } else {
+                    LOCAL_SPEED_MPS
+                });
+            }
+        }
+    }
+    StreetPlan {
+        points,
+        streets,
+        street_speed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_counts() {
+        let cfg = GridConfig {
+            nx: 4,
+            ny: 3,
+            spacing_m: 100.0,
+            jitter_frac: 0.0,
+            arterial_every: 0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let plan = grid_plan(&cfg, &mut rng);
+        assert_eq!(plan.points.len(), 12);
+        // Streets: 3*3 horizontal + 4*2 vertical = 17.
+        assert_eq!(plan.streets.len(), 17);
+        assert!(plan.is_connected());
+    }
+
+    #[test]
+    fn for_target_is_close() {
+        let cfg = GridConfig::for_target(240, 100.0);
+        let n = cfg.nx * cfg.ny;
+        assert!(
+            (n as i64 - 240).unsigned_abs() < 40,
+            "grid {}x{} = {n} too far from 240",
+            cfg.nx,
+            cfg.ny
+        );
+    }
+
+    #[test]
+    fn jitter_keeps_points_near_lattice() {
+        let cfg = GridConfig {
+            nx: 5,
+            ny: 5,
+            spacing_m: 100.0,
+            jitter_frac: 0.1,
+            arterial_every: 0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let plan = grid_plan(&cfg, &mut rng);
+        for (k, &(x, y)) in plan.points.iter().enumerate() {
+            let (i, j) = (k % 5, k / 5);
+            assert!((x - i as f64 * 100.0).abs() <= 10.0);
+            assert!((y - j as f64 * 100.0).abs() <= 10.0);
+        }
+    }
+}

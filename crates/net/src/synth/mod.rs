@@ -1,0 +1,378 @@
+//! Synthetic urban road networks.
+//!
+//! The paper evaluates on Downtown San Francisco (D1) and three Melbourne
+//! extracts (M1–M3). Those map files and the traffic traces behind them are
+//! not distributable, so this module generates *synthetic* networks with
+//! matching statistics: intersection count, directed-segment count (via a
+//! one-way/two-way mix), covered area, and connectedness. See DESIGN.md
+//! ("Substitutions") for why this preserves the behaviour under test.
+
+pub mod grid;
+pub mod sparsify;
+pub mod spider;
+
+use crate::builder::RoadNetworkBuilder;
+use crate::error::{NetError, Result};
+use crate::network::RoadNetwork;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// An undirected street plan: intersection coordinates plus undirected
+/// street edges. Plans are *realized* into directed [`RoadNetwork`]s by
+/// [`realize`].
+#[derive(Debug, Clone)]
+pub struct StreetPlan {
+    /// Intersection coordinates in metres.
+    pub points: Vec<(f64, f64)>,
+    /// Undirected street edges between point indices.
+    pub streets: Vec<(usize, usize)>,
+    /// Free-flow speed per street in metres/second (street hierarchy:
+    /// arterials are faster than local streets). Empty = all default.
+    pub street_speed: Vec<f64>,
+}
+
+impl StreetPlan {
+    /// True when all points are reachable from point 0 over streets.
+    pub fn is_connected(&self) -> bool {
+        let n = self.points.len();
+        if n == 0 {
+            return true;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.streets {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(i) = stack.pop() {
+            for &j in &adj[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    count += 1;
+                    stack.push(j);
+                }
+            }
+        }
+        count == n
+    }
+}
+
+/// Fraction of intersections the largest strongly connected component must
+/// cover after realization. Real map extracts are not fully strongly
+/// connected (boundary dead-ends, service roads), so we only guarantee a
+/// *giant* SCC and let traffic flow inside it.
+pub const GIANT_SCC_COVERAGE: f64 = 0.85;
+
+/// Turns a street plan into a directed road network: each street becomes a
+/// two-way road (two directed segments) with probability `1 - one_way_frac`,
+/// otherwise a one-way road with random direction. If the random orientation
+/// shatters strong connectivity too badly, one-way streets crossing
+/// SCC boundaries are promoted back to two-way until the largest SCC covers
+/// [`GIANT_SCC_COVERAGE`] of the intersections, so the realized one-way
+/// share can land below the request.
+///
+/// # Errors
+/// Returns [`NetError::Invalid`] if `one_way_frac` is outside `[0, 1]`,
+/// plus any network-validation failure.
+pub fn realize(plan: &StreetPlan, one_way_frac: f64, rng: &mut ChaCha8Rng) -> Result<RoadNetwork> {
+    if !(0.0..=1.0).contains(&one_way_frac) {
+        return Err(NetError::Invalid(format!(
+            "one_way_frac must be in [0,1], got {one_way_frac}"
+        )));
+    }
+    if !plan.street_speed.is_empty() && plan.street_speed.len() != plan.streets.len() {
+        return Err(NetError::Invalid(format!(
+            "street_speed length {} != street count {}",
+            plan.street_speed.len(),
+            plan.streets.len()
+        )));
+    }
+    let n = plan.points.len();
+    // Street -> (from, to, two_way) with an initial random orientation mix.
+    let mut realized: Vec<(usize, usize, bool)> = plan
+        .streets
+        .iter()
+        .map(|&(p, q)| {
+            if rng.gen::<f64>() < one_way_frac {
+                if rng.gen::<bool>() {
+                    (p, q, false)
+                } else {
+                    (q, p, false)
+                }
+            } else {
+                (p, q, true)
+            }
+        })
+        .collect();
+
+    // Giant-SCC repair: the endpoints of a two-way street always share an
+    // SCC, so streets crossing SCC boundaries are one-way; promoting the
+    // ones incident to the current largest component grows it monotonically.
+    loop {
+        let (comp, size, label) = scc_of_realized(n, &realized);
+        if n == 0 || size as f64 >= GIANT_SCC_COVERAGE * n as f64 {
+            break;
+        }
+        let mut promoted = false;
+        for street in realized.iter_mut() {
+            if !street.2
+                && comp[street.0] != comp[street.1]
+                && (comp[street.0] == label || comp[street.1] == label)
+            {
+                street.2 = true;
+                promoted = true;
+            }
+        }
+        if !promoted {
+            // Grow elsewhere: promote all cross-component one-ways.
+            for street in realized.iter_mut() {
+                if !street.2 && comp[street.0] != comp[street.1] {
+                    street.2 = true;
+                    promoted = true;
+                }
+            }
+            if !promoted {
+                break; // weakly disconnected plan: nothing more to do
+            }
+        }
+    }
+
+    let mut b = RoadNetworkBuilder::new();
+    let ids: Vec<_> = plan
+        .points
+        .iter()
+        .map(|&(x, y)| b.intersection(x, y))
+        .collect();
+    for (street, &(p, q, two_way)) in realized.iter().enumerate() {
+        if let Some(&speed) = plan.street_speed.get(street) {
+            b.free_speed(speed);
+        }
+        if two_way {
+            b.two_way_road(ids[p], ids[q]);
+        } else {
+            b.one_way_road(ids[p], ids[q]);
+        }
+    }
+    b.build()
+}
+
+/// SCC labels plus the size/label of the largest component for the directed
+/// view of the realized streets.
+fn scc_of_realized(n: usize, realized: &[(usize, usize, bool)]) -> (Vec<usize>, usize, usize) {
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(p, q, two_way) in realized {
+        fwd[p].push(q);
+        rev[q].push(p);
+        if two_way {
+            fwd[q].push(p);
+            rev[p].push(q);
+        }
+    }
+    crate::scc::largest_component(&fwd, &rev)
+}
+
+/// Recipe for a synthetic urban network with target statistics.
+#[derive(Debug, Clone)]
+pub struct UrbanConfig {
+    /// Human-readable dataset name (e.g. `"D1"`).
+    pub name: &'static str,
+    /// Desired number of intersection points.
+    pub target_intersections: usize,
+    /// Desired number of directed road segments.
+    pub target_segments: usize,
+    /// Covered area in square miles (sets the coordinate scale).
+    pub area_sq_miles: f64,
+    /// Streets per intersection before the one-way mix (urban planar graphs
+    /// sit around 1.1–1.3). Default 1.15.
+    pub street_factor: f64,
+}
+
+impl UrbanConfig {
+    /// Downtown San Francisco surrogate (paper Table 1, column D1):
+    /// 420 segments / 237 intersections / 2.5 sq mi.
+    pub fn d1() -> Self {
+        Self {
+            name: "D1",
+            target_intersections: 237,
+            target_segments: 420,
+            area_sq_miles: 2.5,
+            street_factor: 1.15,
+        }
+    }
+
+    /// CBD Melbourne surrogate (M1): 17,206 segments / 10,096 intersections.
+    pub fn m1() -> Self {
+        Self {
+            name: "M1",
+            target_intersections: 10_096,
+            target_segments: 17_206,
+            area_sq_miles: 6.6,
+            street_factor: 1.15,
+        }
+    }
+
+    /// CBD(+) Melbourne surrogate (M2): 53,494 segments / 28,465
+    /// intersections.
+    pub fn m2() -> Self {
+        Self {
+            name: "M2",
+            target_intersections: 28_465,
+            target_segments: 53_494,
+            area_sq_miles: 31.5,
+            street_factor: 1.15,
+        }
+    }
+
+    /// Melbourne surrogate (M3): 79,487 segments / 42,321 intersections.
+    pub fn m3() -> Self {
+        Self {
+            name: "M3",
+            target_intersections: 42_321,
+            target_segments: 79_487,
+            area_sq_miles: 42.03,
+            street_factor: 1.15,
+        }
+    }
+
+    /// Scales intersection/segment targets (and area proportionally) for
+    /// fast CI runs. `scale = 1.0` reproduces the paper statistics.
+    pub fn scaled(&self, scale: f64) -> Self {
+        let s = scale.clamp(1e-3, 1.0);
+        Self {
+            name: self.name,
+            target_intersections: ((self.target_intersections as f64 * s) as usize).max(16),
+            target_segments: ((self.target_segments as f64 * s) as usize).max(24),
+            area_sq_miles: self.area_sq_miles * s,
+            street_factor: self.street_factor,
+        }
+    }
+
+    /// Generates the network: jittered grid, connectivity-preserving
+    /// sparsification to `street_factor * intersections` streets, then a
+    /// one-way mix calibrated so the directed-segment count lands on target.
+    ///
+    /// The strong-connectivity repair in [`realize`] promotes some one-way
+    /// streets back to two-way, so the mix is calibrated by a short
+    /// feedback loop rather than the closed-form `f = 2 - segments/streets`.
+    ///
+    /// # Errors
+    /// Propagates construction failures (cannot occur for sane configs).
+    pub fn generate(&self, seed: u64) -> Result<RoadNetwork> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let side_m = (self.area_sq_miles.max(1e-6)).sqrt() * 1609.344;
+        let spacing = side_m / (self.target_intersections as f64).sqrt().max(2.0);
+        let cfg = grid::GridConfig::for_target(self.target_intersections, spacing);
+        let mut plan = grid::grid_plan(&cfg, &mut rng);
+        let n_int = plan.points.len();
+        let target_streets =
+            ((self.street_factor * n_int as f64).round() as usize).max(n_int.saturating_sub(1));
+        sparsify::sparsify(&mut plan, target_streets, &mut rng);
+
+        // Rescale the segment target to the actually generated intersection
+        // count so the segments-per-intersection ratio matches the paper.
+        let streets = plan.streets.len() as f64;
+        let seg_target = self.target_segments as f64 * n_int as f64
+            / self.target_intersections.max(1) as f64;
+        let mut frac = (2.0 - seg_target / streets).clamp(0.0, 1.0);
+        let mut best: Option<RoadNetwork> = None;
+        let mut best_err = f64::INFINITY;
+        for attempt in 0..6u64 {
+            let mut attempt_rng = ChaCha8Rng::seed_from_u64(seed ^ (attempt.wrapping_mul(0x9e37)));
+            let net = realize(&plan, frac, &mut attempt_rng)?;
+            let err = (net.segment_count() as f64 - seg_target).abs();
+            let overshoot = net.segment_count() as f64 - seg_target;
+            if err < best_err {
+                best_err = err;
+                best = Some(net);
+            }
+            if best_err / seg_target.max(1.0) < 0.03 || frac >= 1.0 {
+                break;
+            }
+            // The repair only *adds* segments, so overshoot is corrected by
+            // requesting more one-way streets.
+            frac = (frac + overshoot / streets).clamp(0.0, 1.0);
+        }
+        Ok(best.expect("at least one realization attempt"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_statistics_close_to_paper() {
+        let net = UrbanConfig::d1().generate(42).unwrap();
+        let i = net.intersection_count() as f64;
+        let s = net.segment_count() as f64;
+        assert!((i - 237.0).abs() / 237.0 < 0.12, "intersections: {i}");
+        assert!((s - 420.0).abs() / 420.0 < 0.15, "segments: {s}");
+        assert!(net.is_weakly_connected());
+    }
+
+    #[test]
+    fn scaled_m1_statistics() {
+        let cfg = UrbanConfig::m1().scaled(0.05);
+        let net = cfg.generate(7).unwrap();
+        let ratio = net.segment_count() as f64 / net.intersection_count() as f64;
+        // The paper's M1 has 1.70 segments per intersection.
+        assert!((1.3..=2.1).contains(&ratio), "segment ratio {ratio}");
+        assert!(net.is_weakly_connected());
+    }
+
+    #[test]
+    fn realize_rejects_bad_fraction() {
+        let plan = StreetPlan {
+            points: vec![(0.0, 0.0), (1.0, 0.0)],
+            streets: vec![(0, 1)],
+            street_speed: vec![],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(realize(&plan, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn realize_extremes() {
+        let plan = StreetPlan {
+            points: vec![(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)],
+            streets: vec![(0, 1), (1, 2)],
+            street_speed: vec![],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let all_two_way = realize(&plan, 0.0, &mut rng).unwrap();
+        assert_eq!(all_two_way.segment_count(), 4);
+        // A line cannot be strongly connected with one-way streets, so the
+        // repair promotes everything back to two-way.
+        let repaired = realize(&plan, 1.0, &mut rng).unwrap();
+        assert_eq!(repaired.segment_count(), 4);
+    }
+
+    #[test]
+    fn realized_network_has_giant_scc() {
+        let net = UrbanConfig::d1().generate(42).unwrap();
+        let mask = net.largest_scc_mask();
+        let covered = mask.iter().filter(|&&m| m).count();
+        assert!(
+            covered as f64 >= GIANT_SCC_COVERAGE * net.intersection_count() as f64,
+            "giant SCC covers only {covered}/{}",
+            net.intersection_count()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = UrbanConfig::d1().generate(5).unwrap();
+        let b = UrbanConfig::d1().generate(5).unwrap();
+        assert_eq!(a.segment_count(), b.segment_count());
+        assert_eq!(a.densities(), b.densities());
+        let c = UrbanConfig::d1().generate(6).unwrap();
+        // Different seed should (overwhelmingly) give a different layout.
+        let pa: Vec<_> = a.intersections().iter().map(|p| (p.x, p.y)).collect();
+        let pc: Vec<_> = c.intersections().iter().map(|p| (p.x, p.y)).collect();
+        assert_ne!(pa, pc);
+    }
+}

@@ -1,0 +1,151 @@
+//! Connectivity-preserving street pruning.
+//!
+//! Real urban networks are sparser than a full grid (the paper's datasets
+//! average ~1.6–1.9 directed segments per intersection). Pruning removes
+//! random streets while protecting a random spanning tree so the plan stays
+//! connected.
+
+use super::StreetPlan;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+
+/// Union-find over plan points, used to grow the protected spanning tree.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Returns true if the union merged two distinct components.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+/// Removes streets uniformly at random until at most `target_streets`
+/// remain, never removing a (randomly chosen) spanning tree, so a connected
+/// plan stays connected.
+///
+/// If `target_streets` is below the spanning-tree size the tree is kept
+/// as-is; if it is above the current street count the plan is unchanged.
+pub fn sparsify(plan: &mut StreetPlan, target_streets: usize, rng: &mut ChaCha8Rng) {
+    if plan.streets.len() <= target_streets {
+        return;
+    }
+    // Shuffle, then greedily mark the first edge joining two components as
+    // protected — a uniformly random spanning tree substitute (random order
+    // Kruskal).
+    let mut order: Vec<usize> = (0..plan.streets.len()).collect();
+    order.shuffle(rng);
+    let mut uf = UnionFind::new(plan.points.len());
+    let mut protected = vec![false; plan.streets.len()];
+    for &e in &order {
+        let (a, b) = plan.streets[e];
+        if uf.union(a, b) {
+            protected[e] = true;
+        }
+    }
+    // Walk the same random order, dropping unprotected streets while above
+    // target.
+    let mut keep = vec![true; plan.streets.len()];
+    let mut remaining = plan.streets.len();
+    for &e in &order {
+        if remaining <= target_streets {
+            break;
+        }
+        if !protected[e] {
+            keep[e] = false;
+            remaining -= 1;
+        }
+    }
+    let mut filtered = Vec::with_capacity(remaining);
+    let mut filtered_speed = Vec::with_capacity(remaining);
+    for (e, &street) in plan.streets.iter().enumerate() {
+        if keep[e] {
+            filtered.push(street);
+            if let Some(&speed) = plan.street_speed.get(e) {
+                filtered_speed.push(speed);
+            }
+        }
+    }
+    plan.streets = filtered;
+    if !plan.street_speed.is_empty() {
+        plan.street_speed = filtered_speed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::grid::{grid_plan, GridConfig};
+    use rand::SeedableRng;
+
+    fn plan() -> StreetPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        grid_plan(
+            &GridConfig {
+                nx: 10,
+                ny: 10,
+                spacing_m: 100.0,
+                jitter_frac: 0.0,
+                arterial_every: 4,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn reaches_target_and_stays_connected() {
+        let mut p = plan();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        sparsify(&mut p, 120, &mut rng);
+        assert_eq!(p.streets.len(), 120);
+        assert!(p.is_connected());
+    }
+
+    #[test]
+    fn never_breaks_below_spanning_tree() {
+        let mut p = plan();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        sparsify(&mut p, 1, &mut rng);
+        assert_eq!(p.streets.len(), p.points.len() - 1);
+        assert!(p.is_connected());
+    }
+
+    #[test]
+    fn noop_when_already_sparse() {
+        let mut p = plan();
+        let before = p.streets.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        sparsify(&mut p, before + 10, &mut rng);
+        assert_eq!(p.streets.len(), before);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (mut a, mut b) = (plan(), plan());
+        let mut r1 = ChaCha8Rng::seed_from_u64(99);
+        let mut r2 = ChaCha8Rng::seed_from_u64(99);
+        sparsify(&mut a, 140, &mut r1);
+        sparsify(&mut b, 140, &mut r2);
+        assert_eq!(a.streets, b.streets);
+    }
+}

@@ -1,0 +1,115 @@
+//! Radial-ring ("spider web") street plans — the skeleton of many European
+//! city cores and of arterial systems around a CBD.
+
+use super::StreetPlan;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for a radial-ring plan.
+#[derive(Debug, Clone)]
+pub struct SpiderConfig {
+    /// Number of concentric rings (>= 1).
+    pub rings: usize,
+    /// Number of radial spokes (>= 3).
+    pub spokes: usize,
+    /// Distance between consecutive rings in metres.
+    pub ring_spacing_m: f64,
+    /// Angular jitter in radians applied per point.
+    pub jitter_rad: f64,
+}
+
+/// Generates a spider-web plan: one centre point, `rings x spokes` ring
+/// points, streets along each ring and each spoke.
+pub fn spider_plan(cfg: &SpiderConfig, rng: &mut ChaCha8Rng) -> StreetPlan {
+    let rings = cfg.rings.max(1);
+    let spokes = cfg.spokes.max(3);
+    let mut points = Vec::with_capacity(1 + rings * spokes);
+    points.push((0.0, 0.0)); // centre
+    for r in 1..=rings {
+        for s in 0..spokes {
+            let base = 2.0 * std::f64::consts::PI * s as f64 / spokes as f64;
+            let theta = if cfg.jitter_rad > 0.0 {
+                base + rng.gen_range(-cfg.jitter_rad..cfg.jitter_rad)
+            } else {
+                base
+            };
+            let radius = r as f64 * cfg.ring_spacing_m;
+            points.push((radius * theta.cos(), radius * theta.sin()));
+        }
+    }
+    let idx = |r: usize, s: usize| 1 + (r - 1) * spokes + s;
+    let mut streets = Vec::new();
+    let mut street_speed = Vec::new();
+    for s in 0..spokes {
+        // Spokes are radial arterials.
+        streets.push((0, idx(1, s)));
+        street_speed.push(crate::synth::grid::ARTERIAL_SPEED_MPS);
+        for r in 1..rings {
+            streets.push((idx(r, s), idx(r + 1, s)));
+            street_speed.push(crate::synth::grid::ARTERIAL_SPEED_MPS);
+        }
+    }
+    for r in 1..=rings {
+        for s in 0..spokes {
+            streets.push((idx(r, s), idx(r, (s + 1) % spokes)));
+            street_speed.push(crate::synth::grid::LOCAL_SPEED_MPS);
+        }
+    }
+    StreetPlan {
+        points,
+        streets,
+        street_speed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spider_counts() {
+        let cfg = SpiderConfig {
+            rings: 3,
+            spokes: 6,
+            ring_spacing_m: 200.0,
+            jitter_rad: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let plan = spider_plan(&cfg, &mut rng);
+        assert_eq!(plan.points.len(), 1 + 18);
+        // Streets: spokes*rings radial + rings*spokes circumferential.
+        assert_eq!(plan.streets.len(), 18 + 18);
+        assert!(plan.is_connected());
+    }
+
+    #[test]
+    fn radii_grow_with_ring() {
+        let cfg = SpiderConfig {
+            rings: 2,
+            spokes: 4,
+            ring_spacing_m: 100.0,
+            jitter_rad: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let plan = spider_plan(&cfg, &mut rng);
+        let r1 = (plan.points[1].0.powi(2) + plan.points[1].1.powi(2)).sqrt();
+        let r2 = (plan.points[5].0.powi(2) + plan.points[5].1.powi(2)).sqrt();
+        assert!((r1 - 100.0).abs() < 1e-9);
+        assert!((r2 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimums_enforced() {
+        let cfg = SpiderConfig {
+            rings: 0,
+            spokes: 1,
+            ring_spacing_m: 50.0,
+            jitter_rad: 0.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let plan = spider_plan(&cfg, &mut rng);
+        assert!(plan.is_connected());
+        assert_eq!(plan.points.len(), 1 + 3); // clamped to 1 ring, 3 spokes
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the road-network layer.
+
+use proptest::prelude::*;
+use roadpart_net::{io, RoadGraph, RoadNetworkBuilder};
+
+/// Random small network from a builder: a line backbone plus random extra
+/// roads, mixed one-way/two-way.
+fn arb_network() -> impl Strategy<Value = roadpart_net::RoadNetwork> {
+    (3usize..25).prop_flat_map(|n| {
+        let extras = proptest::collection::vec((0..n, 0..n, any::<bool>()), 0..n);
+        let densities = proptest::collection::vec(0.0f64..0.5, 3 * n + 10);
+        (Just(n), extras, densities).prop_map(|(n, extras, densities)| {
+            let mut b = RoadNetworkBuilder::new();
+            let pts: Vec<_> = (0..n)
+                .map(|i| b.intersection((i % 5) as f64 * 100.0, (i / 5) as f64 * 100.0))
+                .collect();
+            for w in pts.windows(2) {
+                b.two_way_road(w[0], w[1]);
+            }
+            for &(a, c, two_way) in &extras {
+                if a != c {
+                    if two_way {
+                        b.two_way_road(pts[a], pts[c]);
+                    } else {
+                        b.one_way_road(pts[a], pts[c]);
+                    }
+                }
+            }
+            let mut net = b.build().unwrap();
+            let k = net.segment_count();
+            net.set_densities(&densities[..k]).unwrap();
+            net
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dual construction invariants: one node per segment, symmetric binary
+    /// adjacency, features mirror densities, and adjacency is exactly
+    /// shared-intersection incidence.
+    #[test]
+    fn dual_graph_invariants(net in arb_network()) {
+        let g = RoadGraph::from_network(&net).unwrap();
+        prop_assert_eq!(g.node_count(), net.segment_count());
+        prop_assert!(g.adjacency().is_symmetric(0.0));
+        prop_assert_eq!(g.features().to_vec(), net.densities());
+        for (u, v, w) in g.adjacency().iter() {
+            prop_assert_eq!(w, 1.0, "road graph links are binary");
+            // Adjacent segments must share an endpoint.
+            let su = net.segment(roadpart_net::SegmentId::from_index(u));
+            let sv = net.segment(roadpart_net::SegmentId::from_index(v));
+            let shares = su.from == sv.from || su.from == sv.to
+                || su.to == sv.from || su.to == sv.to;
+            prop_assert!(shares, "linked segments {u},{v} share no intersection");
+        }
+    }
+
+    /// Text I/O round-trips every structural field.
+    #[test]
+    fn io_roundtrip(net in arb_network()) {
+        let mut buf = Vec::new();
+        io::write_network(&net, &mut buf).unwrap();
+        let back = io::read_network(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.intersection_count(), net.intersection_count());
+        prop_assert_eq!(back.segment_count(), net.segment_count());
+        prop_assert_eq!(back.densities(), net.densities());
+        for (a, b) in back.segments().iter().zip(net.segments()) {
+            prop_assert_eq!(a.from, b.from);
+            prop_assert_eq!(a.to, b.to);
+            prop_assert!((a.length_m - b.length_m).abs() < 1e-9);
+            prop_assert!((a.free_speed_mps - b.free_speed_mps).abs() < 1e-9);
+        }
+    }
+
+    /// The largest-SCC mask marks a mutually reachable set.
+    #[test]
+    fn scc_mask_is_strongly_connected(net in arb_network()) {
+        let mask = net.largest_scc_mask();
+        let members: Vec<usize> = (0..net.intersection_count()).filter(|&i| mask[i]).collect();
+        prop_assert!(!members.is_empty());
+        // Forward reachability from the first member covers all members.
+        let start = members[0];
+        let mut seen = vec![false; net.intersection_count()];
+        seen[start] = true;
+        let mut stack = vec![start];
+        while let Some(i) = stack.pop() {
+            for &s in net.outgoing(roadpart_net::IntersectionId::from_index(i)) {
+                let j = net.segment(s).to.index();
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        for &m in &members {
+            prop_assert!(seen[m], "SCC member {m} unreachable from {start}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Analytic congestion fields.
+//!
+//! A deterministic, simulation-free way to paint spatially correlated
+//! congestion onto a network: a base load plus Gaussian hotspots ("roads
+//! inside the city centre or any area having popular venues ... usually
+//! remain more congested", §1), modulated by a temporal profile. Used by
+//! fast tests and by workloads that don't need full microsimulation.
+
+use crate::profile::TemporalProfile;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use roadpart_net::{RoadNetwork, SegmentId};
+use serde::{Deserialize, Serialize};
+
+/// A congestion attractor: CBD, stadium, hospital, station...
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Centre easting, metres.
+    pub x: f64,
+    /// Centre northing, metres.
+    pub y: f64,
+    /// Added density at the centre, vehicles per metre.
+    pub amplitude: f64,
+    /// Gaussian radius, metres.
+    pub sigma_m: f64,
+}
+
+impl Hotspot {
+    /// Density contribution at `(x, y)`.
+    pub fn contribution(&self, x: f64, y: f64) -> f64 {
+        let d2 = (x - self.x).powi(2) + (y - self.y).powi(2);
+        self.amplitude * (-d2 / (2.0 * self.sigma_m * self.sigma_m)).exp()
+    }
+}
+
+/// A static spatial congestion field with per-segment multiplicative noise.
+#[derive(Debug, Clone)]
+pub struct CongestionField {
+    hotspots: Vec<Hotspot>,
+    base_density: f64,
+    /// Fixed per-segment noise multipliers in `[1-noise, 1+noise]`.
+    noise: Vec<f64>,
+}
+
+impl CongestionField {
+    /// Creates a field for a network. `noise_frac` is the relative noise
+    /// amplitude (e.g. `0.1` for ±10%); noise is frozen per segment so the
+    /// field is deterministic in time.
+    pub fn new(
+        net: &RoadNetwork,
+        hotspots: Vec<Hotspot>,
+        base_density: f64,
+        noise_frac: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let nf = noise_frac.clamp(0.0, 0.95);
+        let noise = (0..net.segment_count())
+            .map(|_| 1.0 + rng.gen_range(-nf..=nf))
+            .collect();
+        Self {
+            hotspots,
+            base_density,
+            noise,
+        }
+    }
+
+    /// A "CBD plus satellite centres" field sized to the network's bounding
+    /// box — the default urban congestion structure.
+    pub fn urban_default(net: &RoadNetwork, seed: u64) -> Self {
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in net.intersections() {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        let (w, h) = ((max_x - min_x).max(1.0), (max_y - min_y).max(1.0));
+        let span = w.min(h);
+        let hotspots = vec![
+            // CBD at centre: a broad congested district, not a point.
+            Hotspot {
+                x: min_x + 0.5 * w,
+                y: min_y + 0.5 * h,
+                amplitude: 0.08,
+                sigma_m: 0.25 * span,
+            },
+            // Satellite centres (station district, hospital precinct,
+            // stadium, shopping strip) with their own congestion regimes —
+            // distinct districts give the partitioner several genuine
+            // congestion regions to find.
+            Hotspot {
+                x: min_x + 0.18 * w,
+                y: min_y + 0.78 * h,
+                amplitude: 0.05,
+                sigma_m: 0.16 * span,
+            },
+            Hotspot {
+                x: min_x + 0.82 * w,
+                y: min_y + 0.22 * h,
+                amplitude: 0.06,
+                sigma_m: 0.18 * span,
+            },
+            Hotspot {
+                x: min_x + 0.8 * w,
+                y: min_y + 0.85 * h,
+                amplitude: 0.04,
+                sigma_m: 0.13 * span,
+            },
+            Hotspot {
+                x: min_x + 0.15 * w,
+                y: min_y + 0.2 * h,
+                amplitude: 0.035,
+                sigma_m: 0.14 * span,
+            },
+        ];
+        Self::new(net, hotspots, 0.01, 0.35, seed)
+    }
+
+    /// Density of one segment at normalized time `t` under `profile`.
+    pub fn density_at(
+        &self,
+        net: &RoadNetwork,
+        seg: SegmentId,
+        t: f64,
+        profile: &TemporalProfile,
+    ) -> f64 {
+        let (x, y) = net.segment_midpoint(seg);
+        let spatial: f64 = self.base_density
+            + self
+                .hotspots
+                .iter()
+                .map(|h| h.contribution(x, y))
+                .sum::<f64>();
+        // Street hierarchy: arterials (higher free-flow speeds) attract a
+        // disproportionate share of circulating traffic, giving the density
+        // distribution its multi-modal structure (distinct levels for local
+        // streets vs collectors vs arterials in every district).
+        let class = (net.segment(seg).free_speed_mps / 13.9).powf(1.5);
+        (profile.factor(t) * spatial * class * self.noise[seg.index()]).max(0.0)
+    }
+
+    /// Densities for all segments at normalized time `t`.
+    pub fn densities(&self, net: &RoadNetwork, t: f64, profile: &TemporalProfile) -> Vec<f64> {
+        (0..net.segment_count())
+            .map(|i| self.density_at(net, SegmentId::from_index(i), t, profile))
+            .collect()
+    }
+
+    /// The configured hotspots.
+    pub fn hotspots(&self) -> &[Hotspot] {
+        &self.hotspots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadpart_net::UrbanConfig;
+
+    fn net() -> RoadNetwork {
+        UrbanConfig::d1().scaled(0.5).generate(3).unwrap()
+    }
+
+    #[test]
+    fn hotspot_decays_with_distance() {
+        let h = Hotspot {
+            x: 0.0,
+            y: 0.0,
+            amplitude: 1.0,
+            sigma_m: 100.0,
+        };
+        assert!((h.contribution(0.0, 0.0) - 1.0).abs() < 1e-12);
+        assert!(h.contribution(100.0, 0.0) < 1.0);
+        assert!(h.contribution(1000.0, 0.0) < 1e-8);
+    }
+
+    #[test]
+    fn field_is_deterministic_and_nonnegative() {
+        let net = net();
+        let f = CongestionField::urban_default(&net, 1);
+        let p = TemporalProfile::morning();
+        let a = f.densities(&net, 0.3, &p);
+        let b = f.densities(&net, 0.3, &p);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&d| d >= 0.0));
+        assert_eq!(a.len(), net.segment_count());
+    }
+
+    #[test]
+    fn peak_time_denser_than_offpeak() {
+        let net = net();
+        let f = CongestionField::urban_default(&net, 1);
+        let p = TemporalProfile::morning();
+        let peak: f64 = f.densities(&net, 0.3, &p).iter().sum();
+        let off: f64 = f.densities(&net, 0.95, &p).iter().sum();
+        assert!(peak > off, "peak {peak} vs off-peak {off}");
+    }
+
+    #[test]
+    fn cbd_segments_denser_than_periphery() {
+        let net = net();
+        let f = CongestionField::urban_default(&net, 1);
+        let p = TemporalProfile::Flat;
+        let d = f.densities(&net, 0.5, &p);
+        // Compare mean density of the innermost vs outermost quartile of
+        // segments by distance to the CBD hotspot.
+        let cbd = f.hotspots()[0];
+        let mut by_dist: Vec<(f64, f64)> = (0..net.segment_count())
+            .map(|i| {
+                let (x, y) = net.segment_midpoint(roadpart_net::SegmentId::from_index(i));
+                (((x - cbd.x).powi(2) + (y - cbd.y).powi(2)).sqrt(), d[i])
+            })
+            .collect();
+        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let q = by_dist.len() / 4;
+        let inner: f64 = by_dist[..q].iter().map(|p| p.1).sum::<f64>() / q as f64;
+        let outer: f64 = by_dist[by_dist.len() - q..].iter().map(|p| p.1).sum::<f64>() / q as f64;
+        assert!(inner > outer, "inner {inner} vs outer {outer}");
+    }
+}

@@ -1,0 +1,447 @@
+//! Trip-based traffic microsimulation.
+//!
+//! The paper's D1 densities come from "a microsimulation performed for 4
+//! hours at 120 time intervals of 2 minutes" (§6.1). This module provides
+//! that substrate: vehicles follow shortest-path routes and advance each
+//! timestep at a density-dependent speed (a Greenshields-style linear
+//! speed-density law), and per-segment densities (vehicles/metre) are
+//! recorded at every step.
+
+use crate::density::DensityHistory;
+use crate::error::{Result, TrafficError};
+use crate::routing::Router;
+use crate::trip::Trip;
+use roadpart_net::{RoadNetwork, SegmentId};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Microsimulation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MicrosimConfig {
+    /// Length of one timestep in seconds. Paper D1 uses 120 s.
+    pub step_seconds: f64,
+    /// Number of timesteps to simulate. Paper D1 uses 120.
+    pub steps: usize,
+    /// Jam density in vehicles/metre at which traffic stops.
+    pub jam_density: f64,
+    /// Speed floor as a fraction of free-flow speed (prevents gridlock
+    /// deadlock in the discrete model).
+    pub min_speed_frac: f64,
+    /// Journey legs per vehicle: after completing a trip the vehicle picks
+    /// a fresh random destination and continues, `legs` times in total.
+    /// `1` is classic origin-destination; larger values reproduce MNTG's
+    /// random-waypoint behaviour, where vehicles keep the network loaded
+    /// throughout the recording window.
+    pub legs: usize,
+    /// Seed for re-destination draws (only used when `legs > 1`).
+    pub reroute_seed: u64,
+    /// Distance-decay scale for re-destination draws: `Some(beta)` accepts a
+    /// uniform candidate with probability `exp(-d/beta)` (local roaming, the
+    /// gravity-model counterpart), `None` draws uniformly.
+    pub redispatch_beta_m: Option<f64>,
+}
+
+impl Default for MicrosimConfig {
+    fn default() -> Self {
+        Self {
+            step_seconds: 120.0,
+            steps: 120,
+            jam_density: 0.15,
+            min_speed_frac: 0.05,
+            legs: 1,
+            reroute_seed: 0,
+            redispatch_beta_m: None,
+        }
+    }
+}
+
+/// Summary statistics of a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MicrosimStats {
+    /// Trips that departed (a route existed).
+    pub departed: usize,
+    /// Trips skipped because origin and destination were not connected.
+    pub unroutable: usize,
+    /// Trips that reached their destination within the window.
+    pub completed: usize,
+}
+
+/// Internal per-vehicle state.
+struct Vehicle {
+    route: Vec<SegmentId>,
+    leg: usize,
+    offset_m: f64,
+    /// Journey legs still to travel after the current route completes.
+    legs_remaining: usize,
+}
+
+/// Runs the microsimulation and records per-segment densities at every step.
+///
+/// # Errors
+/// Returns [`TrafficError::InvalidConfig`] for non-positive step length /
+/// jam density; unroutable trips are skipped and counted, not fatal.
+pub fn simulate(
+    net: &RoadNetwork,
+    trips: &[Trip],
+    cfg: &MicrosimConfig,
+) -> Result<(DensityHistory, MicrosimStats)> {
+    // NaN-rejecting comparisons (see RoadNetwork::new).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(cfg.step_seconds > 0.0) {
+        return Err(TrafficError::InvalidConfig(format!(
+            "step_seconds must be positive, got {}",
+            cfg.step_seconds
+        )));
+    }
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(cfg.jam_density > 0.0) {
+        return Err(TrafficError::InvalidConfig(format!(
+            "jam_density must be positive, got {}",
+            cfg.jam_density
+        )));
+    }
+    let min_frac = cfg.min_speed_frac.clamp(0.01, 1.0);
+
+    let n_seg = net.segment_count();
+    let mut history = DensityHistory::new(n_seg);
+    let mut stats = MicrosimStats::default();
+
+    // Trips sorted into departure buckets.
+    let mut departures: Vec<Vec<&Trip>> = vec![Vec::new(); cfg.steps];
+    for t in trips {
+        if t.depart_step < cfg.steps {
+            departures[t.depart_step].push(t);
+        }
+    }
+
+    let mut router = Router::new(net);
+    let mut counts: Vec<f64> = vec![0.0; n_seg];
+    let mut speeds: Vec<f64> = vec![0.0; n_seg];
+    // Vehicle-seconds spent on each segment within the current step; the
+    // recorded density is this time-averaged occupancy (a 2-minute traffic
+    // density *is* an interval average, not an instantaneous count).
+    let mut occupancy: Vec<f64> = vec![0.0; n_seg];
+    let mut active: Vec<Vehicle> = Vec::new();
+
+    // Candidate destinations for journey legs beyond the first: the
+    // largest strongly connected component, so re-dispatch never strands a
+    // vehicle.
+    let redispatch_pool: Vec<usize> = if cfg.legs > 1 {
+        let mask = net.largest_scc_mask();
+        (0..net.intersection_count()).filter(|&i| mask[i]).collect()
+    } else {
+        Vec::new()
+    };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.reroute_seed);
+
+    let seg_len = |s: SegmentId| net.segment(s).length_m;
+
+    #[allow(clippy::needless_range_loop)] // `step` also names the timestep
+    for step in 0..cfg.steps {
+        // Departures: routes computed lazily at departure time with
+        // congestion-aware costs (drivers avoid currently jammed segments,
+        // which spreads load like real route choice does).
+        for trip in departures[step].drain(..) {
+            match router.route(trip.origin, trip.dest, |s| {
+                congested_time(net, s, counts[s.index()], cfg.jam_density, min_frac)
+            }) {
+                Ok(route) if !route.is_empty() => {
+                    counts[route[0].index()] += 1.0;
+                    active.push(Vehicle {
+                        route,
+                        leg: 0,
+                        offset_m: 0.0,
+                        legs_remaining: cfg.legs.saturating_sub(1),
+                    });
+                    stats.departed += 1;
+                }
+                Ok(_) => stats.completed += 1, // origin == dest
+                Err(TrafficError::NoRoute { .. }) => stats.unroutable += 1,
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Freeze speeds from densities at the start of the step
+        // (synchronous update; Greenshields v = v_f (1 - rho/rho_jam)).
+        for (i, speed) in speeds.iter_mut().enumerate() {
+            let seg = net.segment(SegmentId::from_index(i));
+            let rho = counts[i] / seg.length_m;
+            let frac = (1.0 - rho / cfg.jam_density).max(min_frac);
+            *speed = seg.free_speed_mps * frac;
+        }
+
+        // Advance every active vehicle through the timestep.
+        occupancy.iter_mut().for_each(|o| *o = 0.0);
+        let mut v_idx = 0;
+        while v_idx < active.len() {
+            let mut remaining = cfg.step_seconds;
+            let mut finished = false;
+            {
+                let v = &mut active[v_idx];
+                while remaining > 0.0 {
+                    let seg = v.route[v.leg];
+                    let speed = speeds[seg.index()];
+                    let dist_left = seg_len(seg) - v.offset_m;
+                    let time_needed = dist_left / speed;
+                    if time_needed <= remaining {
+                        remaining -= time_needed;
+                        occupancy[seg.index()] += time_needed;
+                        counts[seg.index()] -= 1.0;
+                        v.leg += 1;
+                        if v.leg == v.route.len() {
+                            finished = true;
+                            break;
+                        }
+                        counts[v.route[v.leg].index()] += 1.0;
+                        v.offset_m = 0.0;
+                    } else {
+                        v.offset_m += speed * remaining;
+                        occupancy[seg.index()] += remaining;
+                        remaining = 0.0;
+                    }
+                }
+            }
+            if finished {
+                stats.completed += 1;
+                // Random-waypoint re-dispatch: continue to a fresh
+                // destination while journey legs remain.
+                let redispatched = {
+                    let v = &mut active[v_idx];
+                    if v.legs_remaining > 0 && !redispatch_pool.is_empty() {
+                        let here = net
+                            .segment(*v.route.last().expect("non-empty route"))
+                            .to;
+                        let mut new_route = None;
+                        for _ in 0..8 {
+                            let dest = redispatch_pool[rng.gen_range(0..redispatch_pool.len())];
+                            if dest == here.index() {
+                                continue;
+                            }
+                            if let Some(beta) = cfg.redispatch_beta_m {
+                                let a = net.intersection(here);
+                                let b = net.intersection(
+                                    roadpart_net::IntersectionId::from_index(dest),
+                                );
+                                let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
+                                if rng.gen::<f64>() >= (-d / beta.max(1.0)).exp() {
+                                    continue;
+                                }
+                            }
+                            if let Ok(route) = router.route(
+                                here,
+                                roadpart_net::IntersectionId::from_index(dest),
+                                |s| {
+                                    congested_time(
+                                        net,
+                                        s,
+                                        counts[s.index()],
+                                        cfg.jam_density,
+                                        min_frac,
+                                    )
+                                },
+                            ) {
+                                if !route.is_empty() {
+                                    new_route = Some(route);
+                                    break;
+                                }
+                            }
+                        }
+                        match new_route {
+                            Some(route) => {
+                                counts[route[0].index()] += 1.0;
+                                v.route = route;
+                                v.leg = 0;
+                                v.offset_m = 0.0;
+                                v.legs_remaining -= 1;
+                                true
+                            }
+                            None => false,
+                        }
+                    } else {
+                        false
+                    }
+                };
+                if redispatched {
+                    v_idx += 1;
+                } else {
+                    active.swap_remove(v_idx);
+                }
+            } else {
+                v_idx += 1;
+            }
+        }
+
+        // Record the density snapshot: time-averaged occupancy over the
+        // step, in vehicles per metre.
+        let snapshot: Vec<f64> = (0..n_seg)
+            .map(|i| {
+                occupancy[i] / (cfg.step_seconds * net.segment(SegmentId::from_index(i)).length_m)
+            })
+            .collect();
+        history.push(snapshot);
+    }
+
+    Ok((history, stats))
+}
+
+/// Travel time of a segment under its current vehicle count using the same
+/// Greenshields speed-density law the movement model applies.
+#[inline]
+fn congested_time(
+    net: &RoadNetwork,
+    seg: SegmentId,
+    count: f64,
+    jam_density: f64,
+    min_frac: f64,
+) -> f64 {
+    let s = net.segment(seg);
+    let rho = count / s.length_m;
+    let frac = (1.0 - rho / jam_density).max(min_frac);
+    s.length_m / (s.free_speed_mps * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TemporalProfile;
+    use crate::trip::{generate_trips, OdBias};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use roadpart_net::{IntersectionId, RoadNetworkBuilder, UrbanConfig};
+
+    fn line_net() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let p: Vec<_> = (0..4).map(|i| b.intersection(i as f64 * 100.0, 0.0)).collect();
+        for w in p.windows(2) {
+            b.two_way_road(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_vehicle_traverses_and_completes() {
+        let net = line_net();
+        let trips = [Trip {
+            origin: IntersectionId(0),
+            dest: IntersectionId(3),
+            depart_step: 0,
+        }];
+        let cfg = MicrosimConfig {
+            step_seconds: 10.0,
+            steps: 10,
+            ..MicrosimConfig::default()
+        };
+        let (hist, stats) = simulate(&net, &trips, &cfg).unwrap();
+        assert_eq!(stats.departed, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.unroutable, 0);
+        assert_eq!(hist.len(), 10);
+        // Vehicle occupies some segment at step 0.
+        assert!(hist.at(0).iter().sum::<f64>() > 0.0);
+        // After completion the network is empty.
+        assert_eq!(hist.last().unwrap().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn conservation_of_vehicles() {
+        // Total vehicles on network == departed - completed at every step.
+        let net = UrbanConfig::d1().scaled(0.4).generate(11).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let trips = generate_trips(
+            &net,
+            300,
+            40,
+            &TemporalProfile::Flat,
+            &OdBias::Uniform,
+            &mut rng,
+        );
+        let cfg = MicrosimConfig {
+            step_seconds: 30.0,
+            steps: 40,
+            ..MicrosimConfig::default()
+        };
+        let (hist, stats) = simulate(&net, &trips, &cfg).unwrap();
+        assert_eq!(hist.len(), 40);
+        assert!(stats.departed > 0);
+        // Densities are time-averaged occupancy: the implied mean vehicle
+        // count can never exceed the departed fleet, and never goes
+        // negative.
+        for t in 0..hist.len() {
+            let total: f64 = hist
+                .at(t)
+                .iter()
+                .enumerate()
+                .map(|(i, &rho)| rho * net.segment(roadpart_net::SegmentId::from_index(i)).length_m)
+                .sum();
+            assert!(total >= -1e-9);
+            assert!(total <= stats.departed as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn congestion_slows_traffic() {
+        // Flood one road: completion should take longer than free flow.
+        let net = line_net();
+        let mut trips = Vec::new();
+        for _ in 0..200 {
+            trips.push(Trip {
+                origin: IntersectionId(0),
+                dest: IntersectionId(3),
+                depart_step: 0,
+            });
+        }
+        let cfg = MicrosimConfig {
+            step_seconds: 5.0,
+            steps: 20,
+            ..MicrosimConfig::default()
+        };
+        let (hist, stats) = simulate(&net, &trips, &cfg).unwrap();
+        // 300 m at 13.9 m/s free flow = ~22 s; 200 vehicles on a 100 m
+        // segment is far past jam density, so most must still be en route.
+        assert_eq!(stats.departed, 200);
+        assert!(
+            stats.completed < 150,
+            "congestion should delay completions, got {}",
+            stats.completed
+        );
+        let peak = hist.peak_step().unwrap();
+        assert!(hist.mean_at(peak) > 0.1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let net = line_net();
+        let bad_step = MicrosimConfig {
+            step_seconds: 0.0,
+            ..MicrosimConfig::default()
+        };
+        assert!(simulate(&net, &[], &bad_step).is_err());
+        let bad_jam = MicrosimConfig {
+            jam_density: -1.0,
+            ..MicrosimConfig::default()
+        };
+        assert!(simulate(&net, &[], &bad_jam).is_err());
+    }
+
+    #[test]
+    fn unroutable_trips_are_counted_not_fatal() {
+        let mut b = RoadNetworkBuilder::new();
+        let p0 = b.intersection(0.0, 0.0);
+        let p1 = b.intersection(100.0, 0.0);
+        b.one_way_road(p1, p0);
+        let net = b.build().unwrap();
+        let trips = [Trip {
+            origin: p0,
+            dest: p1,
+            depart_step: 0,
+        }];
+        let cfg = MicrosimConfig {
+            steps: 2,
+            step_seconds: 10.0,
+            ..MicrosimConfig::default()
+        };
+        let (_, stats) = simulate(&net, &trips, &cfg).unwrap();
+        assert_eq!(stats.unroutable, 1);
+        assert_eq!(stats.departed, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Temporal demand profiles.
+//!
+//! Traffic demand varies over the simulated window ("roads usually remain
+//! busier and more congested in peak hours than off-peak hours", §1). A
+//! profile maps normalized time `t in [0, 1]` to a demand multiplier.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the demand curve over the simulation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TemporalProfile {
+    /// Constant demand.
+    Flat,
+    /// A single peak centred at `centre` with width `width` (both in
+    /// normalized time), rising from `base` to `1.0` — e.g. a morning rush.
+    SinglePeak {
+        /// Peak centre in normalized time.
+        centre: f64,
+        /// Gaussian width of the peak.
+        width: f64,
+        /// Off-peak floor in `[0, 1]`.
+        base: f64,
+    },
+    /// Morning and evening peaks (commute pattern).
+    DoublePeak {
+        /// Off-peak floor in `[0, 1]`.
+        base: f64,
+    },
+}
+
+impl TemporalProfile {
+    /// Typical morning-rush profile peaking 30% into the window.
+    pub fn morning() -> Self {
+        TemporalProfile::SinglePeak {
+            centre: 0.3,
+            width: 0.15,
+            base: 0.25,
+        }
+    }
+
+    /// Demand multiplier at normalized time `t` (clamped to `[0, 1]`);
+    /// always in `(0, 1]`.
+    pub fn factor(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        match *self {
+            TemporalProfile::Flat => 1.0,
+            TemporalProfile::SinglePeak {
+                centre,
+                width,
+                base,
+            } => {
+                let base = base.clamp(0.0, 1.0);
+                let w = width.max(1e-6);
+                let bump = (-((t - centre) / w).powi(2) / 2.0).exp();
+                (base + (1.0 - base) * bump).max(1e-6)
+            }
+            TemporalProfile::DoublePeak { base } => {
+                let base = base.clamp(0.0, 1.0);
+                let w = 0.1f64;
+                let am = (-((t - 0.25) / w).powi(2) / 2.0).exp();
+                let pm = (-((t - 0.75) / w).powi(2) / 2.0).exp();
+                (base + (1.0 - base) * am.max(pm)).max(1e-6)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one() {
+        assert_eq!(TemporalProfile::Flat.factor(0.0), 1.0);
+        assert_eq!(TemporalProfile::Flat.factor(0.7), 1.0);
+    }
+
+    #[test]
+    fn single_peak_maximal_at_centre() {
+        let p = TemporalProfile::morning();
+        let at_peak = p.factor(0.3);
+        assert!((at_peak - 1.0).abs() < 1e-9);
+        assert!(p.factor(0.9) < at_peak);
+        assert!(p.factor(0.0) < at_peak);
+        assert!(p.factor(0.9) >= 0.25 - 1e-9); // floored at base
+    }
+
+    #[test]
+    fn double_peak_has_two_maxima() {
+        let p = TemporalProfile::DoublePeak { base: 0.2 };
+        assert!((p.factor(0.25) - 1.0).abs() < 1e-6);
+        assert!((p.factor(0.75) - 1.0).abs() < 1e-6);
+        assert!(p.factor(0.5) < 0.9);
+    }
+
+    #[test]
+    fn factor_clamps_time_and_stays_positive() {
+        let p = TemporalProfile::morning();
+        assert_eq!(p.factor(-5.0), p.factor(0.0));
+        assert_eq!(p.factor(9.0), p.factor(1.0));
+        for i in 0..=20 {
+            assert!(p.factor(i as f64 / 20.0) > 0.0);
+        }
+    }
+}

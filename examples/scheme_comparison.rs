@@ -1,0 +1,71 @@
+//! Compares all four partitioning schemes (AG, ASG, NG, NSG) plus the
+//! Ji & Geroliminis-style baseline on one dataset — a miniature of the
+//! paper's Table 2.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison [scale] [seed]
+//! ```
+
+use roadpart::prelude::*;
+use roadpart_net::RoadGraph;
+
+fn main() -> roadpart::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let dataset = roadpart::datasets::d1(scale, seed)?;
+    let mut graph = RoadGraph::from_network(&dataset.network)?;
+    graph.set_features(dataset.eval_densities().to_vec())?;
+    println!(
+        "D1 surrogate: {} segments, evaluating each scheme at its best k in 2..=10\n",
+        dataset.network.segment_count()
+    );
+    println!(
+        "{:<22} {:>4} {:>9} {:>9} {:>9} {:>9}",
+        "scheme", "k*", "ANS", "GDBI", "inter", "intra"
+    );
+
+    let cfg = FrameworkConfig::default().with_seed(seed);
+    for scheme in Scheme::all() {
+        let mut best: Option<(usize, QualityReport)> = None;
+        for k in 2..=10 {
+            let out = run_scheme(&graph, scheme, k, &cfg)?;
+            let rep = QualityReport::compute(
+                graph.adjacency(),
+                graph.features(),
+                out.partition.labels(),
+            );
+            if best.as_ref().map_or(true, |(_, b)| rep.ans < b.ans) {
+                best = Some((k, rep));
+            }
+        }
+        let (k, rep) = best.expect("at least one k evaluated");
+        println!(
+            "{:<22} {:>4} {:>9.4} {:>9.4} {:>9.5} {:>9.5}",
+            scheme.name(),
+            k,
+            rep.ans,
+            rep.gdbi,
+            rep.inter,
+            rep.intra
+        );
+    }
+
+    // The Ji & Geroliminis-style baseline.
+    let mut best: Option<(usize, QualityReport)> = None;
+    for k in 2..=10 {
+        let p = jg_partition(&graph, k, &JgConfig::default())?;
+        let rep = QualityReport::compute(graph.adjacency(), graph.features(), p.labels());
+        if best.as_ref().map_or(true, |(_, b)| rep.ans < b.ans) {
+            best = Some((k, rep));
+        }
+    }
+    let (k, rep) = best.expect("at least one k evaluated");
+    println!(
+        "{:<22} {:>4} {:>9.4} {:>9.4} {:>9.5} {:>9.5}",
+        "JG-style baseline", k, rep.ans, rep.gdbi, rep.inter, rep.intra
+    );
+    println!("\n(lower ANS/GDBI better; higher inter, lower intra better)");
+    Ok(())
+}

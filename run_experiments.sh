@@ -1,0 +1,22 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper. Outputs land in
+# target/experiments/*.json and experiments_log/*.txt.
+set -u
+cd "$(dirname "$0")"
+mkdir -p experiments_log
+run() {
+  name=$1; shift
+  echo "=== $name: $* ==="
+  cargo run --release -q -p roadpart-bench --bin "$name" -- "$@" 2>&1 | tee "experiments_log/$name.txt"
+}
+run table1 --scale 1.0 --seed 42
+run fig4   --scale 1.0 --seed 42 --runs 5 --kmax 20
+run table2 --scale 1.0 --seed 42 --runs 5 --kmax 12
+run fig5   --scale 0.2 --seed 42 --kmax 30
+run fig6   --scale 1.0 --seed 42
+run fig7   --scale 0.1 --seed 42 --runs 2 --kmax 12
+run table3 --scale 0.12 --seed 42
+run ablation_modularity --runs 10 --seed 42
+run ablation_stability  --scale 1.0 --seed 42 --runs 3
+run ablation_optimality --runs 25 --seed 42
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,157 @@
+//! End-to-end integration: dataset generation -> dual graph -> supergraph
+//! mining -> alpha-Cut partitioning -> evaluation, across crate boundaries.
+
+use roadpart::prelude::*;
+
+/// The full ASG pipeline on a D1-scaled dataset satisfies all four problem
+/// conditions (C.1-C.4 proxies) of Section 2.2.
+#[test]
+fn asg_pipeline_satisfies_problem_conditions() {
+    let dataset = roadpart::datasets::d1(0.35, 7).unwrap();
+    let cfg = PipelineConfig::asg(4).with_seed(7);
+    let result = partition_network(&dataset.network, dataset.eval_densities(), &cfg).unwrap();
+
+    // C.1: labels cover every segment, partitions disjoint by construction.
+    assert_eq!(result.partition.len(), dataset.network.segment_count());
+    assert!(result.partition.sizes().iter().all(|&s| s > 0));
+
+    // C.2: every partition is internally connected in the road graph.
+    let comp = roadpart_cluster::constrained_components(
+        result.graph.adjacency(),
+        Some(result.partition.labels()),
+    )
+    .unwrap();
+    let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+    assert_eq!(n_comp, result.partition.k(), "disconnected partition found");
+
+    // C.3/C.4 trade-off: the partitioning must beat a size-matched random
+    // connected partitioning on the ANS measure.
+    let report = QualityReport::compute(
+        result.graph.adjacency(),
+        result.graph.features(),
+        result.partition.labels(),
+    );
+    let random_labels = random_connected_partition(
+        result.graph.adjacency(),
+        result.partition.k(),
+        99,
+    );
+    let random_report = QualityReport::compute(
+        result.graph.adjacency(),
+        result.graph.features(),
+        &random_labels,
+    );
+    assert!(
+        report.ans < random_report.ans,
+        "ANS {} should beat random {}",
+        report.ans,
+        random_report.ans
+    );
+    assert!(
+        report.intra < random_report.intra,
+        "intra {} should beat random {}",
+        report.intra,
+        random_report.intra
+    );
+}
+
+/// Grows `k` connected regions by seeded BFS - a topology-respecting but
+/// congestion-blind baseline.
+fn random_connected_partition(
+    adj: &roadpart_linalg::CsrMatrix,
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
+    use rand::{Rng, SeedableRng};
+    let n = adj.dim();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut labels = vec![usize::MAX; n];
+    let mut frontiers: Vec<Vec<usize>> = Vec::new();
+    for c in 0..k {
+        loop {
+            let s = rng.gen_range(0..n);
+            if labels[s] == usize::MAX {
+                labels[s] = c;
+                frontiers.push(vec![s]);
+                break;
+            }
+        }
+    }
+    let mut remaining = n - k;
+    while remaining > 0 {
+        let c = rng.gen_range(0..k);
+        let Some(&node) = frontiers[c].last() else { continue };
+        let (cols, _) = adj.row(node);
+        let mut grew = false;
+        for &nb in cols {
+            if labels[nb] == usize::MAX {
+                labels[nb] = c;
+                frontiers[c].push(nb);
+                remaining -= 1;
+                grew = true;
+                break;
+            }
+        }
+        if !grew {
+            frontiers[c].pop();
+            if frontiers[c].is_empty() {
+                //
+
+                // Re-seed this region's frontier from any labelled node of c
+                // that still has unlabelled neighbours; fall back to claiming
+                // an arbitrary unlabelled node (possible on disconnected
+                // graphs).
+                if let Some(v) = (0..n).find(|&v| {
+                    labels[v] == c && adj.row(v).0.iter().any(|&u| labels[u] == usize::MAX)
+                }) {
+                    frontiers[c].push(v);
+                } else if let Some(v) = (0..n).find(|&v| labels[v] == usize::MAX) {
+                    labels[v] = c;
+                    frontiers[c].push(v);
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Re-partitioning the same network at different timesteps works and the
+/// peak partitioning tracks congestion better than random.
+#[test]
+fn temporal_repartitioning() {
+    let dataset = roadpart::datasets::d1(0.3, 11).unwrap();
+    let cfg = PipelineConfig::asg(3).with_seed(11);
+    let peak = dataset.history.peak_step().unwrap();
+    for t in [0, peak, dataset.history.len() - 1] {
+        let result = partition_network(&dataset.network, dataset.history.at(t), &cfg).unwrap();
+        assert!(result.partition.k() >= 2);
+        assert_eq!(result.partition.len(), dataset.network.segment_count());
+    }
+}
+
+/// The supergraph must actually condense the problem (scalability claim).
+#[test]
+fn supergraph_reduces_order_substantially() {
+    let dataset = roadpart::datasets::d1(0.5, 13).unwrap();
+    let cfg = PipelineConfig::asg(4).with_seed(13);
+    let result = partition_network(&dataset.network, dataset.eval_densities(), &cfg).unwrap();
+    let order = result.supergraph_order.unwrap();
+    let n = dataset.network.segment_count();
+    assert!(
+        order * 2 < n,
+        "supergraph order {order} should be well below {n} segments"
+    );
+}
+
+/// Module timings are populated and plausible.
+#[test]
+fn pipeline_timings_recorded() {
+    let dataset = roadpart::datasets::d1(0.3, 17).unwrap();
+    let cfg = PipelineConfig::asg(3).with_seed(17);
+    let result = partition_network(&dataset.network, dataset.eval_densities(), &cfg).unwrap();
+    let t = result.timings;
+    assert!(t.total() > std::time::Duration::ZERO);
+    assert!(t.module2 > std::time::Duration::ZERO, "ASG must mine");
+    assert_eq!(t.total(), t.module1 + t.module2 + t.module3);
+}

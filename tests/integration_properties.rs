@@ -1,0 +1,113 @@
+//! Property-based integration tests (proptest) over the whole stack:
+//! random graphs and densities through mining, cutting and evaluation.
+
+use proptest::prelude::*;
+use roadpart::prelude::*;
+use roadpart_cut::Partition;
+use roadpart_linalg::CsrMatrix;
+use roadpart_net::RoadGraph;
+
+/// Random connected road-graph-like structure: a path backbone plus random
+/// chords, with arbitrary non-negative densities.
+fn arb_graph() -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (8usize..40).prop_flat_map(|n| {
+        let chords = proptest::collection::vec((0..n, 0..n), 0..n);
+        let feats = proptest::collection::vec(0.0f64..1.0, n);
+        (Just(n), chords, feats).prop_map(|(n, chords, feats)| {
+            let mut edges: Vec<(usize, usize, f64)> =
+                (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+            for (a, b) in chords {
+                if a != b {
+                    edges.push((a, b, 1.0));
+                }
+            }
+            let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+            (adj, feats)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mining always produces a disjoint exact cover with valid superlinks.
+    #[test]
+    fn mining_produces_exact_cover((adj, feats) in arb_graph()) {
+        let graph = RoadGraph::from_parts(adj, feats, vec![]).unwrap();
+        let out = roadpart::mine_supergraph(&graph, &MiningConfig::default()).unwrap();
+        let n = graph.node_count();
+        let mut seen = vec![false; n];
+        for sn in out.supergraph.nodes() {
+            prop_assert!(!sn.members.is_empty());
+            for &m in &sn.members {
+                prop_assert!(!seen[m], "node {m} covered twice");
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "cover incomplete");
+        // Superlink weights are similarities in (0, 1].
+        for (_, _, w) in out.supergraph.adjacency().iter() {
+            prop_assert!(w > 0.0 && w <= 1.0 + 1e-12);
+        }
+        // Supernodes are internally connected in the road graph.
+        for sn in out.supergraph.nodes() {
+            let sub = graph.adjacency().submatrix(&sn.members).unwrap();
+            let comp = roadpart_cluster::constrained_components(&sub, None).unwrap();
+            let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+            prop_assert_eq!(
+                n_comp, 1,
+                "supernode with {} members has {} components",
+                sn.members.len(), n_comp
+            );
+        }
+    }
+
+    /// The spectral partitioners return dense k-partitions whose parts are
+    /// connected, for both cut kinds.
+    #[test]
+    fn cuts_return_connected_partitions((adj, feats) in arb_graph(), k in 2usize..5) {
+        let affinity = roadpart_cut::gaussian_affinity(&adj, &feats).unwrap();
+        for kind in [roadpart_cut::CutKind::Alpha, roadpart_cut::CutKind::Normalized] {
+            let p = roadpart_cut::spectral_partition(
+                &affinity, k.min(adj.dim()), kind, &SpectralConfig::default(),
+            ).unwrap();
+            prop_assert_eq!(p.len(), adj.dim());
+            let comp = roadpart_cluster::constrained_components(&affinity, Some(p.labels())).unwrap();
+            let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+            prop_assert_eq!(n_comp, p.k());
+        }
+    }
+
+    /// Evaluation metrics are finite, correctly signed, and consistent with
+    /// Definitions 3-4 (cost + volume = total weight).
+    #[test]
+    fn metrics_invariants((adj, feats) in arb_graph(), k in 2usize..5) {
+        let affinity = roadpart_cut::gaussian_affinity(&adj, &feats).unwrap();
+        let p = roadpart_cut::alpha_cut(&affinity, k.min(adj.dim()), &SpectralConfig::default()).unwrap();
+        let rep = QualityReport::compute(&affinity, &feats, p.labels());
+        prop_assert!(rep.inter >= 0.0 && rep.inter.is_finite());
+        prop_assert!(rep.intra >= 0.0 && rep.intra.is_finite());
+        prop_assert!(rep.ans >= 0.0 && rep.ans.is_finite());
+        prop_assert!(rep.gdbi >= 0.0 && rep.gdbi.is_finite());
+        prop_assert!(rep.modularity <= 1.0 + 1e-9);
+        let cost = roadpart_eval::partition_cost(&affinity, p.labels(), p.k());
+        let volume = roadpart_eval::partition_volume(&affinity, p.labels(), p.k());
+        let total = affinity.total() / 2.0;
+        prop_assert!((cost + volume - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// Expanding supernode labels preserves partition counts.
+    #[test]
+    fn expansion_consistency((adj, feats) in arb_graph(), k in 2usize..4) {
+        let graph = RoadGraph::from_parts(adj, feats, vec![]).unwrap();
+        let out = roadpart::mine_supergraph(&graph, &MiningConfig::default()).unwrap();
+        let sg = &out.supergraph;
+        if sg.order() >= k {
+            let p = roadpart_cut::alpha_cut(sg.adjacency(), k, &SpectralConfig::default()).unwrap();
+            let labels = sg.expand_labels(p.labels()).unwrap();
+            let expanded = Partition::from_labels(&labels);
+            prop_assert_eq!(expanded.k(), p.k());
+            prop_assert_eq!(expanded.len(), graph.node_count());
+        }
+    }
+}
