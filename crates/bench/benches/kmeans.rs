@@ -8,7 +8,9 @@ use roadpart_linalg::DenseMatrix;
 fn bench_kmeans_1d(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans_1d_kappa5");
     for n in [1_000usize, 10_000, 80_000] {
-        let values: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1e3).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1e3)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
             b.iter(|| kmeans_1d(v, 5).unwrap())
         });
@@ -19,9 +21,8 @@ fn bench_kmeans_1d(c: &mut Criterion) {
 fn bench_kmeans_nd(c: &mut Criterion) {
     let mut group = c.benchmark_group("kmeans_eigenrows_k6");
     for n in [500usize, 5_000] {
-        let points = DenseMatrix::from_fn(n, 6, |i, j| {
-            (((i * 31 + j * 17) % 97) as f64 / 97.0).sin()
-        });
+        let points =
+            DenseMatrix::from_fn(n, 6, |i, j| (((i * 31 + j * 17) % 97) as f64 / 97.0).sin());
         let cfg = KMeansConfig::default();
         group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, p| {
             b.iter(|| kmeans(p, 6, &cfg).unwrap())

@@ -35,10 +35,7 @@ fn mixture(c: usize, per: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
 /// past the true cluster count, so the *smallest* kappa within 90% of the
 /// maximum wins (the threshold shortlist of Algorithm 1), not the argmax.
 fn knee_by(sweep: &[OptimalityPoint], f: impl Fn(&OptimalityPoint) -> f64) -> usize {
-    let max = sweep
-        .iter()
-        .map(&f)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max = sweep.iter().map(&f).fold(f64::NEG_INFINITY, f64::max);
     sweep
         .iter()
         .find(|p| f(p) >= 0.9 * max)
@@ -66,7 +63,10 @@ fn main() -> roadpart::Result<()> {
                 knee_by(&sweep, |p| p.gain),
                 // Balance is minimized: knee on the negated, max-shifted curve.
                 {
-                    let worst = sweep.iter().map(|p| p.balance).fold(f64::NEG_INFINITY, f64::max);
+                    let worst = sweep
+                        .iter()
+                        .map(|p| p.balance)
+                        .fold(f64::NEG_INFINITY, f64::max);
                     knee_by(&sweep, |p| worst - p.balance)
                 },
             ];
@@ -97,7 +97,10 @@ fn main() -> roadpart::Result<()> {
     let dataset = roadpart::datasets::d1(args.scale, args.seed)?;
     let graph = roadpart_bench::eval_graph(&dataset)?;
     let sweep = optimality_sweep(graph.features(), 2..=args.kmax)?;
-    let worst = sweep.iter().map(|p| p.balance).fold(f64::NEG_INFINITY, f64::max);
+    let worst = sweep
+        .iter()
+        .map(|p| p.balance)
+        .fold(f64::NEG_INFINITY, f64::max);
     let d1_picks = (
         knee_by(&sweep, |p| p.mcg),
         knee_by(&sweep, |p| p.gain),

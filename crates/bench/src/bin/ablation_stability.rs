@@ -41,8 +41,7 @@ fn main() -> roadpart::Result<()> {
             let t0 = Instant::now();
             let out = run_scheme(&graph, Scheme::ASG, args.kmax, &cfg)?;
             millis.push(t0.elapsed().as_secs_f64() * 1e3);
-            let rep =
-                QualityReport::compute(&affinity, graph.features(), out.partition.labels());
+            let rep = QualityReport::compute(&affinity, graph.features(), out.partition.labels());
             ans.push(rep.ans);
             gdbi.push(rep.gdbi);
             orders.push(out.mining.expect("ASG mines").supergraph.order() as f64);

@@ -84,7 +84,11 @@ fn summarize(series: &serde_json::Map<String, serde_json::Value>, a: &str, b: &s
     for metric in ["gdbi", "ans"] {
         let xa = get(a, metric);
         let xb = get(b, metric);
-        let wins = xa.iter().zip(&xb).filter(|(x, y)| **x < **y - 1e-12).count();
+        let wins = xa
+            .iter()
+            .zip(&xb)
+            .filter(|(x, y)| **x < **y - 1e-12)
+            .count();
         let ties = xa
             .iter()
             .zip(&xb)

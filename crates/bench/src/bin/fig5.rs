@@ -51,7 +51,10 @@ fn main() -> roadpart::Result<()> {
         }
         // Where does the curve flatten? Report the kappa whose MCG first
         // reaches 90% of the maximum (the paper's threshold story).
-        let max_mcg = sweep.iter().map(|p| p.mcg).fold(f64::NEG_INFINITY, f64::max);
+        let max_mcg = sweep
+            .iter()
+            .map(|p| p.mcg)
+            .fold(f64::NEG_INFINITY, f64::max);
         let knee = sweep
             .iter()
             .find(|p| p.mcg >= 0.9 * max_mcg)

@@ -12,7 +12,10 @@ use roadpart_net::UrbanConfig;
 
 fn main() -> roadpart::Result<()> {
     let args = ExpArgs::parse(0.2, 1, 2);
-    println!("Table 1: dataset statistics (scale {}, seed {})", args.scale, args.seed);
+    println!(
+        "Table 1: dataset statistics (scale {}, seed {})",
+        args.scale, args.seed
+    );
     println!("paper columns are the targets at scale 1.0\n");
     println!(
         "{:<8} {:<26} {:>12} {:>12} {:>12} {:>12} {:>10}",

@@ -61,7 +61,9 @@ fn main() -> roadpart::Result<()> {
     println!("{:<22} {:>10.4} {:>6}", "Ji & Geroliminis [5]", ans, k);
     rows.push(serde_json::json!({ "scheme": "JG", "ans": ans, "k": k }));
 
-    println!("\npaper reference: AG 0.3392 (k=6), ASG 0.3526 (k=6), NG 0.9362 (k=8), JG 0.6210 (k=3)");
+    println!(
+        "\npaper reference: AG 0.3392 (k=6), ASG 0.3526 (k=6), NG 0.9362 (k=8), JG 0.6210 (k=3)"
+    );
     write_json(
         "table2",
         &serde_json::json!({

@@ -94,7 +94,10 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+    match std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    ) {
         Ok(()) => println!("\n[json] {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {path:?}: {e}"),
     }

@@ -1,13 +1,14 @@
 //! The four CLI commands: generate, partition, metrics, select-k.
 
 use crate::args::Args;
+use crate::errors::{with_causes, CliError};
 use roadpart::prelude::*;
 use roadpart_net::{geojson, io, RoadGraph, RoadNetwork};
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 
-/// CLI-level result: user-facing error strings.
-type CliResult<T> = std::result::Result<T, String>;
+/// CLI-level result: classified errors with cause chains.
+type CliResult<T> = std::result::Result<T, CliError>;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -19,41 +20,54 @@ USAGE:
   roadpart partition --net <network file> --k N [--scheme <ag|asg|ng|nsg|jg>]
                      [--densities <densities file>] [--seed N]
                      [--labels <out labels>] [--geojson <out geojson>]
+                     [--policy <clamp|strict>] [--attempts N]
+                     [--report <out report json>]
   roadpart metrics   --net <network file> --labels <labels file>
                      [--densities <densities file>]
   roadpart select-k  --net <network file> [--densities F] [--kmax N]
                      [--scheme <ag|asg|ng|nsg>] [--seed N]
 
 Files: networks use the roadpart text format; densities and labels are one
-value per line in segment order.";
+value per line in segment order.
+
+partition runs under a fault-tolerant supervisor: anomalous densities are
+sanitized per --policy (clamp repairs and records, strict fails fast),
+transient solver failures climb a fallback ladder and rotate seeds for up
+to --attempts tries, and supergraph schemes degrade to their direct
+counterpart when mining fails. --report writes the machine-readable run
+report (attempts, repairs, recovery rungs, timings) as JSON.
+
+Exit codes: 0 ok, 2 config/usage error, 3 data error, 4 numerical error.";
 
 fn load_network(path: &str) -> CliResult<RoadNetwork> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    io::read_network(file).map_err(|e| format!("cannot parse {path}: {e}"))
+    let file = File::open(path).map_err(|e| CliError::data(format!("cannot open {path}: {e}")))?;
+    io::read_network(file)
+        .map_err(|e| CliError::data(format!("cannot parse {path}: {}", with_causes(&e))))
 }
 
 fn load_column<T: std::str::FromStr>(path: &str, what: &str) -> CliResult<Vec<T>> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let file = File::open(path).map_err(|e| CliError::data(format!("cannot open {path}: {e}")))?;
     let mut out = Vec::new();
     for (no, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.map_err(|e| format!("{path}: {e}"))?;
+        let line = line.map_err(|e| CliError::data(format!("{path}: {e}")))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         out.push(
-            trimmed
-                .parse()
-                .map_err(|_| format!("{path}:{}: bad {what} '{trimmed}'", no + 1))?,
+            trimmed.parse().map_err(|_| {
+                CliError::data(format!("{path}:{}: bad {what} '{trimmed}'", no + 1))
+            })?,
         );
     }
     Ok(out)
 }
 
 fn write_column<T: std::fmt::Display>(path: &str, values: &[T]) -> CliResult<()> {
-    let mut f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut f =
+        File::create(path).map_err(|e| CliError::data(format!("cannot create {path}: {e}")))?;
     for v in values {
-        writeln!(f, "{v}").map_err(|e| format!("{path}: {e}"))?;
+        writeln!(f, "{v}").map_err(|e| CliError::data(format!("{path}: {e}")))?;
     }
     Ok(())
 }
@@ -64,11 +78,11 @@ fn resolve_densities(args: &Args, net: &RoadNetwork) -> CliResult<Vec<f64>> {
         Some(path) => {
             let d: Vec<f64> = load_column(path, "density")?;
             if d.len() != net.segment_count() {
-                return Err(format!(
+                return Err(CliError::data(format!(
                     "{path}: {} densities for {} segments",
                     d.len(),
                     net.segment_count()
-                ));
+                )));
             }
             Ok(d)
         }
@@ -82,7 +96,22 @@ fn parse_scheme(name: &str) -> CliResult<Scheme> {
         "asg" => Ok(Scheme::ASG),
         "ng" => Ok(Scheme::NG),
         "nsg" => Ok(Scheme::NSG),
-        other => Err(format!("unknown scheme '{other}' (use ag|asg|ng|nsg)")),
+        other => Err(CliError::config(format!(
+            "unknown scheme '{other}' (use ag|asg|ng|nsg)"
+        ))),
+    }
+}
+
+fn parse_policy(args: &Args) -> CliResult<SanitizePolicy> {
+    match args.optional("policy") {
+        None => Ok(SanitizePolicy::ClampAndWarn),
+        Some(raw) => match raw.to_ascii_lowercase().as_str() {
+            "clamp" | "clamp-and-warn" => Ok(SanitizePolicy::ClampAndWarn),
+            "strict" => Ok(SanitizePolicy::Strict),
+            other => Err(CliError::config(format!(
+                "unknown policy '{other}' (use clamp|strict)"
+            ))),
+        },
     }
 }
 
@@ -99,16 +128,19 @@ pub fn generate(argv: &[String]) -> CliResult<()> {
         "m1" => roadpart::datasets::melbourne(Melbourne::M1, scale, seed),
         "m2" => roadpart::datasets::melbourne(Melbourne::M2, scale, seed),
         "m3" => roadpart::datasets::melbourne(Melbourne::M3, scale, seed),
-        other => return Err(format!("unknown preset '{other}' (use d1|m1|m2|m3)")),
-    }
-    .map_err(|e| e.to_string())?;
+        other => {
+            return Err(CliError::config(format!(
+                "unknown preset '{other}' (use d1|m1|m2|m3)"
+            )))
+        }
+    }?;
 
     // Persist the network with the evaluation-step densities baked in.
     let mut net = dataset.network.clone();
     net.set_densities(dataset.eval_densities())
-        .map_err(|e| e.to_string())?;
-    let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    io::write_network(&net, f).map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::data(with_causes(&e)))?;
+    let f = File::create(out).map_err(|e| CliError::data(format!("cannot create {out}: {e}")))?;
+    io::write_network(&net, f).map_err(|e| CliError::data(with_causes(&e)))?;
     println!(
         "wrote {out}: {} intersections, {} segments ({} preset at scale {scale})",
         net.intersection_count(),
@@ -117,44 +149,88 @@ pub fn generate(argv: &[String]) -> CliResult<()> {
     );
     if let Some(dpath) = args.optional("densities") {
         write_column(dpath, dataset.eval_densities())?;
-        println!("wrote {dpath}: densities at evaluation step t = {}", dataset.eval_step);
+        println!(
+            "wrote {dpath}: densities at evaluation step t = {}",
+            dataset.eval_step
+        );
     }
     Ok(())
 }
 
-/// `roadpart partition`: run the framework and export labels / GeoJSON.
+/// `roadpart partition`: run the supervised framework and export labels /
+/// GeoJSON / the machine-readable run report.
 pub fn partition(argv: &[String]) -> CliResult<()> {
     let args = Args::parse(argv)?;
     let net = load_network(args.required("net")?)?;
     let k: usize = args.get_or("k", 0)?;
     if k < 1 {
-        return Err("--k must be at least 1".into());
+        return Err(CliError::config("--k must be at least 1"));
     }
     let seed: u64 = args.get_or("seed", 42)?;
     let densities = resolve_densities(&args, &net)?;
     let scheme_name = args.optional("scheme").unwrap_or("asg");
 
     let (labels, k_out) = if scheme_name.eq_ignore_ascii_case("jg") {
-        let mut graph = RoadGraph::from_network(&net).map_err(|e| e.to_string())?;
-        graph.set_features(densities.clone()).map_err(|e| e.to_string())?;
-        let p = roadpart::jg_partition(&graph, k, &JgConfig::default())
-            .map_err(|e| e.to_string())?;
+        let mut graph = RoadGraph::from_network(&net)?;
+        graph.set_features(densities.clone())?;
+        let p = roadpart::jg_partition(&graph, k, &JgConfig::default())?;
         (p.labels().to_vec(), p.k())
     } else {
         let scheme = parse_scheme(scheme_name)?;
-        let cfg = PipelineConfig {
+        let pipeline = PipelineConfig {
             scheme,
             k,
             framework: FrameworkConfig::default().with_seed(seed),
         };
-        let result =
-            partition_network(&net, &densities, &cfg).map_err(|e| e.to_string())?;
+        let mut sup = SupervisorConfig::new(pipeline);
+        sup.policy = parse_policy(&args)?;
+        sup.max_attempts = args.get_or("attempts", 3)?;
+        let run = run_supervised(&net, &densities, &sup)?;
+        let result = &run.result;
+        let report = &run.report;
+
         println!(
             "timings: module1 {:?} | module2 {:?} | module3 {:?}",
             result.timings.module1, result.timings.module2, result.timings.module3
         );
         if let Some(order) = result.supergraph_order {
-            println!("supergraph: {} supernodes from {} segments", order, net.segment_count());
+            println!(
+                "supergraph: {} supernodes from {} segments",
+                order,
+                net.segment_count()
+            );
+        }
+        if !report.validation.repairs.is_empty() {
+            println!(
+                "sanitized: repaired {} anomalous densities",
+                report.validation.repairs.len()
+            );
+        }
+        for warning in &report.validation.warnings {
+            println!("warning: {warning}");
+        }
+        if report.recoveries.failures() > 0 {
+            println!(
+                "recovered: eigensolver needed {} fallback rung(s)",
+                report.recoveries.failures()
+            );
+        }
+        if report.degraded {
+            println!(
+                "degraded: {} fell back to {}",
+                report.requested_scheme.name(),
+                report.final_scheme.map_or("?", Scheme::name)
+            );
+        }
+        if report.attempts.len() > 1 {
+            println!("attempts: {} (seed rotation)", report.attempts.len());
+        }
+        if let Some(path) = args.optional("report") {
+            let json = serde_json::to_string_pretty(&run.report)
+                .map_err(|e| CliError::data(format!("cannot serialize report: {e}")))?;
+            std::fs::write(path, json + "\n")
+                .map_err(|e| CliError::data(format!("cannot write {path}: {e}")))?;
+            println!("wrote {path}");
         }
         (result.partition.labels().to_vec(), result.partition.k())
     };
@@ -165,9 +241,10 @@ pub fn partition(argv: &[String]) -> CliResult<()> {
         println!("wrote {path}");
     }
     if let Some(path) = args.optional("geojson") {
-        let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let f =
+            File::create(path).map_err(|e| CliError::data(format!("cannot create {path}: {e}")))?;
         geojson::write_geojson(&net, Some(&labels), Some(&densities), f)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::data(with_causes(&e)))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -180,16 +257,15 @@ pub fn metrics(argv: &[String]) -> CliResult<()> {
     let densities = resolve_densities(&args, &net)?;
     let labels: Vec<usize> = load_column(args.required("labels")?, "label")?;
     if labels.len() != net.segment_count() {
-        return Err(format!(
+        return Err(CliError::data(format!(
             "{} labels for {} segments",
             labels.len(),
             net.segment_count()
-        ));
+        )));
     }
-    let mut graph = RoadGraph::from_network(&net).map_err(|e| e.to_string())?;
-    graph.set_features(densities).map_err(|e| e.to_string())?;
-    let affinity = roadpart_cut::gaussian_affinity(graph.adjacency(), graph.features())
-        .map_err(|e| e.to_string())?;
+    let mut graph = RoadGraph::from_network(&net)?;
+    graph.set_features(densities)?;
+    let affinity = roadpart_cut::gaussian_affinity(graph.adjacency(), graph.features())?;
     let dense = roadpart_cut::Partition::from_labels(&labels);
     let rep = QualityReport::compute(&affinity, graph.features(), dense.labels());
     println!("k          : {}", rep.k);
@@ -211,11 +287,10 @@ pub fn select_k(argv: &[String]) -> CliResult<()> {
     let kmax: usize = args.get_or("kmax", 12)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let scheme = parse_scheme(args.optional("scheme").unwrap_or("asg"))?;
-    let mut graph = RoadGraph::from_network(&net).map_err(|e| e.to_string())?;
-    graph.set_features(densities).map_err(|e| e.to_string())?;
+    let mut graph = RoadGraph::from_network(&net)?;
+    graph.set_features(densities)?;
     let cfg = FrameworkConfig::default().with_seed(seed);
-    let sel = roadpart::select_k(&graph, scheme, 2..=kmax.max(2), &cfg)
-        .map_err(|e| e.to_string())?;
+    let sel = roadpart::select_k(&graph, scheme, 2..=kmax.max(2), &cfg)?;
     println!("{:>4} {:>10} {:>10}", "k", "ANS", "GDBI");
     for c in &sel.sweep {
         println!("{:>4} {:>10.4} {:>10.4}", c.k, c.report.ans, c.report.gdbi);

@@ -1,0 +1,154 @@
+//! CLI error classification: every failure carries a class (mapped to a
+//! distinct exit code) and the full `source()` chain of the underlying
+//! error, so `error: ...` output explains *why*, not just *what*.
+
+use roadpart::RoadpartError;
+use std::fmt;
+
+/// Exit code for configuration and usage errors.
+pub const EXIT_CONFIG: u8 = 2;
+/// Exit code for data errors (missing, unreadable, or unrepairable input).
+pub const EXIT_DATA: u8 = 3;
+/// Exit code for numerical errors (eigensolver, clustering, cuts).
+pub const EXIT_NUMERICAL: u8 = 4;
+/// The failure class of a CLI error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad flags, bad values, impossible configuration.
+    Config,
+    /// Input files or input data the pipeline cannot use.
+    Data,
+    /// The mathematics failed after every recovery attempt.
+    Numerical,
+}
+
+/// A classified CLI failure with its formatted cause chain.
+#[derive(Debug)]
+pub struct CliError {
+    /// Failure class, selecting the exit code.
+    pub kind: ErrorKind,
+    /// Top-level message, already including any cause lines.
+    pub message: String,
+}
+
+impl CliError {
+    /// A configuration/usage error (exit code 2).
+    pub fn config(message: impl Into<String>) -> Self {
+        Self {
+            kind: ErrorKind::Config,
+            message: message.into(),
+        }
+    }
+
+    /// A data error (exit code 3).
+    pub fn data(message: impl Into<String>) -> Self {
+        Self {
+            kind: ErrorKind::Data,
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self.kind {
+            ErrorKind::Config => EXIT_CONFIG,
+            ErrorKind::Data => EXIT_DATA,
+            ErrorKind::Numerical => EXIT_NUMERICAL,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.message)
+    }
+}
+
+/// Formats an error followed by its full `source()` chain, one cause per
+/// indented line.
+pub fn with_causes(err: &dyn std::error::Error) -> String {
+    let mut out = err.to_string();
+    let mut src = err.source();
+    while let Some(cause) = src {
+        out.push_str("\n  caused by: ");
+        out.push_str(&cause.to_string());
+        src = cause.source();
+    }
+    out
+}
+
+impl From<RoadpartError> for CliError {
+    fn from(err: RoadpartError) -> Self {
+        let kind = match &err {
+            RoadpartError::InvalidConfig(_) => ErrorKind::Config,
+            RoadpartError::InvalidData(_) | RoadpartError::Net(_) => ErrorKind::Data,
+            RoadpartError::Traffic(_) => ErrorKind::Data,
+            RoadpartError::Linalg(_) | RoadpartError::Cut(_) | RoadpartError::Cluster(_) => {
+                ErrorKind::Numerical
+            }
+        };
+        Self {
+            kind,
+            message: with_causes(&err),
+        }
+    }
+}
+
+impl From<roadpart_cut::CutError> for CliError {
+    fn from(err: roadpart_cut::CutError) -> Self {
+        Self {
+            kind: ErrorKind::Numerical,
+            message: with_causes(&err),
+        }
+    }
+}
+
+impl From<roadpart_net::NetError> for CliError {
+    fn from(err: roadpart_net::NetError) -> Self {
+        Self {
+            kind: ErrorKind::Data,
+            message: with_causes(&err),
+        }
+    }
+}
+
+/// `Args` and other plain-string failures are usage errors.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::config(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_exit_codes() {
+        let config: CliError = RoadpartError::InvalidConfig("bad k".into()).into();
+        assert_eq!(config.exit_code(), EXIT_CONFIG);
+        let data: CliError = RoadpartError::InvalidData("NaN density".into()).into();
+        assert_eq!(data.exit_code(), EXIT_DATA);
+        let numerical: CliError =
+            RoadpartError::Linalg(roadpart_linalg::LinalgError::NonFinite { context: "test" })
+                .into();
+        assert_eq!(numerical.exit_code(), EXIT_NUMERICAL);
+        let usage: CliError = String::from("missing flag").into();
+        assert_eq!(usage.exit_code(), EXIT_CONFIG);
+    }
+
+    #[test]
+    fn cause_chain_is_printed() {
+        let err = RoadpartError::Cut(roadpart_cut::CutError::Linalg(
+            roadpart_linalg::LinalgError::NotConverged {
+                iterations: 9,
+                context: "Lanczos",
+            },
+        ));
+        let cli: CliError = err.into();
+        let text = format!("{cli}");
+        assert!(text.starts_with("error: "), "{text}");
+        assert_eq!(text.matches("caused by:").count(), 2, "{text}");
+        assert!(text.contains("Lanczos"), "{text}");
+    }
+}

@@ -4,13 +4,20 @@
 //! ```text
 //! roadpart generate --preset d1 --scale 0.5 --seed 42 --out city.net --densities city.densities
 //! roadpart partition --net city.net --densities city.densities --k 6 \
-//!                    --scheme asg --labels out.labels --geojson out.geojson
+//!                    --scheme asg --labels out.labels --geojson out.geojson \
+//!                    --policy clamp --report run-report.json
 //! roadpart metrics   --net city.net --densities city.densities --labels out.labels
 //! roadpart select-k  --net city.net --densities city.densities --kmax 12 --scheme asg
 //! ```
+//!
+//! Exit codes distinguish the failure class so scripts can react:
+//! `0` success, `2` configuration/usage error, `3` data error (unreadable or
+//! unrepairable input), `4` numerical error (solver and clustering
+//! failures).
 
 mod args;
 mod commands;
+mod errors;
 
 use std::process::ExitCode;
 
@@ -18,7 +25,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
+        return ExitCode::from(errors::EXIT_CONFIG);
     };
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
@@ -29,13 +36,16 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n\n{}", commands::USAGE)),
+        other => Err(errors::CliError::config(format!(
+            "unknown command '{other}'\n\n{}",
+            commands::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(err.exit_code())
         }
     }
 }

@@ -81,11 +81,8 @@ mod tests {
 
     /// Path 0-1-2-3-4.
     fn path5() -> CsrMatrix {
-        CsrMatrix::from_undirected_edges(
-            5,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_undirected_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+            .unwrap()
     }
 
     #[test]

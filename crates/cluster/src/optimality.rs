@@ -220,7 +220,10 @@ mod tests {
         let g = clustering_gain(&values, &labels, 2).unwrap();
         let m = mcg(&values, &labels, 2).unwrap();
         assert!(g > 10.0);
-        assert!(m < 0.2 * g, "diffuse cluster should be moderated: {m} vs {g}");
+        assert!(
+            m < 0.2 * g,
+            "diffuse cluster should be moderated: {m} vs {g}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use roadpart_cluster::{
-    clustering_balance, clustering_gain, constrained_components, kmeans_1d, mcg,
+    clustering_balance, clustering_gain, constrained_components, kmeans_1d, mcg, ClusterError,
 };
 use roadpart_linalg::CsrMatrix;
 
@@ -94,5 +94,84 @@ proptest! {
         for c in 0..k {
             prop_assert!(comp.contains(&c));
         }
+    }
+
+    /// Degenerate density vectors — all values identical. The exact DP must
+    /// terminate (no infinite refinement loop), return the requested number
+    /// of non-empty clusters, zero SSE, and centers equal to the value.
+    #[test]
+    fn kmeans_1d_all_equal_densities(
+        value in -100.0f64..100.0,
+        n in 1usize..50,
+        kappa_raw in 1usize..8,
+    ) {
+        let kappa = kappa_raw.min(n);
+        let values = vec![value; n];
+        let r = kmeans_1d(&values, kappa).unwrap();
+        prop_assert_eq!(r.k(), kappa);
+        prop_assert!(r.sizes().iter().all(|&s| s > 0));
+        prop_assert!(r.sse.abs() < 1e-9);
+        for &c in &r.centers {
+            prop_assert!((c - value).abs() < 1e-9);
+        }
+        // The optimality measures stay finite on zero-variance data.
+        let g = clustering_gain(&values, &r.assignments, kappa).unwrap();
+        let m = mcg(&values, &r.assignments, kappa).unwrap();
+        prop_assert!(g.is_finite());
+        prop_assert!(m.is_finite());
+    }
+
+    /// A single-element density vector clusters trivially; asking for more
+    /// clusters than elements is a structured error, never a panic.
+    #[test]
+    fn kmeans_1d_single_element(value in -100.0f64..100.0, kappa in 2usize..10) {
+        let r = kmeans_1d(&[value], 1).unwrap();
+        prop_assert_eq!(r.k(), 1);
+        prop_assert_eq!(r.assignments.clone(), vec![0]);
+        prop_assert!((r.centers[0] - value).abs() < 1e-12);
+        match kmeans_1d(&[value], kappa) {
+            Err(ClusterError::BadClusterCount { requested, points }) => {
+                prop_assert_eq!(requested, kappa);
+                prop_assert_eq!(points, 1);
+            }
+            other => prop_assert!(false, "expected BadClusterCount, got {other:?}"),
+        }
+    }
+
+    /// Non-finite densities (NaN, +inf, -inf) anywhere in the vector are
+    /// rejected with a structured error — no panic, no loop, no poisoned
+    /// result.
+    #[test]
+    fn kmeans_1d_rejects_non_finite(
+        values in proptest::collection::vec(-10.0f64..10.0, 1..40),
+        position in 0usize..40,
+        which in 0usize..3,
+        kappa_raw in 1usize..6,
+    ) {
+        let mut values = values;
+        let position = position % values.len();
+        values[position] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][which];
+        let kappa = kappa_raw.min(values.len());
+        match kmeans_1d(&values, kappa) {
+            Err(ClusterError::InvalidInput(_)) => {}
+            other => prop_assert!(false, "expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    /// Zero-variance data keeps every optimality measure finite and the
+    /// gain/balance decomposition exact (everything is zero).
+    #[test]
+    fn optimality_measures_degenerate_zero_variance(
+        value in -50.0f64..50.0,
+        n in 2usize..40,
+        kappa_raw in 1usize..5,
+    ) {
+        let kappa = kappa_raw.min(n);
+        let values = vec![value; n];
+        let km = kmeans_1d(&values, kappa).unwrap();
+        let g = clustering_gain(&values, &km.assignments, kappa).unwrap();
+        let b = clustering_balance(&values, &km.assignments, kappa).unwrap();
+        prop_assert!(g.abs() < 1e-9, "gain {g}");
+        prop_assert!(b.abs() < 1e-9, "balance {b}");
     }
 }

@@ -14,8 +14,7 @@
 use crate::error::Result;
 use roadpart_net::{RoadNetwork, UrbanConfig};
 use roadpart_traffic::{
-    generate_traffic, CongestionField, DensityHistory, MicrosimStats, MntgConfig,
-    TemporalProfile,
+    generate_traffic, CongestionField, DensityHistory, MicrosimStats, MntgConfig, TemporalProfile,
 };
 
 /// Combines simulated through-traffic with the analytic district field:

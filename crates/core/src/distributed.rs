@@ -168,9 +168,8 @@ mod tests {
         let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
         let features: Vec<f64> = (0..n).map(|i| (i / 8) as f64 * 0.3 + 0.05).collect();
         let graph = RoadGraph::from_parts(adj, features, vec![]).unwrap();
-        let prev = Partition::from_labels(
-            &(0..n).map(|i| usize::from(i >= 16)).collect::<Vec<_>>(),
-        );
+        let prev =
+            Partition::from_labels(&(0..n).map(|i| usize::from(i >= 16)).collect::<Vec<_>>());
         (graph, prev)
     }
 

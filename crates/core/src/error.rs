@@ -7,6 +7,9 @@ use std::fmt;
 pub enum RoadpartError {
     /// Configuration violates a documented precondition.
     InvalidConfig(String),
+    /// Input data (densities, labels, network files) is structurally
+    /// unusable and the active sanitization policy refuses to repair it.
+    InvalidData(String),
     /// Road-network layer failure.
     Net(roadpart_net::NetError),
     /// Traffic-generation failure.
@@ -23,6 +26,7 @@ impl fmt::Display for RoadpartError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RoadpartError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            RoadpartError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
             RoadpartError::Net(e) => write!(f, "network error: {e}"),
             RoadpartError::Traffic(e) => write!(f, "traffic error: {e}"),
             RoadpartError::Cluster(e) => write!(f, "clustering error: {e}"),
@@ -35,7 +39,7 @@ impl fmt::Display for RoadpartError {
 impl std::error::Error for RoadpartError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RoadpartError::InvalidConfig(_) => None,
+            RoadpartError::InvalidConfig(_) | RoadpartError::InvalidData(_) => None,
             RoadpartError::Net(e) => Some(e),
             RoadpartError::Traffic(e) => Some(e),
             RoadpartError::Cluster(e) => Some(e),

@@ -1,0 +1,223 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] corrupts pipeline inputs (density vectors) and pipeline
+//! configuration (forced eigensolver failures) in fully reproducible ways —
+//! every fault is parameterized by explicit strides and counts, never by an
+//! RNG — so the recovery behaviour of [`crate::supervisor::run_supervised`]
+//! can be exercised and asserted in tests and experiment scripts.
+
+use crate::pipeline::PipelineConfig;
+use serde::{Deserialize, Serialize};
+
+/// One injectable fault class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Overwrite every `stride`-th density, starting at `offset`, with NaN
+    /// (a dropped-out sensor).
+    NanDensities {
+        /// Distance between corrupted indices (`0` is treated as `1`).
+        stride: usize,
+        /// First corrupted index.
+        offset: usize,
+    },
+    /// Overwrite every `stride`-th density with `+inf` (an overflowed
+    /// accumulator).
+    InfiniteDensities {
+        /// Distance between corrupted indices (`0` is treated as `1`).
+        stride: usize,
+        /// First corrupted index.
+        offset: usize,
+    },
+    /// Overwrite every `stride`-th density with a negative value (a
+    /// miscalibrated detector).
+    NegativeDensities {
+        /// Distance between corrupted indices (`0` is treated as `1`).
+        stride: usize,
+        /// First corrupted index.
+        offset: usize,
+    },
+    /// Force the first `failures` eigensolver attempts to report
+    /// non-convergence, driving the solver fallback ladder.
+    ForcedNotConverged {
+        /// Number of attempts to fail before the solver is allowed through.
+        failures: usize,
+    },
+    /// Drop the last `drop` densities (a truncated input file).
+    TruncatedDensities {
+        /// Number of trailing values removed.
+        drop: usize,
+    },
+}
+
+/// An ordered set of faults applied together.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The faults, applied in order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with a single fault.
+    pub fn single(fault: Fault) -> Self {
+        Self {
+            faults: vec![fault],
+        }
+    }
+
+    /// The canonical one-of-each suite used by the integration harness.
+    pub fn standard_suite() -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            (
+                "nan-densities",
+                FaultPlan::single(Fault::NanDensities {
+                    stride: 5,
+                    offset: 0,
+                }),
+            ),
+            (
+                "infinite-densities",
+                FaultPlan::single(Fault::InfiniteDensities {
+                    stride: 9,
+                    offset: 2,
+                }),
+            ),
+            (
+                "negative-densities",
+                FaultPlan::single(Fault::NegativeDensities {
+                    stride: 7,
+                    offset: 1,
+                }),
+            ),
+            (
+                "forced-not-converged",
+                FaultPlan::single(Fault::ForcedNotConverged { failures: 2 }),
+            ),
+            (
+                "truncated-densities",
+                FaultPlan::single(Fault::TruncatedDensities { drop: 10 }),
+            ),
+        ]
+    }
+
+    /// Applies the density-corrupting faults in place.
+    pub fn corrupt_densities(&self, densities: &mut Vec<f64>) {
+        for fault in &self.faults {
+            match *fault {
+                Fault::NanDensities { stride, offset } => {
+                    overwrite(densities, stride, offset, f64::NAN);
+                }
+                Fault::InfiniteDensities { stride, offset } => {
+                    overwrite(densities, stride, offset, f64::INFINITY);
+                }
+                Fault::NegativeDensities { stride, offset } => {
+                    overwrite(densities, stride, offset, -1.0);
+                }
+                Fault::TruncatedDensities { drop } => {
+                    let keep = densities.len().saturating_sub(drop);
+                    densities.truncate(keep);
+                }
+                Fault::ForcedNotConverged { .. } => {}
+            }
+        }
+    }
+
+    /// Applies the config-corrupting faults in place.
+    pub fn corrupt_config(&self, cfg: &mut PipelineConfig) {
+        for fault in &self.faults {
+            if let Fault::ForcedNotConverged { failures } = *fault {
+                cfg.framework.spectral.fallback.inject_failures = failures;
+            }
+        }
+    }
+
+    /// Applies every fault to the matching target.
+    pub fn apply(&self, densities: &mut Vec<f64>, cfg: &mut PipelineConfig) {
+        self.corrupt_densities(densities);
+        self.corrupt_config(cfg);
+    }
+}
+
+/// Writes `value` at `offset`, `offset + stride`, ... (stride 0 acts as 1).
+fn overwrite(densities: &mut [f64], stride: usize, offset: usize, value: f64) {
+    let stride = stride.max(1);
+    let mut i = offset;
+    while i < densities.len() {
+        densities[i] = value;
+        i += stride;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_faults_are_deterministic() {
+        let base: Vec<f64> = (0..20).map(|i| i as f64 * 0.05).collect();
+        let plan = FaultPlan::single(Fault::NanDensities {
+            stride: 4,
+            offset: 1,
+        });
+        let mut a = base.clone();
+        let mut b = base.clone();
+        plan.corrupt_densities(&mut a);
+        plan.corrupt_densities(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let hit: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_nan())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hit, vec![1, 5, 9, 13, 17]);
+    }
+
+    #[test]
+    fn each_class_corrupts_as_documented() {
+        let base: Vec<f64> = vec![0.5; 12];
+        let mut d = base.clone();
+        FaultPlan::single(Fault::InfiniteDensities {
+            stride: 6,
+            offset: 0,
+        })
+        .corrupt_densities(&mut d);
+        assert_eq!(d.iter().filter(|v| **v == f64::INFINITY).count(), 2);
+
+        let mut d = base.clone();
+        FaultPlan::single(Fault::NegativeDensities {
+            stride: 1,
+            offset: 10,
+        })
+        .corrupt_densities(&mut d);
+        assert!(d[10] < 0.0 && d[11] < 0.0 && d[9] == 0.5);
+
+        let mut d = base.clone();
+        FaultPlan::single(Fault::TruncatedDensities { drop: 5 }).corrupt_densities(&mut d);
+        assert_eq!(d.len(), 7);
+
+        let mut d = base;
+        FaultPlan::single(Fault::TruncatedDensities { drop: 100 }).corrupt_densities(&mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn solver_fault_lands_in_config_not_densities() {
+        let plan = FaultPlan::single(Fault::ForcedNotConverged { failures: 3 });
+        let mut densities = vec![0.1, 0.2];
+        let mut cfg = PipelineConfig::asg(4);
+        plan.apply(&mut densities, &mut cfg);
+        assert_eq!(densities, vec![0.1, 0.2]);
+        assert_eq!(cfg.framework.spectral.fallback.inject_failures, 3);
+    }
+
+    #[test]
+    fn plans_serialize() {
+        for (_, plan) in FaultPlan::standard_suite() {
+            let json = serde_json::to_string(&plan).unwrap();
+            let back: FaultPlan = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, plan);
+        }
+    }
+}

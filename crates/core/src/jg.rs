@@ -143,8 +143,8 @@ fn boundary_adjust(graph: &RoadGraph, labels: &mut [usize]) -> bool {
             let (nt, st) = (count[to] as f64, sum[to]);
             let mu_f = sf / nf;
             let mu_t = st / nt;
-            let delta = -(nf / (nf - 1.0)) * (f - mu_f).powi(2)
-                + (nt / (nt + 1.0)) * (f - mu_t).powi(2);
+            let delta =
+                -(nf / (nf - 1.0)) * (f - mu_f).powi(2) + (nt / (nt + 1.0)) * (f - mu_t).powi(2);
             if delta < -1e-15 && best.map_or(true, |(_, d)| delta < d) {
                 best = Some((to, delta));
             }

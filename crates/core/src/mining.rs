@@ -17,9 +17,7 @@ use crate::superlink::build_superlinks;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use roadpart_cluster::{
-    constrained_components, kmeans_1d, optimality_sweep, OptimalityPoint,
-};
+use roadpart_cluster::{constrained_components, kmeans_1d, optimality_sweep, OptimalityPoint};
 use roadpart_net::RoadGraph;
 use serde::{Deserialize, Serialize};
 
@@ -103,7 +101,10 @@ pub fn mine_supergraph(graph: &RoadGraph, cfg: &MiningConfig) -> Result<MiningOu
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut idx: Vec<usize> = (0..n).collect();
         idx.shuffle(&mut rng);
-        idx[..cfg.sample_size].iter().map(|&i| features[i]).collect()
+        idx[..cfg.sample_size]
+            .iter()
+            .map(|&i| features[i])
+            .collect()
     } else {
         features.to_vec()
     };
@@ -152,11 +153,8 @@ pub fn mine_supergraph(graph: &RoadGraph, cfg: &MiningConfig) -> Result<MiningOu
         if better {
             // Supernode features start as the k-means cluster mean of the
             // cluster their members came from (line 20).
-            let cluster_mean_per_node: Vec<f64> = km
-                .assignments
-                .iter()
-                .map(|&a| km.centers[a])
-                .collect();
+            let cluster_mean_per_node: Vec<f64> =
+                km.assignments.iter().map(|&a| km.centers[a]).collect();
             best = Some((count, kappa, comp, cluster_mean_per_node));
         }
     }
@@ -237,8 +235,7 @@ mod tests {
         let out = mine_supergraph(&g, &MiningConfig::default()).unwrap();
         assert_eq!(out.supergraph.order(), 3);
         // Each supernode holds one contiguous plateau.
-        let mut sizes: Vec<usize> =
-            out.supergraph.nodes().iter().map(Supernode::len).collect();
+        let mut sizes: Vec<usize> = out.supergraph.nodes().iter().map(Supernode::len).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![10, 10, 10]);
         // Superlinks follow the path: two links.

@@ -12,6 +12,7 @@
 use crate::error::Result;
 use crate::schemes::{run_scheme, FrameworkConfig, Scheme, SchemeOutcome};
 use roadpart_cut::Partition;
+use roadpart_linalg::RecoveryLog;
 use roadpart_net::{RoadGraph, RoadNetwork};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -75,6 +76,9 @@ pub struct PipelineResult {
     pub supergraph_order: Option<usize>,
     /// Per-module wall-clock.
     pub timings: PipelineTimings,
+    /// Eigensolver fallback activity during module 3 (clean runs hold one
+    /// successful baseline event).
+    pub recovery: RecoveryLog,
     /// The full scheme outcome (mining diagnostics etc.).
     pub outcome: SchemeOutcome,
 }
@@ -113,6 +117,7 @@ pub fn partition_network(
             module2,
             module3,
         },
+        recovery: outcome.recovery.clone(),
         outcome,
     })
 }
@@ -181,12 +186,18 @@ mod tests {
         let (net, _) = small_net_and_densities();
         let field = CongestionField::urban_default(&net, 23);
         let cfg = PipelineConfig::asg(3).with_seed(8);
-        let peak =
-            partition_network(&net, &field.densities(&net, 0.3, &TemporalProfile::morning()), &cfg)
-                .unwrap();
-        let off =
-            partition_network(&net, &field.densities(&net, 0.95, &TemporalProfile::morning()), &cfg)
-                .unwrap();
+        let peak = partition_network(
+            &net,
+            &field.densities(&net, 0.3, &TemporalProfile::morning()),
+            &cfg,
+        )
+        .unwrap();
+        let off = partition_network(
+            &net,
+            &field.densities(&net, 0.95, &TemporalProfile::morning()),
+            &cfg,
+        )
+        .unwrap();
         assert_eq!(peak.partition.len(), off.partition.len());
     }
 }

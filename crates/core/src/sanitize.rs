@@ -1,0 +1,339 @@
+//! Input sanitization for the partitioning pipeline.
+//!
+//! Real congestion feeds are messy: sensors drop out (NaN), overflow
+//! (infinities), report negative occupancies, or deliver short files. The
+//! spectral pipeline downstream assumes finite non-negative densities, so
+//! everything entering [`crate::supervisor::run_supervised`] passes through
+//! here first. Two policies are supported:
+//!
+//! * [`SanitizePolicy::Strict`] — the first anomaly aborts the run with
+//!   [`crate::error::RoadpartError::InvalidData`];
+//! * [`SanitizePolicy::ClampAndWarn`] — anomalies are repaired
+//!   deterministically and every repair is recorded in a
+//!   [`ValidationReport`] so callers can audit what was touched.
+//!
+//! The module also flags *degenerate* inputs that are technically valid but
+//! deserve a warning: all-equal density vectors (no congestion structure to
+//! mine) and edgeless or disconnected dual graphs.
+
+use crate::error::{Result, RoadpartError};
+use roadpart_cluster::count_components;
+use roadpart_linalg::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// What to do when densities violate the pipeline's preconditions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SanitizePolicy {
+    /// Fail fast on the first anomaly.
+    Strict,
+    /// Repair anomalies in place and record each repair.
+    #[default]
+    ClampAndWarn,
+}
+
+/// The kind of anomaly found in a density value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// Not-a-number.
+    NaN,
+    /// Positive infinity.
+    PositiveInfinity,
+    /// Negative infinity.
+    NegativeInfinity,
+    /// Finite but negative (densities are occupancies, so `>= 0`).
+    Negative,
+}
+
+impl AnomalyKind {
+    /// Classifies a density value; `None` means the value is acceptable.
+    pub fn of(value: f64) -> Option<AnomalyKind> {
+        if value.is_nan() {
+            Some(AnomalyKind::NaN)
+        } else if value == f64::INFINITY {
+            Some(AnomalyKind::PositiveInfinity)
+        } else if value == f64::NEG_INFINITY {
+            Some(AnomalyKind::NegativeInfinity)
+        } else if value < 0.0 {
+            Some(AnomalyKind::Negative)
+        } else {
+            None
+        }
+    }
+
+    /// Human-readable label.
+    pub fn describe(self) -> &'static str {
+        match self {
+            AnomalyKind::NaN => "NaN",
+            AnomalyKind::PositiveInfinity => "+inf",
+            AnomalyKind::NegativeInfinity => "-inf",
+            AnomalyKind::Negative => "negative",
+        }
+    }
+}
+
+/// One repaired density value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Repair {
+    /// Index into the density vector.
+    pub index: usize,
+    /// What was wrong with the original value.
+    pub kind: AnomalyKind,
+    /// The value written in its place.
+    pub replacement: f64,
+}
+
+/// Everything sanitization found and did — serializable so the supervisor
+/// can embed it in a run report.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Number of density values inspected (after length adjustment).
+    pub checked: usize,
+    /// Per-value repairs, in index order (`ClampAndWarn` only).
+    pub repairs: Vec<Repair>,
+    /// Values appended because the input was shorter than the network.
+    pub padded: usize,
+    /// Values dropped because the input was longer than the network.
+    pub truncated: usize,
+    /// True when every (repaired) density is identical — the congestion
+    /// field carries no structure for the miner to exploit.
+    pub all_equal: bool,
+    /// Connected components of the dual graph, when checked.
+    pub graph_components: Option<usize>,
+    /// Free-form warnings for conditions that are tolerated but suspect.
+    pub warnings: Vec<String>,
+}
+
+impl ValidationReport {
+    /// True when the input needed no repair and raised no warnings.
+    pub fn is_clean(&self) -> bool {
+        self.repairs.is_empty()
+            && self.padded == 0
+            && self.truncated == 0
+            && self.warnings.is_empty()
+    }
+}
+
+/// The deterministic replacement for an anomalous value: the median of the
+/// finite non-negative inputs, or `0.0` when there are none.
+fn replacement_value(densities: &[f64]) -> f64 {
+    let mut finite: Vec<f64> = densities
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v >= 0.0)
+        .collect();
+    if finite.is_empty() {
+        return 0.0;
+    }
+    finite.sort_by(f64::total_cmp);
+    finite[finite.len() / 2]
+}
+
+/// Validates (and under [`SanitizePolicy::ClampAndWarn`] repairs) a density
+/// vector destined for a network with `expected_len` segments.
+///
+/// Repairs: NaN and infinities become the median of the finite non-negative
+/// values; negatives are clamped to `0.0`; short inputs are padded with the
+/// median; long inputs are truncated. All of it lands in the report.
+///
+/// # Errors
+/// Under [`SanitizePolicy::Strict`], any anomaly or length mismatch returns
+/// [`RoadpartError::InvalidData`]. An empty vector for a non-empty network
+/// is rejected under both policies: there is nothing to extrapolate from.
+pub fn sanitize_densities(
+    densities: &[f64],
+    expected_len: usize,
+    policy: SanitizePolicy,
+) -> Result<(Vec<f64>, ValidationReport)> {
+    let mut report = ValidationReport::default();
+
+    if densities.is_empty() && expected_len > 0 {
+        return Err(RoadpartError::InvalidData(format!(
+            "empty density vector for a network with {expected_len} segments"
+        )));
+    }
+    if densities.len() != expected_len && policy == SanitizePolicy::Strict {
+        return Err(RoadpartError::InvalidData(format!(
+            "{} densities for {expected_len} segments",
+            densities.len()
+        )));
+    }
+
+    let fill = replacement_value(densities);
+    let mut clean = densities.to_vec();
+    if clean.len() > expected_len {
+        report.truncated = clean.len() - expected_len;
+        report
+            .warnings
+            .push(format!("dropped {} trailing densities", report.truncated));
+        clean.truncate(expected_len);
+    } else if clean.len() < expected_len {
+        report.padded = expected_len - clean.len();
+        report.warnings.push(format!(
+            "padded {} missing densities with the median {fill}",
+            report.padded
+        ));
+        clean.resize(expected_len, fill);
+    }
+    report.checked = clean.len();
+
+    for (index, value) in clean.iter_mut().enumerate() {
+        let Some(kind) = AnomalyKind::of(*value) else {
+            continue;
+        };
+        if policy == SanitizePolicy::Strict {
+            return Err(RoadpartError::InvalidData(format!(
+                "density[{index}] is {} ({value})",
+                kind.describe()
+            )));
+        }
+        let replacement = match kind {
+            AnomalyKind::NaN | AnomalyKind::PositiveInfinity => fill,
+            AnomalyKind::NegativeInfinity | AnomalyKind::Negative => 0.0,
+        };
+        *value = replacement;
+        report.repairs.push(Repair {
+            index,
+            kind,
+            replacement,
+        });
+    }
+    if !report.repairs.is_empty() {
+        report.warnings.push(format!(
+            "repaired {} anomalous densities",
+            report.repairs.len()
+        ));
+    }
+
+    report.all_equal =
+        clean.len() > 1 && clean.windows(2).all(|w| w[0].to_bits() == w[1].to_bits());
+    if report.all_equal {
+        report
+            .warnings
+            .push("all densities are equal; the congestion field has no structure to mine".into());
+    }
+
+    Ok((clean, report))
+}
+
+/// Checks the dual road graph for degenerate topology, appending findings to
+/// an existing report: an edgeless graph and a disconnected graph are both
+/// tolerated downstream (isolated segments become singleton partitions) but
+/// usually indicate a broken input file.
+pub fn check_dual_graph(adj: &CsrMatrix, report: &mut ValidationReport) {
+    let n = adj.dim();
+    // Unconstrained component counting cannot fail (no labels to mismatch).
+    let components = count_components(adj, None).unwrap_or(0);
+    report.graph_components = Some(components);
+    if n == 0 {
+        report.warnings.push("dual graph has no nodes".into());
+        return;
+    }
+    if adj.iter().next().is_none() {
+        report
+            .warnings
+            .push(format!("dual graph has {n} nodes but no edges"));
+    }
+    if components > 1 {
+        report.warnings.push(format!(
+            "dual graph is disconnected: {components} components"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_input_passes_untouched() {
+        let d = [0.1, 0.5, 0.9];
+        let (clean, report) = sanitize_densities(&d, 3, SanitizePolicy::Strict).unwrap();
+        assert_eq!(clean, d);
+        assert!(report.is_clean());
+        assert!(!report.all_equal);
+    }
+
+    #[test]
+    fn strict_rejects_each_anomaly_kind() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+            let d = [0.1, bad, 0.9];
+            let err = sanitize_densities(&d, 3, SanitizePolicy::Strict).unwrap_err();
+            assert!(matches!(err, RoadpartError::InvalidData(_)), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn clamp_repairs_and_reports_indices() {
+        let d = [0.2, f64::NAN, -1.0, f64::INFINITY, 0.4, 0.6];
+        let (clean, report) = sanitize_densities(&d, 6, SanitizePolicy::ClampAndWarn).unwrap();
+        assert!(clean.iter().all(|v| v.is_finite() && *v >= 0.0));
+        let repaired: Vec<usize> = report.repairs.iter().map(|r| r.index).collect();
+        assert_eq!(repaired, vec![1, 2, 3]);
+        assert_eq!(report.repairs[0].kind, AnomalyKind::NaN);
+        assert_eq!(report.repairs[1].kind, AnomalyKind::Negative);
+        assert_eq!(report.repairs[1].replacement, 0.0);
+        assert_eq!(report.repairs[2].kind, AnomalyKind::PositiveInfinity);
+        // NaN and +inf take the median of {0.2, 0.4, 0.6}.
+        assert_eq!(report.repairs[0].replacement, 0.4);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn length_mismatches() {
+        let d = [0.1, 0.2];
+        assert!(sanitize_densities(&d, 4, SanitizePolicy::Strict).is_err());
+        let (clean, report) = sanitize_densities(&d, 4, SanitizePolicy::ClampAndWarn).unwrap();
+        assert_eq!(clean.len(), 4);
+        assert_eq!(report.padded, 2);
+        let (clean, report) = sanitize_densities(&d, 1, SanitizePolicy::ClampAndWarn).unwrap();
+        assert_eq!(clean.len(), 1);
+        assert_eq!(report.truncated, 1);
+        assert!(sanitize_densities(&[], 3, SanitizePolicy::ClampAndWarn).is_err());
+    }
+
+    #[test]
+    fn all_equal_detected() {
+        let (_, report) = sanitize_densities(&[0.5; 8], 8, SanitizePolicy::Strict).unwrap();
+        assert!(report.all_equal);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn all_anomalous_vector_repairs_to_zero() {
+        let d = [f64::NAN, f64::NAN];
+        let (clean, report) = sanitize_densities(&d, 2, SanitizePolicy::ClampAndWarn).unwrap();
+        assert_eq!(clean, vec![0.0, 0.0]);
+        assert_eq!(report.repairs.len(), 2);
+        assert!(report.all_equal);
+    }
+
+    #[test]
+    fn graph_checks_flag_degeneracy() {
+        let mut report = ValidationReport::default();
+        let connected = CsrMatrix::from_undirected_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        check_dual_graph(&connected, &mut report);
+        assert_eq!(report.graph_components, Some(1));
+        assert!(report.warnings.is_empty());
+
+        let mut report = ValidationReport::default();
+        let split = CsrMatrix::from_undirected_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        check_dual_graph(&split, &mut report);
+        assert_eq!(report.graph_components, Some(2));
+        assert_eq!(report.warnings.len(), 1);
+
+        let mut report = ValidationReport::default();
+        let edgeless = CsrMatrix::from_triplets(3, &[]).unwrap();
+        check_dual_graph(&edgeless, &mut report);
+        assert_eq!(report.warnings.len(), 2, "edgeless and disconnected");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let d = [0.2, f64::NAN, 0.8];
+        let (_, report) = sanitize_densities(&d, 3, SanitizePolicy::ClampAndWarn).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ValidationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.repairs.len(), report.repairs.len());
+        assert_eq!(back.repairs[0].kind, AnomalyKind::NaN);
+    }
+}

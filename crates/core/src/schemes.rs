@@ -14,7 +14,10 @@
 
 use crate::error::Result;
 use crate::mining::{mine_supergraph, MiningConfig, MiningOutcome};
-use roadpart_cut::{gaussian_affinity, spectral_partition, CutKind, Partition, SpectralConfig};
+use roadpart_cut::{
+    gaussian_affinity, spectral_partition_recovering, CutKind, Partition, SpectralConfig,
+};
+use roadpart_linalg::RecoveryLog;
 use roadpart_net::RoadGraph;
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +52,17 @@ impl Scheme {
     /// All four schemes, in the paper's presentation order.
     pub fn all() -> [Scheme; 4] {
         [Scheme::AG, Scheme::ASG, Scheme::NG, Scheme::NSG]
+    }
+
+    /// The direct scheme a supergraph scheme degrades to when mining is
+    /// impossible (ASG → AG, NSG → NG); `None` for the direct schemes,
+    /// which have nothing to fall back to.
+    pub fn degraded(self) -> Option<Scheme> {
+        match self {
+            Scheme::ASG => Some(Scheme::AG),
+            Scheme::NSG => Some(Scheme::NG),
+            Scheme::AG | Scheme::NG => None,
+        }
     }
 
     /// The paper's notation for the scheme.
@@ -90,6 +104,9 @@ pub struct SchemeOutcome {
     /// Wall-clock spent mining the supergraph (module 2 of the pipeline;
     /// zero for direct schemes).
     pub mining_time: std::time::Duration,
+    /// Every eigensolver attempt the fallback ladder made for the main
+    /// spectral embedding (a clean run has one successful baseline event).
+    pub recovery: RecoveryLog,
 }
 
 /// Runs a scheme on a road graph, producing `k` road-segment partitions.
@@ -102,27 +119,41 @@ pub fn run_scheme(
     k: usize,
     cfg: &FrameworkConfig,
 ) -> Result<SchemeOutcome> {
+    let mut recovery = RecoveryLog::new();
     if scheme.uses_supergraph() {
         let t0 = std::time::Instant::now();
         let mining = mine_supergraph(graph, &cfg.mining)?;
         let mining_time = t0.elapsed();
         let sg = &mining.supergraph;
         let k_eff = k.min(sg.order());
-        let super_partition =
-            spectral_partition(sg.adjacency(), k_eff, scheme.cut_kind(), &cfg.spectral)?;
+        let super_partition = spectral_partition_recovering(
+            sg.adjacency(),
+            k_eff,
+            scheme.cut_kind(),
+            &cfg.spectral,
+            &mut recovery,
+        )?;
         let labels = sg.expand_labels(super_partition.labels())?;
         Ok(SchemeOutcome {
             partition: Partition::from_labels(&labels),
             mining: Some(mining),
             mining_time,
+            recovery,
         })
     } else {
         let affinity = gaussian_affinity(graph.adjacency(), graph.features())?;
-        let partition = spectral_partition(&affinity, k, scheme.cut_kind(), &cfg.spectral)?;
+        let partition = spectral_partition_recovering(
+            &affinity,
+            k,
+            scheme.cut_kind(),
+            &cfg.spectral,
+            &mut recovery,
+        )?;
         Ok(SchemeOutcome {
             partition,
             mining: None,
             mining_time: std::time::Duration::ZERO,
+            recovery,
         })
     }
 }
@@ -159,7 +190,22 @@ mod tests {
             assert_eq!(out.partition.len(), 30, "{scheme:?}");
             assert_eq!(out.partition.k(), 3, "{scheme:?}");
             assert_eq!(out.mining.is_some(), scheme.uses_supergraph());
+            assert!(out.recovery.is_clean(), "{scheme:?}: unexpected fallback");
         }
+    }
+
+    #[test]
+    fn scheme_outcome_records_solver_recovery() {
+        // AG keeps the full 30-node graph, so the spectral solve (and the
+        // injected failure) actually runs; ASG's 3-supernode graph with
+        // k = 3 would short-circuit to singletons without solving.
+        let g = plateau_graph();
+        let mut cfg = FrameworkConfig::default().with_seed(5);
+        cfg.spectral.fallback.inject_failures = 1;
+        let out = run_scheme(&g, Scheme::AG, 3, &cfg).unwrap();
+        assert_eq!(out.partition.k(), 3);
+        assert_eq!(out.recovery.failures(), 1);
+        assert!(out.recovery.events.last().unwrap().succeeded);
     }
 
     #[test]

@@ -61,12 +61,7 @@ pub fn select_k(
     }
     let best = sweep
         .iter()
-        .min_by(|a, b| {
-            a.report
-                .ans
-                .partial_cmp(&b.report.ans)
-                .expect("finite ANS")
-        })
+        .min_by(|a, b| a.report.ans.partial_cmp(&b.report.ans).expect("finite ANS"))
         .expect("non-empty sweep");
     let (best_k, best_ans) = (best.k, best.report.ans);
 
@@ -116,7 +111,15 @@ mod tests {
         let g = plateau_graph();
         let cfg = FrameworkConfig::default().with_seed(5);
         let sel = select_k(&g, Scheme::ASG, 2..=6, &cfg).unwrap();
-        assert_eq!(sel.best_k, 3, "sweep: {:?}", sel.sweep.iter().map(|c| (c.k, c.report.ans)).collect::<Vec<_>>());
+        assert_eq!(
+            sel.best_k,
+            3,
+            "sweep: {:?}",
+            sel.sweep
+                .iter()
+                .map(|c| (c.k, c.report.ans))
+                .collect::<Vec<_>>()
+        );
         assert!(sel.candidates.contains(&3));
         assert_eq!(sel.sweep.len(), 5);
     }

@@ -56,10 +56,8 @@ pub fn stability_check(
     let threshold = threshold.clamp(0.0, 1.0);
     let mut out = Vec::with_capacity(supernodes.len());
     // (members, feature, was_split)
-    let mut stack: Vec<(Vec<usize>, f64, bool)> = supernodes
-        .into_iter()
-        .map(|(m, f)| (m, f, false))
-        .collect();
+    let mut stack: Vec<(Vec<usize>, f64, bool)> =
+        supernodes.into_iter().map(|(m, f)| (m, f, false)).collect();
     while let Some((members, feature, was_split)) = stack.pop() {
         let values: Vec<f64> = members.iter().map(|&m| node_features[m]).collect();
         let eta = stability(&values);

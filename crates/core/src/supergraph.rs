@@ -43,11 +43,7 @@ impl Supergraph {
     ///
     /// # Errors
     /// Returns [`RoadpartError::InvalidConfig`] on any structural violation.
-    pub fn new(
-        nodes: Vec<Supernode>,
-        adjacency: CsrMatrix,
-        n_road_nodes: usize,
-    ) -> Result<Self> {
+    pub fn new(nodes: Vec<Supernode>, adjacency: CsrMatrix, n_road_nodes: usize) -> Result<Self> {
         if adjacency.dim() != nodes.len() {
             return Err(RoadpartError::InvalidConfig(format!(
                 "superlink matrix dimension {} != supernode count {}",

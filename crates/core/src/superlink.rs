@@ -80,11 +80,8 @@ mod tests {
 
     /// Path 0-1-2-3 with supernodes {0,1}, {2}, {3}.
     fn setup() -> (CsrMatrix, Vec<usize>) {
-        let adj = CsrMatrix::from_undirected_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let adj =
+            CsrMatrix::from_undirected_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         (adj, vec![0, 0, 1, 2])
     }
 

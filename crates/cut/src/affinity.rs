@@ -37,9 +37,7 @@ pub fn gaussian_affinity(adj: &CsrMatrix, features: &[f64]) -> Result<CsrMatrix>
         )));
     }
     if features.iter().any(|f| !f.is_finite()) {
-        return Err(CutError::InvalidInput(
-            "features must be finite".into(),
-        ));
+        return Err(CutError::InvalidInput("features must be finite".into()));
     }
     let var = {
         let sigma = robust_sigma(features);
@@ -87,7 +85,11 @@ fn robust_sigma(features: &[f64]) -> f64 {
         1.4826 * mad
     } else {
         let mean = features.iter().sum::<f64>() / features.len() as f64;
-        (features.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / features.len() as f64)
+        (features
+            .iter()
+            .map(|f| (f - mean) * (f - mean))
+            .sum::<f64>()
+            / features.len() as f64)
             .sqrt()
     }
 }
@@ -160,11 +162,8 @@ mod tests {
     fn mad_fallback_to_stddev() {
         // More than half identical values: MAD = 0, std-dev fallback keeps a
         // usable bandwidth.
-        let adj = CsrMatrix::from_undirected_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let adj =
+            CsrMatrix::from_undirected_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let features = [1.0, 1.0, 1.0, 2.0];
         let a = gaussian_affinity(&adj, &features).unwrap();
         assert!(a.get(0, 1) > 0.99);

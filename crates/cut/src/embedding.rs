@@ -8,7 +8,8 @@
 
 use crate::error::{CutError, Result};
 use roadpart_linalg::{
-    sym_eigs, CsrMatrix, DenseMatrix, DiagScaledOp, EigenConfig, RankOneUpdate, Which,
+    sym_eigs, sym_eigs_recovering, CsrMatrix, DenseMatrix, DiagScaledOp, EigenConfig,
+    FallbackConfig, RankOneUpdate, RecoveryLog, Which,
 };
 use serde::{Deserialize, Serialize};
 
@@ -90,6 +91,47 @@ pub fn embedding(
     match kind {
         CutKind::Alpha => alpha_embedding(adj, k, eig),
         CutKind::Normalized => ncut_embedding(adj, k, eig),
+    }
+}
+
+/// [`embedding`] behind the solver fallback ladder: non-convergence and
+/// non-finite Ritz values trigger progressively more forgiving solver
+/// configurations instead of failing the cut outright. Every attempt is
+/// recorded in `log`.
+///
+/// # Errors
+/// Rejects asymmetric or negative input immediately; returns the last
+/// rung's numerical error if the whole ladder is exhausted.
+pub fn embedding_recovering(
+    adj: &CsrMatrix,
+    k: usize,
+    kind: CutKind,
+    eig: &EigenConfig,
+    fallback: &FallbackConfig,
+    log: &mut RecoveryLog,
+) -> Result<DenseMatrix> {
+    validate(adj)?;
+    let n = adj.dim();
+    let nev = k.min(n);
+    match kind {
+        CutKind::Alpha => {
+            let d = adj.degrees();
+            let s: f64 = d.iter().sum();
+            let scale = if s > 0.0 { 1.0 / s } else { 0.0 };
+            let op = RankOneUpdate::new(adj, d, scale, -1.0)?;
+            let dec = sym_eigs_recovering(&op, nev, Which::Smallest, eig, fallback, log)?;
+            Ok(dec.vectors)
+        }
+        CutKind::Normalized => {
+            let d_inv_sqrt: Vec<f64> = adj
+                .degrees()
+                .iter()
+                .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+                .collect();
+            let op = DiagScaledOp::new(adj, d_inv_sqrt, -1.0, 1.0)?;
+            let dec = sym_eigs_recovering(&op, nev, Which::Smallest, eig, fallback, log)?;
+            Ok(dec.vectors)
+        }
     }
 }
 
@@ -190,11 +232,7 @@ mod tests {
         let d = a.degrees();
         let col = y.col(0);
         // col should be proportional to sqrt(d).
-        let ratio: Vec<f64> = col
-            .iter()
-            .zip(&d)
-            .map(|(c, dd)| c / dd.sqrt())
-            .collect();
+        let ratio: Vec<f64> = col.iter().zip(&d).map(|(c, dd)| c / dd.sqrt()).collect();
         for w in ratio.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-8, "ratios: {ratio:?}");
         }

@@ -24,7 +24,10 @@ impl fmt::Display for CutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CutError::BadPartitionCount { requested, nodes } => {
-                write!(f, "cannot cut a {nodes}-node graph into {requested} partitions")
+                write!(
+                    f,
+                    "cannot cut a {nodes}-node graph into {requested} partitions"
+                )
             }
             CutError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             CutError::Linalg(e) => write!(f, "eigensolver error: {e}"),

@@ -10,12 +10,12 @@
 //!    condensed partition-connectivity graph for k′ > k (lines 12–24),
 //!    largest-first splitting for k′ < k.
 
-use crate::embedding::{embedding, row_normalize, CutKind};
+use crate::embedding::{embedding_recovering, row_normalize, CutKind};
 use crate::error::{CutError, Result};
 use crate::partition::Partition;
 use crate::refine::{partition_connectivity, recursive_bipartition, split_to_k};
 use roadpart_cluster::{constrained_components, kmeans, KMeansConfig};
-use roadpart_linalg::{CsrMatrix, EigenConfig};
+use roadpart_linalg::{CsrMatrix, EigenConfig, FallbackConfig, RecoveryLog};
 use serde::{Deserialize, Serialize};
 
 /// How k′ ≠ k is resolved.
@@ -47,6 +47,8 @@ pub struct SpectralConfig {
     /// in principle group non-adjacent fine partitions; this restores
     /// connectivity as a post-pass.
     pub enforce_connectivity: bool,
+    /// Solver fallback ladder applied to the main spectral embedding.
+    pub fallback: FallbackConfig,
 }
 
 impl Default for SpectralConfig {
@@ -56,6 +58,7 @@ impl Default for SpectralConfig {
             kmeans: KMeansConfig::default(),
             refine: RefineStrategy::RecursiveBipartition,
             enforce_connectivity: true,
+            fallback: FallbackConfig::default(),
         }
     }
 }
@@ -81,6 +84,23 @@ pub fn spectral_partition(
     kind: CutKind,
     cfg: &SpectralConfig,
 ) -> Result<Partition> {
+    let mut log = RecoveryLog::new();
+    spectral_partition_recovering(adj, k, kind, cfg, &mut log)
+}
+
+/// [`spectral_partition`] that additionally reports solver fallback
+/// activity: the main embedding runs behind the ladder configured in
+/// [`SpectralConfig::fallback`], and every attempt lands in `log`.
+///
+/// # Errors
+/// Same as [`spectral_partition`].
+pub fn spectral_partition_recovering(
+    adj: &CsrMatrix,
+    k: usize,
+    kind: CutKind,
+    cfg: &SpectralConfig,
+    log: &mut RecoveryLog,
+) -> Result<Partition> {
     let n = adj.dim();
     if k == 0 || k > n {
         return Err(CutError::BadPartitionCount {
@@ -92,8 +112,8 @@ pub fn spectral_partition(
         return Ok(Partition::from_labels(&(0..n).collect::<Vec<_>>()));
     }
 
-    // Lines 1-8: embedding.
-    let mut y = embedding(adj, k, kind, &cfg.eigen)?;
+    // Lines 1-8: embedding (behind the fallback ladder).
+    let mut y = embedding_recovering(adj, k, kind, &cfg.eigen, &cfg.fallback, log)?;
     row_normalize(&mut y);
     // Lines 9-10: eigenspace k-means.
     let km = kmeans(&y, k, &cfg.kmeans)?;
@@ -232,7 +252,11 @@ mod tests {
         }
         let adj = CsrMatrix::from_undirected_edges(6, &edges).unwrap();
         let p = spectral_partition(&adj, 1, CutKind::Alpha, &SpectralConfig::default()).unwrap();
-        assert_eq!(p.k(), 2, "two components cannot form one connected partition");
+        assert_eq!(
+            p.k(),
+            2,
+            "two components cannot form one connected partition"
+        );
     }
 
     #[test]
@@ -264,5 +288,24 @@ mod tests {
         let a = spectral_partition(&adj, 3, CutKind::Alpha, &cfg).unwrap();
         let b = spectral_partition(&adj, 3, CutKind::Alpha, &cfg).unwrap();
         assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn injected_solver_failure_recovers_with_valid_partition() {
+        let adj = clique_chain(3, 5);
+        let mut cfg = SpectralConfig::default();
+        cfg.fallback.inject_failures = 2; // baseline + relaxed rungs fail
+        let mut log = RecoveryLog::new();
+        let p = spectral_partition_recovering(&adj, 3, CutKind::Alpha, &cfg, &mut log).unwrap();
+        assert_eq!(p.k(), 3);
+        assert_eq!(log.failures(), 2);
+        assert!(log.events.last().unwrap().succeeded);
+        // The recovered result still lands the planted cliques.
+        for c in 0..3 {
+            let l = p.label(c * 5);
+            for i in 1..5 {
+                assert_eq!(p.label(c * 5 + i), l);
+            }
+        }
     }
 }

@@ -30,10 +30,11 @@ pub use affinity::gaussian_affinity;
 pub use alpha::alpha_cut;
 pub use bipartition::bipartition;
 pub use embedding::{
-    alpha_embedding, dense_alpha_matrix, embedding, ncut_embedding, row_normalize, CutKind,
+    alpha_embedding, dense_alpha_matrix, embedding, embedding_recovering, ncut_embedding,
+    row_normalize, CutKind,
 };
 pub use error::{CutError, Result};
-pub use kway::{spectral_partition, RefineStrategy, SpectralConfig};
+pub use kway::{spectral_partition, spectral_partition_recovering, RefineStrategy, SpectralConfig};
 pub use ncut::normalized_cut;
 pub use partition::Partition;
 pub use refine::{greedy_merge, partition_connectivity, recursive_bipartition, split_to_k};

@@ -49,11 +49,8 @@ mod tests {
     #[test]
     fn handles_isolated_nodes() {
         // Triangle plus two isolated nodes.
-        let adj = CsrMatrix::from_undirected_edges(
-            5,
-            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)],
-        )
-        .unwrap();
+        let adj =
+            CsrMatrix::from_undirected_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]).unwrap();
         let p = normalized_cut(&adj, 3, &SpectralConfig::default()).unwrap();
         // Isolated nodes form singleton partitions; the triangle stays whole
         // or splits, but everything stays internally connected.

@@ -173,7 +173,7 @@ pub fn greedy_merge(connectivity: &CsrMatrix, k: usize) -> Result<Partition> {
     }
     // Union-find with a live merged-weight table.
     let mut parent: Vec<usize> = (0..kp).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

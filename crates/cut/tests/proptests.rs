@@ -1,9 +1,7 @@
 //! Property-based tests for the graph-cut layer.
 
 use proptest::prelude::*;
-use roadpart_cut::{
-    gaussian_affinity, greedy_merge, partition_connectivity, Partition,
-};
+use roadpart_cut::{gaussian_affinity, greedy_merge, partition_connectivity, Partition};
 use roadpart_linalg::CsrMatrix;
 
 fn arb_graph() -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
@@ -11,8 +9,7 @@ fn arb_graph() -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
         let chords = proptest::collection::vec((0..n, 0..n), 0..n);
         let feats = proptest::collection::vec(0.0f64..1.0, n);
         (Just(n), chords, feats).prop_map(|(n, chords, feats)| {
-            let mut edges: Vec<(usize, usize, f64)> =
-                (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+            let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
             for (a, b) in chords {
                 if a != b {
                     edges.push((a, b, 1.0));

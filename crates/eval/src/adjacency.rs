@@ -40,11 +40,8 @@ mod tests {
     #[test]
     fn chain_partitions_adjacent_in_order() {
         // Path 0-1-2-3 with labels [0,0,1,2]: pairs (0,1), (1,2).
-        let adj = CsrMatrix::from_undirected_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let adj =
+            CsrMatrix::from_undirected_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let pa = partition_adjacency(&adj, &[0, 0, 1, 2], 3);
         assert_eq!(pa.pairs, vec![(0, 1), (1, 2)]);
         assert_eq!(pa.neighbors[0], vec![1]);

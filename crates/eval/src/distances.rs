@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn pairwise_matches_naive() {
-        let values: Vec<f64> = (0..50).map(|i| ((i * 17) % 23) as f64 * 0.3 - 2.0).collect();
+        let values: Vec<f64> = (0..50)
+            .map(|i| ((i * 17) % 23) as f64 * 0.3 - 2.0)
+            .collect();
         assert!((mean_abs_pairwise(&values) - naive_pairwise(&values)).abs() < 1e-10);
     }
 

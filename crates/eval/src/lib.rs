@@ -35,5 +35,5 @@ pub use cut_metrics::{
 pub use gdbi::gdbi;
 pub use inter_intra::{inter_metric, intra_metric};
 pub use modularity::modularity;
-pub use similarity::{nmi, rand_index};
 pub use report::QualityReport;
+pub use similarity::{nmi, rand_index};

@@ -173,9 +173,7 @@ impl CsrMatrix {
 
     /// Row sums — the weighted degree vector `d` of a graph adjacency matrix.
     pub fn degrees(&self) -> Vec<f64> {
-        (0..self.n)
-            .map(|i| self.row(i).1.iter().sum())
-            .collect()
+        (0..self.n).map(|i| self.row(i).1.iter().sum()).collect()
     }
 
     /// Sum of all stored values (`1ᵀ A 1`); for a symmetric adjacency matrix
@@ -263,8 +261,7 @@ mod tests {
 
     #[test]
     fn triplets_dedup_and_sort() {
-        let m =
-            CsrMatrix::from_triplets(2, &[(0, 1, 1.0), (0, 1, 2.0), (0, 0, 5.0)]).unwrap();
+        let m = CsrMatrix::from_triplets(2, &[(0, 1, 1.0), (0, 1, 2.0), (0, 0, 5.0)]).unwrap();
         assert_eq!(m.get(0, 1), 3.0);
         assert_eq!(m.get(0, 0), 5.0);
         assert_eq!(m.nnz(), 2);

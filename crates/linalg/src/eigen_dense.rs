@@ -246,10 +246,7 @@ mod tests {
             for j in i..n {
                 let dot = crate::vecops::dot(&dec.vector(i), &dec.vector(j));
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (dot - expect).abs() < 1e-8,
-                    "columns {i},{j}: dot = {dot}"
-                );
+                assert!((dot - expect).abs() < 1e-8, "columns {i},{j}: dot = {dot}");
             }
         }
         // Trace preserved.

@@ -24,6 +24,12 @@ pub enum LinalgError {
     /// The input violates a documented precondition (NaN entries,
     /// zero dimension, out-of-range index, ...).
     InvalidInput(String),
+    /// A computation produced a NaN or infinite value where a finite one is
+    /// required (e.g. a Ritz value poisoned by non-finite operator entries).
+    NonFinite {
+        /// Which computation produced the non-finite value.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -40,8 +46,14 @@ impl fmt::Display for LinalgError {
             LinalgError::NotConverged {
                 iterations,
                 context,
-            } => write!(f, "{context} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations"
+            ),
             LinalgError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            LinalgError::NonFinite { context } => {
+                write!(f, "{context} produced a non-finite value")
+            }
         }
     }
 }

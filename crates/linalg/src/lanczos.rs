@@ -203,6 +203,11 @@ fn lanczos_deflated(
             });
         }
         for (val, vec) in run.values.into_iter().zip(run.vectors) {
+            if !val.is_finite() {
+                return Err(LinalgError::NonFinite {
+                    context: "Lanczos Ritz value",
+                });
+            }
             locked_vals.push(val);
             locked_vecs.push(vec);
         }
@@ -215,13 +220,11 @@ fn lanczos_deflated(
         });
     }
 
-    // Sort the locked pairs ascending and keep the wanted `nev`.
+    // Sort the locked pairs ascending and keep the wanted `nev`. Values are
+    // finite (checked at lock time), so total_cmp agrees with the usual
+    // numeric order while never panicking.
     let mut order: Vec<usize> = (0..locked_vals.len()).collect();
-    order.sort_by(|&a, &b| {
-        locked_vals[a]
-            .partial_cmp(&locked_vals[b])
-            .expect("finite eigenvalues")
-    });
+    order.sort_by(|&a, &b| locked_vals[a].total_cmp(&locked_vals[b]));
     let selected: Vec<usize> = match which {
         Which::Smallest => order[..nev].to_vec(),
         Which::Largest => order[order.len() - nev..].to_vec(),
@@ -240,7 +243,7 @@ fn lanczos_deflated(
 /// `nev`-th smallest locked value, for `Largest` the `nev`-th largest.
 fn kth_selected(vals: &[f64], nev: usize, which: Which) -> f64 {
     let mut sorted = vals.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite eigenvalues"));
+    sorted.sort_by(f64::total_cmp);
     match which {
         Which::Smallest => sorted[nev - 1],
         Which::Largest => sorted[sorted.len() - nev],
@@ -330,7 +333,12 @@ fn lanczos_run(
             if count >= need || j == m_max {
                 if count > 0 {
                     return Ok(extract_pairs(
-                        &basis, &theta, &s, which, count.min(need), locked,
+                        &basis,
+                        &theta,
+                        &s,
+                        which,
+                        count.min(need),
+                        locked,
                     ));
                 }
                 if j == m_max {

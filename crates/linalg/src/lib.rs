@@ -28,6 +28,7 @@ pub mod csr;
 pub mod dense;
 pub mod eigen_dense;
 pub mod error;
+pub mod fallback;
 pub mod lanczos;
 pub mod operator;
 pub mod tridiag;
@@ -37,5 +38,6 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use eigen_dense::{eigh, EigenDecomposition};
 pub use error::{LinalgError, Result};
+pub use fallback::{sym_eigs_recovering, FallbackConfig, FallbackRung, RecoveryEvent, RecoveryLog};
 pub use lanczos::{densify, sym_eigs, EigenConfig, PartialEigen, Which};
 pub use operator::{DiagScaledOp, RankOneUpdate, SymOp};

@@ -236,12 +236,12 @@ mod tests {
         }
         // Verify residual ||T q - lambda q|| for every pair.
         let t = tridiag_dense(&d, &e);
-        for j in 0..n {
+        for (j, &lambda) in vals.iter().enumerate() {
             let q = z.col(j);
             let mut tq = vec![0.0; n];
             t.matvec(&q, &mut tq).unwrap();
             for i in 0..n {
-                assert!((tq[i] - vals[j] * q[i]).abs() < 1e-9);
+                assert!((tq[i] - lambda * q[i]).abs() < 1e-9);
             }
         }
     }

@@ -79,9 +79,9 @@ proptest! {
         }
         // Degrees are row sums of the dense form.
         let deg = a.degrees();
-        for i in 0..n {
+        for (i, &di) in deg.iter().enumerate() {
             let row_sum: f64 = (0..n).map(|j| a.to_dense().get(i, j)).sum();
-            prop_assert!((deg[i] - row_sum).abs() < 1e-9);
+            prop_assert!((di - row_sum).abs() < 1e-9);
         }
     }
 

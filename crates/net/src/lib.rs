@@ -25,8 +25,8 @@ pub mod scc;
 pub mod synth;
 
 pub use builder::RoadNetworkBuilder;
-pub use geojson::write_geojson;
 pub use error::{NetError, Result};
+pub use geojson::write_geojson;
 pub use ids::{IntersectionId, SegmentId};
 pub use network::{Intersection, RoadNetwork, RoadSegment};
 pub use road_graph::RoadGraph;

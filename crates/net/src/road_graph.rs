@@ -192,8 +192,7 @@ mod tests {
     fn line_network_dualizes_to_path() {
         // 0 -> 1 -> 2 -> 3: three segments in a line -> path of 3 dual nodes.
         let ints = vec![Intersection { x: 0.0, y: 0.0 }; 4];
-        let net =
-            RoadNetwork::new(ints, vec![seg(0, 1), seg(1, 2), seg(2, 3)]).unwrap();
+        let net = RoadNetwork::new(ints, vec![seg(0, 1), seg(1, 2), seg(2, 3)]).unwrap();
         let g = RoadGraph::from_network(&net).unwrap();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.link_count(), 2);
@@ -206,11 +205,7 @@ mod tests {
     fn star_network_dualizes_to_clique() {
         // Four segments all incident to intersection 0 -> K4 in the dual.
         let ints = vec![Intersection { x: 0.0, y: 0.0 }; 5];
-        let net = RoadNetwork::new(
-            ints,
-            vec![seg(1, 0), seg(2, 0), seg(0, 3), seg(0, 4)],
-        )
-        .unwrap();
+        let net = RoadNetwork::new(ints, vec![seg(1, 0), seg(2, 0), seg(0, 3), seg(0, 4)]).unwrap();
         let g = RoadGraph::from_network(&net).unwrap();
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.link_count(), 6); // C(4,2)

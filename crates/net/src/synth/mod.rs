@@ -275,8 +275,8 @@ impl UrbanConfig {
         // Rescale the segment target to the actually generated intersection
         // count so the segments-per-intersection ratio matches the paper.
         let streets = plan.streets.len() as f64;
-        let seg_target = self.target_segments as f64 * n_int as f64
-            / self.target_intersections.max(1) as f64;
+        let seg_target =
+            self.target_segments as f64 * n_int as f64 / self.target_intersections.max(1) as f64;
         let mut frac = (2.0 - seg_target / streets).clamp(0.0, 1.0);
         let mut best: Option<RoadNetwork> = None;
         let mut best_err = f64::INFINITY;

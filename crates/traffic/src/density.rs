@@ -25,11 +25,7 @@ impl DensityHistory {
     /// Panics if the snapshot length disagrees with `n_segments` (an
     /// internal-logic error, not a data error).
     pub fn push(&mut self, densities: Vec<f64>) {
-        assert_eq!(
-            densities.len(),
-            self.n_segments,
-            "snapshot length mismatch"
-        );
+        assert_eq!(densities.len(), self.n_segments, "snapshot length mismatch");
         self.steps.push(densities);
     }
 

@@ -216,7 +216,11 @@ mod tests {
         by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let q = by_dist.len() / 4;
         let inner: f64 = by_dist[..q].iter().map(|p| p.1).sum::<f64>() / q as f64;
-        let outer: f64 = by_dist[by_dist.len() - q..].iter().map(|p| p.1).sum::<f64>() / q as f64;
+        let outer: f64 = by_dist[by_dist.len() - q..]
+            .iter()
+            .map(|p| p.1)
+            .sum::<f64>()
+            / q as f64;
         assert!(inner > outer, "inner {inner} vs outer {outer}");
     }
 }

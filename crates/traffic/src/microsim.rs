@@ -11,8 +11,8 @@ use crate::density::DensityHistory;
 use crate::error::{Result, TrafficError};
 use crate::routing::Router;
 use crate::trip::Trip;
-use roadpart_net::{RoadNetwork, SegmentId};
 use rand::{Rng, SeedableRng};
+use roadpart_net::{RoadNetwork, SegmentId};
 use serde::{Deserialize, Serialize};
 
 /// Microsimulation parameters.
@@ -208,9 +208,7 @@ pub fn simulate(
                 let redispatched = {
                     let v = &mut active[v_idx];
                     if v.legs_remaining > 0 && !redispatch_pool.is_empty() {
-                        let here = net
-                            .segment(*v.route.last().expect("non-empty route"))
-                            .to;
+                        let here = net.segment(*v.route.last().expect("non-empty route")).to;
                         let mut new_route = None;
                         for _ in 0..8 {
                             let dest = redispatch_pool[rng.gen_range(0..redispatch_pool.len())];
@@ -219,9 +217,8 @@ pub fn simulate(
                             }
                             if let Some(beta) = cfg.redispatch_beta_m {
                                 let a = net.intersection(here);
-                                let b = net.intersection(
-                                    roadpart_net::IntersectionId::from_index(dest),
-                                );
+                                let b = net
+                                    .intersection(roadpart_net::IntersectionId::from_index(dest));
                                 let d = ((a.x - b.x).powi(2) + (a.y - b.y).powi(2)).sqrt();
                                 if rng.gen::<f64>() >= (-d / beta.max(1.0)).exp() {
                                     continue;
@@ -311,7 +308,9 @@ mod tests {
 
     fn line_net() -> RoadNetwork {
         let mut b = RoadNetworkBuilder::new();
-        let p: Vec<_> = (0..4).map(|i| b.intersection(i as f64 * 100.0, 0.0)).collect();
+        let p: Vec<_> = (0..4)
+            .map(|i| b.intersection(i as f64 * 100.0, 0.0))
+            .collect();
         for w in p.windows(2) {
             b.two_way_road(w[0], w[1]);
         }

@@ -11,10 +11,10 @@
 use crate::density::DensityHistory;
 use crate::error::Result;
 use crate::field::CongestionField;
+use crate::field::Hotspot;
 use crate::microsim::{simulate, MicrosimConfig, MicrosimStats};
 use crate::profile::TemporalProfile;
 use crate::trip::{generate_trips, OdBias};
-use crate::field::Hotspot;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use roadpart_net::RoadNetwork;
@@ -133,8 +133,7 @@ fn auto_legs(net: &RoadNetwork, cfg: &MntgConfig) -> usize {
     let mean_speed = if net.segment_count() == 0 {
         13.9
     } else {
-        net.segments().iter().map(|s| s.free_speed_mps).sum::<f64>()
-            / net.segment_count() as f64
+        net.segments().iter().map(|s| s.free_speed_mps).sum::<f64>() / net.segment_count() as f64
     };
     let mean_od = if cfg.hotspot_bias {
         (0.6 * gravity_beta(net)).min(0.52 * side)

@@ -59,9 +59,7 @@ pub fn generate_trips(
     rng: &mut ChaCha8Rng,
 ) -> Vec<Trip> {
     let mask = net.largest_scc_mask();
-    let candidates: Vec<usize> = (0..net.intersection_count())
-        .filter(|&i| mask[i])
-        .collect();
+    let candidates: Vec<usize> = (0..net.intersection_count()).filter(|&i| mask[i]).collect();
     let n_int = candidates.len();
     if n_int < 2 || steps == 0 {
         return Vec::new();

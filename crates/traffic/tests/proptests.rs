@@ -64,7 +64,11 @@ proptest! {
         let fw = floyd_warshall(&net);
         let mut router = Router::new(&net);
         let n = net.intersection_count();
+        // Index loops intentional: `from`/`to` name both graph vertices and
+        // the FW matrix cells being cross-checked.
+        #[allow(clippy::needless_range_loop)]
         for from in 0..n.min(6) {
+            #[allow(clippy::needless_range_loop)]
             for to in 0..n.min(6) {
                 let result = router.route(
                     IntersectionId::from_index(from),

@@ -35,7 +35,11 @@ fn main() -> roadpart::Result<()> {
             result.partition.labels(),
         );
         println!("\n[{label}] mean density {mean:.5} veh/m");
-        println!("  partitions: {} with sizes {:?}", result.partition.k(), result.partition.sizes());
+        println!(
+            "  partitions: {} with sizes {:?}",
+            result.partition.k(),
+            result.partition.sizes()
+        );
         println!(
             "  ANS {:.4} | GDBI {:.4} | inter {:.5} | intra {:.5}",
             report.ans, report.gdbi, report.inter, report.intra

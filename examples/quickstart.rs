@@ -55,11 +55,26 @@ fn main() -> roadpart::Result<()> {
         result.partition.labels(),
     );
     println!("\nQuality (paper Section 6.2):");
-    println!("  inter (higher = better heterogeneity) : {:.5}", report.inter);
-    println!("  intra (lower = better homogeneity)    : {:.5}", report.intra);
-    println!("  GDBI  (lower = better)                : {:.5}", report.gdbi);
-    println!("  ANS   (lower = better)                : {:.5}", report.ans);
-    println!("  modularity (higher = better)          : {:.5}", report.modularity);
+    println!(
+        "  inter (higher = better heterogeneity) : {:.5}",
+        report.inter
+    );
+    println!(
+        "  intra (lower = better homogeneity)    : {:.5}",
+        report.intra
+    );
+    println!(
+        "  GDBI  (lower = better)                : {:.5}",
+        report.gdbi
+    );
+    println!(
+        "  ANS   (lower = better)                : {:.5}",
+        report.ans
+    );
+    println!(
+        "  modularity (higher = better)          : {:.5}",
+        report.modularity
+    );
 
     // 4. Show the partitions themselves.
     println!("\nPartition sizes: {:?}", result.partition.sizes());

@@ -31,11 +31,8 @@ fn main() -> roadpart::Result<()> {
         let mut best: Option<(usize, QualityReport)> = None;
         for k in 2..=10 {
             let out = run_scheme(&graph, scheme, k, &cfg)?;
-            let rep = QualityReport::compute(
-                graph.adjacency(),
-                graph.features(),
-                out.partition.labels(),
-            );
+            let rep =
+                QualityReport::compute(graph.adjacency(), graph.features(), out.partition.labels());
             if best.as_ref().map_or(true, |(_, b)| rep.ans < b.ans) {
                 best = Some((k, rep));
             }

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Repository health gate: formatting, lints, and the full test suite.
+# Used standalone and as the preflight for run_experiments.sh.
+set -u
+cd "$(dirname "$0")"
+
+fail=0
+step() {
+  name=$1; shift
+  echo "=== check: $name ==="
+  if ! "$@"; then
+    echo "FAILED: $name"
+    fail=1
+  fi
+}
+
+step fmt    cargo fmt --all --check
+step clippy cargo clippy --workspace --all-targets -- -D warnings
+step tests  cargo test -q --workspace
+
+if [ "$fail" -ne 0 ]; then
+  echo CHECKS_FAILED
+  exit 1
+fi
+echo ALL_CHECKS_PASSED

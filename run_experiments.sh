@@ -4,6 +4,12 @@
 set -u
 cd "$(dirname "$0")"
 mkdir -p experiments_log
+
+# Preflight: refuse to burn hours of experiment time on a broken tree.
+# Set SKIP_CHECKS=1 to bypass (e.g. when re-running a single figure).
+if [ "${SKIP_CHECKS:-0}" != "1" ]; then
+  ./run_checks.sh || { echo "preflight checks failed; aborting experiments"; exit 1; }
+fi
 run() {
   name=$1; shift
   echo "=== $name: $* ==="

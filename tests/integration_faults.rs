@@ -1,0 +1,141 @@
+//! Fault-injection integration tests: the supervised pipeline must complete
+//! a full D1-scale partitioning run under every fault class of the standard
+//! suite, and the run report must record exactly how it recovered.
+
+use roadpart::faults::Fault;
+use roadpart::prelude::*;
+
+fn d1_case() -> (RoadNetwork, Vec<f64>) {
+    // Scale/seed matching integration_pipeline: the mined supergraph has
+    // enough supernodes (order > k) that the spectral solve actually runs —
+    // smaller surrogates can condense to order <= k, where the partitioner
+    // short-circuits without touching the eigensolver.
+    let dataset = roadpart::datasets::d1(0.35, 21).unwrap();
+    let densities = dataset.eval_densities().to_vec();
+    (dataset.network, densities)
+}
+
+/// Every fault class in the standard suite completes via supervision with a
+/// valid connected k-way partition and a report explaining the recovery.
+#[test]
+fn supervisor_recovers_from_every_standard_fault() {
+    let (net, base_densities) = d1_case();
+    for (name, plan) in FaultPlan::standard_suite() {
+        let mut densities = base_densities.clone();
+        let mut pipeline = PipelineConfig::asg(4).with_seed(21);
+        plan.apply(&mut densities, &mut pipeline);
+
+        let cfg = SupervisorConfig::new(pipeline);
+        let run = run_supervised(&net, &densities, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: supervision failed: {e}"));
+
+        // A valid partition: every segment labelled, partitions connected.
+        assert_eq!(
+            run.result.partition.len(),
+            net.segment_count(),
+            "{name}: label coverage"
+        );
+        assert!(run.result.partition.k() >= 2, "{name}: k collapsed");
+        let comp = roadpart_cluster::constrained_components(
+            run.result.graph.adjacency(),
+            Some(run.result.partition.labels()),
+        )
+        .unwrap();
+        let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+        assert_eq!(
+            n_comp,
+            run.result.partition.k(),
+            "{name}: disconnected partition"
+        );
+
+        // The report must be explicit about what recovery happened.
+        assert!(run.report.succeeded, "{name}");
+        let v = &run.report.validation;
+        match plan.faults[0] {
+            Fault::NanDensities { .. }
+            | Fault::InfiniteDensities { .. }
+            | Fault::NegativeDensities { .. } => {
+                assert!(!v.repairs.is_empty(), "{name}: no repairs recorded");
+            }
+            Fault::TruncatedDensities { drop } => {
+                assert_eq!(v.padded, drop, "{name}: padding not recorded");
+            }
+            Fault::ForcedNotConverged { failures } => {
+                assert_eq!(
+                    run.report.recoveries.failures(),
+                    failures,
+                    "{name}: ladder rungs not recorded"
+                );
+                assert!(
+                    run.report.recoveries.events.last().unwrap().succeeded,
+                    "{name}: final rung did not succeed"
+                );
+            }
+        }
+
+        // The report is machine-readable end to end.
+        let json = serde_json::to_string_pretty(&run.report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.attempts.len(), run.report.attempts.len(), "{name}");
+    }
+}
+
+/// A forced non-convergence storm on the main solve still yields a valid
+/// k-way partition, with every exhausted rung on record.
+#[test]
+fn forced_not_converged_climbs_to_dense_rung() {
+    let (net, densities) = d1_case();
+    let mut pipeline = PipelineConfig::asg(4).with_seed(21);
+    // Fail baseline, relaxed, and perturbed: only the dense rung remains.
+    pipeline.framework.spectral.fallback.inject_failures = 3;
+    let cfg = SupervisorConfig::new(pipeline);
+    let run = run_supervised(&net, &densities, &cfg).unwrap();
+    assert_eq!(run.report.recoveries.failures(), 3);
+    let last = run.report.recoveries.events.last().unwrap();
+    assert!(last.succeeded);
+    assert_eq!(run.report.attempts.len(), 1, "ladder absorbed the storm");
+    assert!(run.result.partition.k() >= 2);
+}
+
+/// Simultaneous faults — corrupt sensors *and* a flaky solver — recover in
+/// a single supervised attempt.
+#[test]
+fn combined_faults_recover_together() {
+    let (net, mut densities) = d1_case();
+    let mut pipeline = PipelineConfig::asg(3).with_seed(21);
+    let plan = FaultPlan {
+        faults: vec![
+            Fault::NanDensities {
+                stride: 11,
+                offset: 3,
+            },
+            Fault::ForcedNotConverged { failures: 1 },
+        ],
+    };
+    plan.apply(&mut densities, &mut pipeline);
+    let cfg = SupervisorConfig::new(pipeline);
+    let run = run_supervised(&net, &densities, &cfg).unwrap();
+    assert!(!run.report.validation.repairs.is_empty());
+    assert_eq!(run.report.recoveries.failures(), 1);
+    assert_eq!(run.result.partition.len(), net.segment_count());
+}
+
+/// Strict policy refuses repair: the corrupted run fails fast with a data
+/// error instead of limping through.
+#[test]
+fn strict_policy_fails_fast_on_corrupt_densities() {
+    let (net, mut densities) = d1_case();
+    let mut pipeline = PipelineConfig::asg(3).with_seed(21);
+    FaultPlan::single(Fault::NanDensities {
+        stride: 13,
+        offset: 0,
+    })
+    .apply(&mut densities, &mut pipeline);
+    let mut cfg = SupervisorConfig::new(pipeline);
+    cfg.policy = SanitizePolicy::Strict;
+    let err = run_supervised(&net, &densities, &cfg).unwrap_err();
+    assert!(
+        matches!(err, roadpart::RoadpartError::InvalidData(_)),
+        "expected a structured data error, got: {err}"
+    );
+}

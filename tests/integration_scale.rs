@@ -42,8 +42,7 @@ fn lanczos_matches_dense_eigenvalues_on_road_affinity() {
     graph
         .set_features(dataset.eval_densities().to_vec())
         .unwrap();
-    let affinity =
-        roadpart_cut::gaussian_affinity(graph.adjacency(), graph.features()).unwrap();
+    let affinity = roadpart_cut::gaussian_affinity(graph.adjacency(), graph.features()).unwrap();
 
     // The alpha-Cut operator M = d d^T / s - A, both solver paths.
     let d = affinity.degrees();
@@ -91,8 +90,7 @@ fn lanczos_matches_dense_eigenvalues_on_road_affinity() {
     lanczos_cfg.eigen.dense_cutoff = 0;
     let p = roadpart_cut::alpha_cut(&affinity, 4, &lanczos_cfg).unwrap();
     assert_eq!(p.len(), affinity.dim());
-    let comp =
-        roadpart_cluster::constrained_components(&affinity, Some(p.labels())).unwrap();
+    let comp = roadpart_cluster::constrained_components(&affinity, Some(p.labels())).unwrap();
     let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
     assert_eq!(n_comp, p.k());
 }

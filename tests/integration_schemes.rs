@@ -6,7 +6,9 @@ use roadpart_net::RoadGraph;
 fn d1_graph(scale: f64, seed: u64) -> (Dataset, RoadGraph) {
     let dataset = roadpart::datasets::d1(scale, seed).unwrap();
     let mut graph = RoadGraph::from_network(&dataset.network).unwrap();
-    graph.set_features(dataset.eval_densities().to_vec()).unwrap();
+    graph
+        .set_features(dataset.eval_densities().to_vec())
+        .unwrap();
     (dataset, graph)
 }
 
@@ -40,8 +42,7 @@ fn all_schemes_valid_on_d1() {
 fn asg_best_ans_is_meaningful() {
     let (_, graph) = d1_graph(0.5, 23);
     let cfg = FrameworkConfig::default().with_seed(23);
-    let affinity =
-        roadpart_cut::gaussian_affinity(graph.adjacency(), graph.features()).unwrap();
+    let affinity = roadpart_cut::gaussian_affinity(graph.adjacency(), graph.features()).unwrap();
     let best = (2..=8)
         .map(|k| {
             let out = roadpart::run_scheme(&graph, Scheme::ASG, k, &cfg).unwrap();
@@ -62,8 +63,7 @@ fn jg_baseline_valid() {
         let p = jg_partition(&graph, k, &JgConfig::default()).unwrap();
         assert_eq!(p.k(), k);
         let comp =
-            roadpart_cluster::constrained_components(graph.adjacency(), Some(p.labels()))
-                .unwrap();
+            roadpart_cluster::constrained_components(graph.adjacency(), Some(p.labels())).unwrap();
         let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
         assert_eq!(n_comp, k, "JG partition disconnected at k = {k}");
     }

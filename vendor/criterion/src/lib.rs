@@ -1,0 +1,183 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! Provides the same API spelling (`Criterion::benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!`)
+//! with a deliberately simple engine: each benchmark runs a short timed
+//! loop and prints mean wall-clock time per iteration. No statistics,
+//! no HTML reports, no comparison against saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records total wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples as u64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.label, b.elapsed, b.iterations);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.label, b.elapsed, b.iterations);
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we print as we go).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, label: &str, elapsed: Duration, iterations: u64) {
+    if iterations == 0 {
+        println!("{group}/{label}: no iterations recorded");
+        return;
+    }
+    let per_iter = elapsed.as_secs_f64() / iterations as f64;
+    println!("{group}/{label}: {per_iter:.6} s/iter ({iterations} iterations)");
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sums");
+        group.sample_size(3);
+        for n in [10usize, 100] {
+            let values: Vec<u64> = (0..n as u64).collect();
+            group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+                b.iter(|| v.iter().sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion::default();
+        sum_bench(&mut criterion);
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream generator
+//! implementing the vendored [`rand`] stub's [`RngCore`]/[`SeedableRng`]
+//! traits. Output is deterministic per seed but not bit-identical to the
+//! upstream `rand_chacha` stream (upstream interleaves words differently).
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha quarter round.
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha keystream generator with `R/2` double rounds.
+#[derive(Debug, Clone)]
+struct ChaCha<const R: usize> {
+    /// Key (8 words) + nonce (2 words) as injected into the initial state.
+    key: [u32; 8],
+    nonce: [u32; 2],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    cursor: usize,
+}
+
+impl<const R: usize> ChaCha<R> {
+    fn new(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+            *word = u32::from_le_bytes(b);
+        }
+        Self {
+            key,
+            nonce: [0, 0],
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut s = [0u32; 16];
+        s[0] = 0x6170_7865; // "expa"
+        s[1] = 0x3320_646e; // "nd 3"
+        s[2] = 0x7962_2d32; // "2-by"
+        s[3] = 0x6b20_6574; // "te k"
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        s[14] = self.nonce[0];
+        s[15] = self.nonce[1];
+        let input = s;
+        for _ in 0..R / 2 {
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = s;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+/// ChaCha with 8 rounds — the fast variant the workspace seeds everywhere.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng(ChaCha<8>);
+
+/// ChaCha with 12 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng(ChaCha<12>);
+
+/// ChaCha with 20 rounds (the IETF standard count).
+#[derive(Debug, Clone)]
+pub struct ChaCha20Rng(ChaCha<20>);
+
+macro_rules! impl_rng {
+    ($name:ident) => {
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.0.next_word() as u64;
+                let hi = self.0.next_word() as u64;
+                (hi << 32) | lo
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self(ChaCha::new(seed))
+            }
+        }
+    };
+}
+
+impl_rng!(ChaCha8Rng);
+impl_rng!(ChaCha12Rng);
+impl_rng!(ChaCha20Rng);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_zero_key_known_answer() {
+        // RFC 8439-style block with zero key, zero nonce, counter 0.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        assert_eq!(first, 0xade0_b876, "ChaCha20 keystream word 0");
+    }
+
+    #[test]
+    fn uniform_enough() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! Offline stand-in for the parts of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! dependency-free serialization framework with the same *spelling* as serde
+//! (`Serialize` / `Deserialize` traits plus `#[derive(...)]` support) but a
+//! radically simpler design: values serialize into an owned JSON-like
+//! [`Value`] tree, and deserialize back out of one. The vendored
+//! `serde_json` crate prints and parses that tree as JSON text.
+//!
+//! Only the shapes this repository actually derives are supported: named
+//! structs, unit enums, and externally-tagged tuple/struct enum variants.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating-point value (finite; non-finite values fail serialization
+    /// at the JSON layer, matching serde_json).
+    Float(f64),
+}
+
+impl Number {
+    /// The number as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(u) => u as f64,
+            Number::NegInt(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The number as `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(i) => u64::try_from(i).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The number as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An order-preserving string-keyed map of [`Value`]s.
+///
+/// The type parameters exist only so `Map<String, Value>` spells the same as
+/// serde_json's map type; all functionality is provided for the default
+/// instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Default for Map {
+    fn default() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key, replacing any previous value under it.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl std::ops::Index<&str> for Map {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no entry found for key `{key}`"))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// The serialization data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A string-keyed object.
+    Object(Map),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Convenience object lookup (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Shared `null` for [`Value`]'s infallible indexing.
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member lookup; yields `Null` for missing keys and non-objects,
+    /// matching serde_json's forgiving index behaviour.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element lookup; yields `Null` when out of range or not an array.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array()
+            .and_then(|items| items.get(idx))
+            .unwrap_or(&NULL)
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// Missing-field error used by derived impls.
+    pub fn missing(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` while deserializing {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data-model tree.
+    fn to_node(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the data-model tree.
+    fn from_node(node: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes a field of a derived struct.
+///
+/// # Errors
+/// Returns [`Error::missing`] when the key is absent and a conversion error
+/// when the value has the wrong shape.
+pub fn field<T: Deserialize>(map: &Map, key: &str, ty: &str) -> Result<T, Error> {
+    match map.get(key) {
+        Some(node) => T::from_node(node),
+        None => Err(Error::missing(ty, key)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_node(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map {
+    fn to_node(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_node(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_node(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_node(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for String {
+    fn to_node(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_node(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_node(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_node(&self) -> Value {
+        (**self).to_node()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_node(&self) -> Value {
+        (**self).to_node()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_node(&self) -> Value {
+        match self {
+            Some(v) => v.to_node(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_node(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_node(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_node(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_node(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_node()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_node(&self) -> Value {
+        // Sort for deterministic output (HashMap iteration order varies).
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_node()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_node(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_node())).collect())
+    }
+}
+
+impl Serialize for Duration {
+    fn to_node(&self) -> Value {
+        // Matches serde's canonical {secs, nanos} encoding.
+        let mut m = Map::new();
+        m.insert("secs".to_string(), self.as_secs().to_node());
+        m.insert("nanos".to_string(), self.subsec_nanos().to_node());
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        Ok(node.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        match node {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_node(node: &Value) -> Result<Self, Error> {
+                match node {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::custom(format!(
+                            "number {n:?} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_node(node: &Value) -> Result<Self, Error> {
+                match node {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::custom(format!(
+                            "number {n:?} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        match node {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        f64::from_node(node).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        match node {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        match node {
+            Value::Null => Ok(None),
+            other => T::from_node(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        match node {
+            Value::Array(items) => items.iter().map(T::from_node).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        T::from_node(node).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_node(node: &Value) -> Result<Self, Error> {
+                let items = node
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected array for tuple"))?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected {}-tuple, got {} elements", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_node(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A: 0 ; 1)
+    (A: 0, B: 1 ; 2)
+    (A: 0, B: 1, C: 2 ; 3)
+    (A: 0, B: 1, C: 2, D: 3 ; 4)
+}
+
+impl Deserialize for Duration {
+    fn from_node(node: &Value) -> Result<Self, Error> {
+        let map = node
+            .as_object()
+            .ok_or_else(|| Error::custom("expected {secs, nanos} object for Duration"))?;
+        let secs: u64 = field(map, "secs", "Duration")?;
+        let nanos: u32 = field(map, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_node(&7u32.to_node()).unwrap(), 7);
+        assert_eq!(i64::from_node(&(-3i64).to_node()).unwrap(), -3);
+        assert_eq!(f64::from_node(&1.5f64.to_node()).unwrap(), 1.5);
+        assert_eq!(String::from_node(&"hi".to_node()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<usize>::from_node(&vec![1usize, 2].to_node()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(Option::<u8>::from_node(&Value::Null).unwrap(), None);
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::from_node(&d.to_node()).unwrap(), d);
+        let t = (1usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::from_node(&t.to_node()).unwrap(), t);
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::Null);
+        m.insert("a".into(), Value::Bool(true));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(m.get("a"), Some(&Value::Bool(true)));
+    }
+}

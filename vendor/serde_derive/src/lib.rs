@@ -1,0 +1,522 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stub.
+//!
+//! Implemented with a hand-rolled token walk (no `syn`/`quote` in this
+//! offline environment). Supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`);
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Anything else (tuple structs, generics, other serde attributes) produces
+//! a `compile_error!` so unsupported usage fails loudly rather than subtly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named field and its `#[serde(skip)]` flag.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Emits a `compile_error!` with the given message.
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Scans an attribute group body for `serde(skip)`.
+fn attr_is_serde_skip(tokens: &[TokenTree]) -> bool {
+    // Attribute content looks like: serde ( skip ) — ident then group.
+    let mut iter = tokens.iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes (`# [ ... ]`) from `tokens[*pos..]`,
+/// returning whether any was `#[serde(skip)]`.
+fn eat_attributes(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
+    let mut skip = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+                    return Err("malformed attribute".into());
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if attr_is_serde_skip(&inner) {
+                    skip = true;
+                }
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok(skip)
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn eat_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips tokens up to (and including) the next top-level comma.
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    while *pos < tokens.len() {
+        let is_comma = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == ',');
+        *pos += 1;
+        if is_comma {
+            break;
+        }
+    }
+}
+
+/// Parses the fields of a named-field body `{ ... }`.
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = eat_attributes(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        eat_visibility(&tokens, &mut pos);
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            return Err(format!("expected field name, found {}", tokens[pos]));
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        skip_to_comma(&tokens, &mut pos);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple-variant body `( ... )`.
+fn count_tuple_fields(body: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            if p.as_char() == ',' {
+                commas += 1;
+                trailing_comma = true;
+            }
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+/// Parses the variants of an enum body `{ ... }`.
+fn parse_variants(body: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        eat_attributes(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[pos] else {
+            return Err(format!("expected variant name, found {}", tokens[pos]));
+        };
+        let name = name.to_string();
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                pos += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                pos += 1;
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => break,
+            other => return Err(format!("expected ',' after variant, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+/// Parses a struct or enum definition out of the derive input.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attributes(&tokens, &mut pos)?;
+    eat_visibility(&tokens, &mut pos);
+    let kind = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generics (type {name})"
+        ));
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(pos) else {
+        return Err(format!("expected a braced body for {name}"));
+    };
+    match kind.as_str() {
+        "struct" if body.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "struct" if body.delimiter() == Delimiter::Parenthesis => Ok(Item::TupleStruct {
+            name,
+            arity: count_tuple_fields(body),
+        }),
+        "struct" => Err(format!("unsupported struct body for {name}")),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                inserts.push_str(&format!(
+                    "map.insert({k:?}.to_string(), ::serde::Serialize::to_node(&self.{f}));\n",
+                    k = f.name,
+                    f = f.name,
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_node(&self) -> ::serde::Value {{
+                        let mut map = ::serde::Map::new();
+                        {inserts}
+                        ::serde::Value::Object(map)
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            // Newtypes serialize transparently, wider tuples as arrays,
+            // matching upstream serde.
+            let payload = if arity == 1 {
+                "::serde::Serialize::to_node(&self.0)".to_string()
+            } else {
+                format!(
+                    "::serde::Value::Array(vec![{}])",
+                    (0..arity)
+                        .map(|i| format!("::serde::Serialize::to_node(&self.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_node(&self) -> ::serde::Value {{
+                        {payload}
+                    }}
+                }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_node(f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_node({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{
+                                let mut map = ::serde::Map::new();
+                                map.insert({vn:?}.to_string(), {payload});
+                                ::serde::Value::Object(map)
+                            }}\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "inner.insert({k:?}.to_string(), ::serde::Serialize::to_node({f}));\n",
+                                k = f.name,
+                                f = f.name,
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{
+                                let mut inner = ::serde::Map::new();
+                                {inner}
+                                let mut map = ::serde::Map::new();
+                                map.insert({vn:?}.to_string(), ::serde::Value::Object(inner));
+                                ::serde::Value::Object(map)
+                            }}\n",
+                            binds = names.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_node(&self) -> ::serde::Value {{
+                        match self {{
+                            {arms}
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::field(map, {f:?}, {name:?})?,\n",
+                        f = f.name,
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_node(node: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::Error>
+                    {{
+                        let map = node.as_object().ok_or_else(|| {{
+                            ::serde::Error::custom(concat!(\"expected object for \", {name:?}))
+                        }})?;
+                        ::std::result::Result::Ok(Self {{
+                            {inits}
+                        }})
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_node(node: &::serde::Value)
+                            -> ::std::result::Result<Self, ::serde::Error>
+                        {{
+                            ::std::result::Result::Ok(Self(
+                                ::serde::Deserialize::from_node(node)?))
+                        }}
+                    }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_node(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_node(node: &::serde::Value)
+                            -> ::std::result::Result<Self, ::serde::Error>
+                        {{
+                            let items = node.as_array().ok_or_else(|| {{
+                                ::serde::Error::custom(concat!(
+                                    \"expected array for \", {name:?}))
+                            }})?;
+                            if items.len() != {arity} {{
+                                return ::std::result::Result::Err(
+                                    ::serde::Error::custom(\"wrong tuple arity\"));
+                            }}
+                            ::std::result::Result::Ok(Self({elems}))
+                        }}
+                    }}",
+                    elems = elems.join(", "),
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms.push_str(&format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(
+                                    ::serde::Deserialize::from_node(payload)?)),\n"
+                            ));
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_node(&items[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "{vn:?} => {{
+                                    let items = payload.as_array().ok_or_else(|| {{
+                                        ::serde::Error::custom(\"expected array payload\")
+                                    }})?;
+                                    if items.len() != {n} {{
+                                        return ::std::result::Result::Err(
+                                            ::serde::Error::custom(\"wrong tuple arity\"));
+                                    }}
+                                    ::std::result::Result::Ok({name}::{vn}({elems}))
+                                }}\n",
+                                elems = elems.join(", "),
+                            ));
+                        }
+                    }
+                    Shape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{f}: ::serde::field(inner, {f:?}, {name:?})?,\n",
+                                    f = f.name,
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{
+                                let inner = payload.as_object().ok_or_else(|| {{
+                                    ::serde::Error::custom(\"expected object payload\")
+                                }})?;
+                                ::std::result::Result::Ok({name}::{vn} {{ {inits} }})
+                            }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_node(node: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::Error>
+                    {{
+                        match node {{
+                            ::serde::Value::String(s) => match s.as_str() {{
+                                {unit_arms}
+                                other => ::std::result::Result::Err(::serde::Error::custom(
+                                    format!(\"unknown variant `{{other}}` of {name}\"))),
+                            }},
+                            ::serde::Value::Object(map) if map.len() == 1 => {{
+                                let (tag, payload) = map.iter().next().expect(\"len == 1\");
+                                match tag.as_str() {{
+                                    {tagged_arms}
+                                    other => ::std::result::Result::Err(::serde::Error::custom(
+                                        format!(\"unknown variant `{{other}}` of {name}\"))),
+                                }}
+                            }}
+                            _ => ::std::result::Result::Err(::serde::Error::custom(
+                                concat!(\"expected enum encoding for \", {name:?}))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -1,0 +1,533 @@
+//! Offline stand-in for the parts of `serde_json` this workspace uses:
+//! the [`json!`] macro, [`to_string`]/[`to_string_pretty`], [`to_value`],
+//! [`from_str`]/[`from_value`], and the [`Value`]/[`Map`]/[`Number`] types
+//! (re-exported from the vendored `serde` stub, whose data model *is* a
+//! JSON tree).
+//!
+//! Behavioural notes kept compatible with upstream serde_json:
+//! * non-finite floats print as `null`;
+//! * `Value`/`Map` support `[&str]` indexing;
+//! * object member order is preserved.
+
+pub use serde::{Error, Map, Number, Serialize, Value};
+
+/// Serializes a value into a [`Value`] tree.
+///
+/// # Errors
+/// Infallible in this stub; the `Result` mirrors upstream's signature.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_node())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+/// Returns an error when the tree does not match the target type's shape.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_node(value)
+}
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+/// Infallible in this stub; the `Result` mirrors upstream's signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_node(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON text (two-space indent).
+///
+/// # Errors
+/// Infallible in this stub; the `Result` mirrors upstream's signature.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_node(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+/// Returns an error on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::from_node(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    use std::fmt::Write as _;
+    match *n {
+        Number::PosInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::NegInt(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::Float(f) if f.is_finite() => {
+            // `{:?}` prints the shortest round-trippable form, keeping a
+            // trailing `.0` so the value re-parses as a float.
+            let _ = write!(out, "{f:?}");
+        }
+        // Upstream serde_json emits null for NaN/±inf.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `]` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "expected `,` or `}}` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected input {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::custom("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's data; reject rather than mangle.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| Error::custom("surrogate \\u escape"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        other => return Err(Error::custom(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| Error::custom("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number bytes"))?;
+        let number = if float {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|e| Error::custom(format!("bad number `{text}`: {e}")))?,
+            )
+        } else if let Ok(u) = text.parse::<u64>() {
+            Number::PosInt(u)
+        } else if let Ok(i) = text.parse::<i64>() {
+            Number::NegInt(i)
+        } else {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|e| Error::custom(format!("bad number `{text}`: {e}")))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports the shapes used in this workspace: object literals with string
+/// keys, nested objects/arrays, and arbitrary serializable expressions as
+/// values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($body:tt)+ }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_members!(map, $($body)+);
+        $crate::Value::Object(map)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($body:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut items = ::std::vec::Vec::new();
+            $crate::json_array_items!(items, $($body)+);
+            $crate::Value::Array(items)
+        }
+    }};
+    ($other:expr) => { $crate::serde_to_node(&$other) };
+}
+
+/// Internal muncher for [`json!`] array bodies. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_items {
+    ($items:ident, null , $($rest:tt)*) => {
+        $items.push($crate::Value::Null);
+        $crate::json_array_items!($items, $($rest)*);
+    };
+    ($items:ident, null) => {
+        $items.push($crate::Value::Null);
+    };
+    ($items:ident, { $($inner:tt)* } , $($rest:tt)*) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_items!($items, $($rest)*);
+    };
+    ($items:ident, { $($inner:tt)* }) => {
+        $items.push($crate::json!({ $($inner)* }));
+    };
+    ($items:ident, [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_items!($items, $($rest)*);
+    };
+    ($items:ident, [ $($inner:tt)* ]) => {
+        $items.push($crate::json!([ $($inner)* ]));
+    };
+    ($items:ident, $value:expr , $($rest:tt)*) => {
+        $items.push($crate::serde_to_node(&$value));
+        $crate::json_array_items!($items, $($rest)*);
+    };
+    ($items:ident, $value:expr) => {
+        $items.push($crate::serde_to_node(&$value));
+    };
+    ($items:ident,) => {};
+    ($items:ident) => {};
+}
+
+/// Internal muncher for [`json!`] object bodies. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_members {
+    // Null value.
+    ($map:ident, $key:literal : null , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_members!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : null) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+    };
+    // Nested object value.
+    ($map:ident, $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_members!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : { $($inner:tt)* }) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    // Nested array value.
+    ($map:ident, $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_members!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ]) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    // General expression value.
+    ($map:ident, $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::serde_to_node(&$value));
+        $crate::json_object_members!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::serde_to_node(&$value));
+    };
+    ($map:ident,) => {};
+    ($map:ident) => {};
+}
+
+/// Macro support: serializes via the vendored serde. Not public API.
+#[doc(hidden)]
+pub fn serde_to_node<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_node()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "D1";
+        let v = json!({
+            "dataset": name,
+            "count": 3usize + 1,
+            "nested": { "ok": true, "xs": [1, 2, 3] },
+            "empty": {},
+        });
+        assert_eq!(v["dataset"].as_str(), Some("D1"));
+        assert_eq!(v["count"].as_f64(), Some(4.0));
+        assert_eq!(v["nested"]["xs"][2].as_f64(), Some(3.0));
+        assert_eq!(v["nested"]["ok"], Value::Bool(true));
+        assert_eq!(v["empty"], Value::Object(Map::new()));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn print_and_reparse() {
+        let v = json!({
+            "a": 1,
+            "b": [1.5, -2, "x\"y"],
+            "c": null,
+            "d": { "deep": [{"k": 1}] },
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_print_null() {
+        let v = json!({ "nan": f64::NAN, "inf": f64::INFINITY });
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e2").unwrap(), 250.0);
+    }
+}
