@@ -1,4 +1,4 @@
-//! The four CLI commands: generate, partition, metrics, select-k.
+//! The CLI commands: generate, partition, metrics, select-k, stream.
 
 use crate::args::Args;
 use crate::errors::{with_causes, CliError};
@@ -26,6 +26,9 @@ USAGE:
                      [--densities <densities file>]
   roadpart select-k  --net <network file> [--densities F] [--kmax N]
                      [--scheme <ag|asg|ng|nsg>] [--seed N]
+  roadpart stream    --preset <d1|m1|m2|m3> [--scale F] [--seed N] [--k N]
+                     [--epochs N] [--aggregate <latest|window:N|ewma:A>]
+                     [--warm <on|off>] [--log <out json>]
 
 Files: networks use the roadpart text format; densities and labels are one
 value per line in segment order.
@@ -37,7 +40,28 @@ to --attempts tries, and supergraph schemes degrade to their direct
 counterpart when mining fails. --report writes the machine-readable run
 report (attempts, repairs, recovery rungs, timings) as JSON.
 
+stream replays the preset's simulated density trace through the online
+repartitioning engine: each epoch it aggregates the feed, probes drift, and
+either serves on (no-op), refreshes regions, or rebuilds globally with a
+warm-started spectral solve. --log writes the per-epoch report log as JSON.
+
 Exit codes: 0 ok, 2 config/usage error, 3 data error, 4 numerical error.";
+
+/// Builds the named preset dataset.
+fn build_dataset(preset: &str, scale: f64, seed: u64) -> CliResult<Dataset> {
+    let built = match preset.to_ascii_lowercase().as_str() {
+        "d1" => roadpart::datasets::d1(scale, seed),
+        "m1" => roadpart::datasets::melbourne(Melbourne::M1, scale, seed),
+        "m2" => roadpart::datasets::melbourne(Melbourne::M2, scale, seed),
+        "m3" => roadpart::datasets::melbourne(Melbourne::M3, scale, seed),
+        other => {
+            return Err(CliError::config(format!(
+                "unknown preset '{other}' (use d1|m1|m2|m3)"
+            )))
+        }
+    };
+    Ok(built?)
+}
 
 fn load_network(path: &str) -> CliResult<RoadNetwork> {
     let file = File::open(path).map_err(|e| CliError::data(format!("cannot open {path}: {e}")))?;
@@ -123,17 +147,7 @@ pub fn generate(argv: &[String]) -> CliResult<()> {
     let seed: u64 = args.get_or("seed", 42)?;
     let out = args.required("out")?;
 
-    let dataset = match preset.to_ascii_lowercase().as_str() {
-        "d1" => roadpart::datasets::d1(scale, seed),
-        "m1" => roadpart::datasets::melbourne(Melbourne::M1, scale, seed),
-        "m2" => roadpart::datasets::melbourne(Melbourne::M2, scale, seed),
-        "m3" => roadpart::datasets::melbourne(Melbourne::M3, scale, seed),
-        other => {
-            return Err(CliError::config(format!(
-                "unknown preset '{other}' (use d1|m1|m2|m3)"
-            )))
-        }
-    }?;
+    let dataset = build_dataset(preset, scale, seed)?;
 
     // Persist the network with the evaluation-step densities baked in.
     let mut net = dataset.network.clone();
@@ -245,6 +259,129 @@ pub fn partition(argv: &[String]) -> CliResult<()> {
             File::create(path).map_err(|e| CliError::data(format!("cannot create {path}: {e}")))?;
         geojson::write_geojson(&net, Some(&labels), Some(&densities), f)
             .map_err(|e| CliError::data(with_causes(&e)))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Parses `latest`, `window:N`, or `ewma:A` into an [`AggregateKind`].
+fn parse_aggregate(raw: &str) -> CliResult<roadpart_stream::AggregateKind> {
+    use roadpart_stream::AggregateKind;
+    let lower = raw.to_ascii_lowercase();
+    if lower == "latest" {
+        return Ok(AggregateKind::Latest);
+    }
+    if let Some(w) = lower.strip_prefix("window:") {
+        let window: usize = w
+            .parse()
+            .map_err(|_| CliError::config(format!("bad window '{w}' in --aggregate")))?;
+        return Ok(AggregateKind::WindowMean(window));
+    }
+    if let Some(a) = lower.strip_prefix("ewma:") {
+        let alpha: f64 = a
+            .parse()
+            .map_err(|_| CliError::config(format!("bad alpha '{a}' in --aggregate")))?;
+        return Ok(AggregateKind::Ewma(alpha));
+    }
+    Err(CliError::config(format!(
+        "unknown aggregate '{raw}' (use latest|window:N|ewma:A)"
+    )))
+}
+
+/// `roadpart stream`: replay a simulated density trace through the online
+/// repartitioning engine, one report line per epoch.
+pub fn stream(argv: &[String]) -> CliResult<()> {
+    use roadpart_stream::{EngineConfig, EpochAction, StreamEngine, StreamLog};
+
+    let args = Args::parse(argv)?;
+    let preset = args.optional("preset").unwrap_or("d1");
+    let scale: f64 = args.get_or("scale", 0.35)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let k: usize = args.get_or("k", 4)?;
+    let epochs: usize = args.get_or("epochs", 10)?;
+    if epochs == 0 {
+        return Err(CliError::config("--epochs must be at least 1"));
+    }
+    let warm = match args.optional("warm").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::config(format!(
+                "bad --warm '{other}' (use on|off)"
+            )))
+        }
+    };
+
+    let dataset = build_dataset(preset, scale, seed)?;
+    let steps = dataset.history.len();
+    println!(
+        "{} at scale {scale}: {} segments, {} simulated steps -> {epochs} epochs",
+        dataset.name,
+        dataset.network.segment_count(),
+        steps
+    );
+
+    let mut graph = RoadGraph::from_network(&dataset.network)?;
+    graph.set_features(dataset.history.at(0).to_vec())?;
+    let mut cfg = EngineConfig::new(k).with_seed(seed);
+    cfg.warm_start = warm;
+    if let Some(raw) = args.optional("aggregate") {
+        cfg.aggregate = parse_aggregate(raw)?;
+    }
+    let mut engine = StreamEngine::new(graph, cfg)?;
+    let store = engine.store();
+    println!(
+        "initial partition: version {} serving k = {}",
+        store.read().version,
+        store.read().k
+    );
+
+    // Replay the remaining trace in equal epoch chunks.
+    let steps_per_epoch = ((steps - 1) / epochs).max(1);
+    let mut log = StreamLog::new();
+    let mut t = 1;
+    for _ in 0..epochs {
+        if t >= steps {
+            break;
+        }
+        let end = (t + steps_per_epoch).min(steps);
+        for step in t..end {
+            engine.ingest(dataset.history.at(step))?;
+        }
+        t = end;
+        let report = engine.run_epoch()?;
+        let action = match report.action {
+            EpochAction::NoOp => "no-op",
+            EpochAction::Regional => "regional",
+            EpochAction::Global => "global",
+        };
+        println!(
+            "epoch {:>3}: {action:<8} | divergence {:.3} retention {:.2} | \
+             v{} k = {} | {:.1} ms{}",
+            report.epoch,
+            report.probe.max_divergence,
+            report.probe.retention(),
+            report.version,
+            report.k,
+            report.elapsed_ms,
+            if report.warm_started { " (warm)" } else { "" }
+        );
+        log.push(report);
+    }
+
+    let (noop, regional, global) = log.action_counts();
+    println!(
+        "{} epochs: {noop} no-op, {regional} regional, {global} global | \
+         final version {} | {:.1} ms total",
+        log.len(),
+        store.read().version,
+        log.total_ms()
+    );
+    if let Some(path) = args.optional("log") {
+        let json = serde_json::to_string_pretty(&log)
+            .map_err(|e| CliError::data(format!("cannot serialize stream log: {e}")))?;
+        std::fs::write(path, json + "\n")
+            .map_err(|e| CliError::data(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
     }
     Ok(())

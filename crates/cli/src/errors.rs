@@ -79,18 +79,7 @@ pub fn with_causes(err: &dyn std::error::Error) -> String {
 
 impl From<RoadpartError> for CliError {
     fn from(err: RoadpartError) -> Self {
-        let kind = match &err {
-            RoadpartError::InvalidConfig(_) => ErrorKind::Config,
-            RoadpartError::InvalidData(_) | RoadpartError::Net(_) => ErrorKind::Data,
-            RoadpartError::Traffic(_) => ErrorKind::Data,
-            RoadpartError::Linalg(_) | RoadpartError::Cut(_) | RoadpartError::Cluster(_) => {
-                ErrorKind::Numerical
-            }
-        };
-        Self {
-            kind,
-            message: with_causes(&err),
-        }
+        Self::from_framework(&err)
     }
 }
 
@@ -108,6 +97,40 @@ impl From<roadpart_net::NetError> for CliError {
         Self {
             kind: ErrorKind::Data,
             message: with_causes(&err),
+        }
+    }
+}
+
+impl From<roadpart_stream::StreamError> for CliError {
+    fn from(err: roadpart_stream::StreamError) -> Self {
+        use roadpart_stream::StreamError as SE;
+        let kind = match &err {
+            SE::InvalidConfig(_) => ErrorKind::Config,
+            SE::InvalidUpdate(_) => ErrorKind::Data,
+            SE::Framework(inner) => return CliError::from_framework(inner),
+        };
+        Self {
+            kind,
+            message: with_causes(&err),
+        }
+    }
+}
+
+impl CliError {
+    /// Classifies a wrapped framework error without consuming its wrapper.
+    fn from_framework(err: &RoadpartError) -> Self {
+        let kind = match err {
+            RoadpartError::InvalidConfig(_) => ErrorKind::Config,
+            RoadpartError::InvalidData(_) | RoadpartError::Net(_) | RoadpartError::Traffic(_) => {
+                ErrorKind::Data
+            }
+            RoadpartError::Linalg(_) | RoadpartError::Cut(_) | RoadpartError::Cluster(_) => {
+                ErrorKind::Numerical
+            }
+        };
+        Self {
+            kind,
+            message: with_causes(err),
         }
     }
 }

@@ -8,6 +8,7 @@
 //!                    --policy clamp --report run-report.json
 //! roadpart metrics   --net city.net --densities city.densities --labels out.labels
 //! roadpart select-k  --net city.net --densities city.densities --kmax 12 --scheme asg
+//! roadpart stream    --preset d1 --scale 0.35 --k 4 --epochs 10 --log stream-log.json
 //! ```
 //!
 //! Exit codes distinguish the failure class so scripts can react:
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "partition" => commands::partition(rest),
         "metrics" => commands::metrics(rest),
         "select-k" => commands::select_k(rest),
+        "stream" => commands::stream(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

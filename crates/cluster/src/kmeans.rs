@@ -22,6 +22,14 @@ pub struct KMeansConfig {
     pub seed: u64,
     /// Relative center-movement tolerance for early convergence.
     pub tol: f64,
+    /// Optional warm-start centroids (`k x d`) from a previous, nearby
+    /// clustering (e.g. the last repartitioning epoch). When present and
+    /// dimensionally consistent, the first restart runs Lloyd from these
+    /// centers instead of k-means++ seeding — near-converged starts finish
+    /// in a couple of iterations. The hint counts against `restarts`, so
+    /// warm and cold configurations do the same number of runs; a stale or
+    /// malformed hint is ignored.
+    pub warm_start: Option<DenseMatrix>,
 }
 
 impl Default for KMeansConfig {
@@ -31,6 +39,7 @@ impl Default for KMeansConfig {
             restarts: 4,
             seed: 0,
             tol: 1e-9,
+            warm_start: None,
         }
     }
 }
@@ -79,15 +88,34 @@ pub fn kmeans(points: &DenseMatrix, k: usize, cfg: &KMeansConfig) -> Result<KMea
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut best: Option<KMeans> = None;
-    for _ in 0..cfg.restarts.max(1) {
-        let run = single_run(points, k, cfg, &mut rng);
+    let consider = |run: KMeans, best: &mut Option<KMeans>| {
         if best.as_ref().map_or(true, |b| run.inertia < b.inertia) {
-            best = Some(run);
+            *best = Some(run);
         }
+    };
+    let mut remaining = cfg.restarts.max(1);
+    if let Some(warm) = usable_warm_start(cfg, k, points.cols()) {
+        consider(lloyd(points, warm, cfg), &mut best);
+        remaining -= 1;
+    }
+    for _ in 0..remaining {
+        consider(single_run(points, k, cfg, &mut rng), &mut best);
     }
     let mut best = best.expect("at least one restart");
     best.inertia = best.inertia.max(0.0);
     Ok(best)
+}
+
+/// The warm-start centers when they are safe to use: right shape, finite
+/// entries. Anything else is silently ignored (the hint is an optimization,
+/// never a contract).
+fn usable_warm_start(cfg: &KMeansConfig, k: usize, d: usize) -> Option<DenseMatrix> {
+    let w = cfg.warm_start.as_ref()?;
+    if w.rows() == k && w.cols() == d && w.as_slice().iter().all(|v| v.is_finite()) {
+        Some(w.clone())
+    } else {
+        None
+    }
 }
 
 #[allow(clippy::needless_range_loop)] // index style keeps the math readable
@@ -124,7 +152,15 @@ fn single_run(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut ChaC
         }
     }
 
-    // Lloyd iterations.
+    lloyd(points, centers, cfg)
+}
+
+/// Lloyd iterations from the given initial centers (`k x d`).
+#[allow(clippy::needless_range_loop)] // index style keeps the math readable
+fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> KMeans {
+    let n = points.rows();
+    let d = points.cols();
+    let k = centers.rows();
     let mut assignments = vec![0usize; n];
     let mut counts = vec![0usize; k];
     let mut inertia = f64::INFINITY;
@@ -261,6 +297,52 @@ mod tests {
         let r = kmeans(&data, 3, &KMeansConfig::default()).unwrap();
         assert_eq!(r.assignments.len(), 8);
         assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_reaches_same_optimum() {
+        let data = blob_data();
+        let cold = kmeans(&data, 3, &KMeansConfig::default()).unwrap();
+        let warm = kmeans(
+            &data,
+            3,
+            &KMeansConfig {
+                warm_start: Some(cold.centers.clone()),
+                restarts: 1, // the warm run is the only run
+                ..KMeansConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(warm.inertia <= cold.inertia + 1e-9);
+        // Same grouping (labels may be permuted): compare co-membership.
+        for blob in 0..3 {
+            let label = warm.assignments[blob * 10];
+            for i in 0..10 {
+                assert_eq!(warm.assignments[blob * 10 + i], label);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_warm_start_is_ignored() {
+        let data = blob_data();
+        for bad in [
+            DenseMatrix::zeros(2, 2),                    // wrong k
+            DenseMatrix::zeros(3, 5),                    // wrong d
+            DenseMatrix::from_fn(3, 2, |_, _| f64::NAN), // non-finite
+        ] {
+            let r = kmeans(
+                &data,
+                3,
+                &KMeansConfig {
+                    warm_start: Some(bad),
+                    ..KMeansConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.assignments.len(), 30);
+            assert!(r.inertia < 5.0, "fell back to k-means++ seeding");
+        }
     }
 
     #[test]

@@ -11,9 +11,12 @@
 use crate::error::Result;
 use crate::schemes::{run_scheme, FrameworkConfig, Scheme};
 use roadpart_cut::Partition;
-use roadpart_eval::similarity::nmi;
 use roadpart_net::RoadGraph;
-use serde::{Deserialize, Serialize};
+
+/// Drift statistics between the previous and the refreshed partitioning —
+/// the shared implementation in `roadpart-eval`, re-exported under the name
+/// this module has always used.
+pub use roadpart_eval::PartitionDrift as DriftReport;
 
 /// Configuration for one distributed repartitioning round.
 #[derive(Debug, Clone)]
@@ -41,18 +44,6 @@ impl Default for DistributedConfig {
             framework: FrameworkConfig::default(),
         }
     }
-}
-
-/// Drift statistics between the previous and the refreshed partitioning.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct DriftReport {
-    /// Normalized mutual information between old and new labelings
-    /// (1 = structure unchanged).
-    pub nmi: f64,
-    /// Partition count before and after.
-    pub k_before: usize,
-    /// Partition count after refinement.
-    pub k_after: usize,
 }
 
 /// Result of [`repartition_regions`].
@@ -117,11 +108,7 @@ pub fn repartition_regions(
         next_label = base + max_local + 1;
     }
     let partition = Partition::from_labels(&labels);
-    let drift = DriftReport {
-        nmi: nmi(previous.labels(), partition.labels()),
-        k_before: previous.k(),
-        k_after: partition.k(),
-    };
+    let drift = DriftReport::between(previous.labels(), partition.labels());
     Ok(DistributedOutcome { partition, drift })
 }
 

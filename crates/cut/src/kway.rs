@@ -15,7 +15,7 @@ use crate::error::{CutError, Result};
 use crate::partition::Partition;
 use crate::refine::{partition_connectivity, recursive_bipartition, split_to_k};
 use roadpart_cluster::{constrained_components, kmeans, KMeansConfig};
-use roadpart_linalg::{CsrMatrix, EigenConfig, FallbackConfig, RecoveryLog};
+use roadpart_linalg::{CsrMatrix, DenseMatrix, EigenConfig, FallbackConfig, RecoveryLog};
 use serde::{Deserialize, Serialize};
 
 /// How k′ ≠ k is resolved.
@@ -72,6 +72,35 @@ impl SpectralConfig {
     }
 }
 
+/// Reusable spectral state captured from a completed partition run.
+///
+/// When the graph changes only slightly between runs (the online
+/// repartitioning setting), feeding the previous run's artifacts back into
+/// [`spectral_partition_warm`] seeds the Lanczos iteration with the old
+/// eigenvectors and eigenspace k-means with the old centroids, cutting the
+/// dominant costs of the pipeline. Both hints are validated downstream and
+/// silently dropped when stale (dimension mismatch, non-finite entries), so
+/// artifacts from *any* earlier run are safe to pass.
+#[derive(Debug, Clone)]
+pub struct SpectralArtifacts {
+    /// `n x k` eigenvector embedding `Y` *before* row normalization — the
+    /// actual (approximate) eigenvectors of the cut matrix, suitable as a
+    /// Krylov warm start.
+    pub eigenvectors: DenseMatrix,
+    /// `k x k` eigenspace k-means centroids over the row-normalized `Z`.
+    pub centroids: DenseMatrix,
+}
+
+impl SpectralArtifacts {
+    /// Artifacts carrying no reusable state (always a valid, inert input).
+    pub fn empty() -> Self {
+        Self {
+            eigenvectors: DenseMatrix::zeros(0, 0),
+            centroids: DenseMatrix::zeros(0, 0),
+        }
+    }
+}
+
 /// Partitions a weighted symmetric graph into `k` groups using the chosen
 /// spectral cut. See the module docs for the pipeline.
 ///
@@ -101,6 +130,28 @@ pub fn spectral_partition_recovering(
     cfg: &SpectralConfig,
     log: &mut RecoveryLog,
 ) -> Result<Partition> {
+    spectral_partition_warm(adj, k, kind, cfg, None, log).map(|(p, _)| p)
+}
+
+/// [`spectral_partition_recovering`] with warm-start support: optionally
+/// seeds the eigensolver and k-means from a previous run's
+/// [`SpectralArtifacts`], and returns this run's artifacts for the next one.
+///
+/// Stale artifacts (wrong dimensions for the current graph or `k`) are
+/// ignored per-component, so callers can pass whatever they captured last
+/// without revalidating. For `k == n` (singleton partitions) no spectral
+/// work happens and empty artifacts are returned.
+///
+/// # Errors
+/// Same as [`spectral_partition`].
+pub fn spectral_partition_warm(
+    adj: &CsrMatrix,
+    k: usize,
+    kind: CutKind,
+    cfg: &SpectralConfig,
+    warm: Option<&SpectralArtifacts>,
+    log: &mut RecoveryLog,
+) -> Result<(Partition, SpectralArtifacts)> {
     let n = adj.dim();
     if k == 0 || k > n {
         return Err(CutError::BadPartitionCount {
@@ -109,14 +160,29 @@ pub fn spectral_partition_recovering(
         });
     }
     if k == n {
-        return Ok(Partition::from_labels(&(0..n).collect::<Vec<_>>()));
+        let p = Partition::from_labels(&(0..n).collect::<Vec<_>>());
+        return Ok((p, SpectralArtifacts::empty()));
     }
 
-    // Lines 1-8: embedding (behind the fallback ladder).
-    let mut y = embedding_recovering(adj, k, kind, &cfg.eigen, &cfg.fallback, log)?;
-    row_normalize(&mut y);
+    let mut eigen_cfg = cfg.eigen.clone();
+    let mut kmeans_cfg = cfg.kmeans.clone();
+    if let Some(w) = warm {
+        if w.eigenvectors.rows() == n && w.eigenvectors.cols() > 0 {
+            eigen_cfg.start = Some(w.eigenvectors.clone());
+        }
+        if w.centroids.rows() == k && w.centroids.cols() > 0 {
+            kmeans_cfg.warm_start = Some(w.centroids.clone());
+        }
+    }
+
+    // Lines 1-8: embedding (behind the fallback ladder). Keep the raw
+    // eigenvectors `Y` for the artifacts; the pipeline continues on the
+    // row-normalized copy `Z` (Eq. 8).
+    let y = embedding_recovering(adj, k, kind, &eigen_cfg, &cfg.fallback, log)?;
+    let mut z = y.clone();
+    row_normalize(&mut z);
     // Lines 9-10: eigenspace k-means.
-    let km = kmeans(&y, k, &cfg.kmeans)?;
+    let km = kmeans(&z, k, &kmeans_cfg)?;
     // Line 11: connected components within clusters -> k' fine partitions.
     let comp = constrained_components(adj, Some(&km.assignments))?;
     let fine = Partition::from_labels(&comp);
@@ -138,7 +204,11 @@ pub fn spectral_partition_recovering(
         }
         result = enforce_connectivity(adj, &result)?;
     }
-    Ok(result)
+    let artifacts = SpectralArtifacts {
+        eigenvectors: y,
+        centroids: km.centers,
+    };
+    Ok((result, artifacts))
 }
 
 /// Applies the configured refinement strategy to move from k′ to k.
@@ -288,6 +358,54 @@ mod tests {
         let a = spectral_partition(&adj, 3, CutKind::Alpha, &cfg).unwrap();
         let b = spectral_partition(&adj, 3, CutKind::Alpha, &cfg).unwrap();
         assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn warm_path_reuses_artifacts_and_matches_cold_result() {
+        let adj = clique_chain(3, 5);
+        // Force the iterative solver so the eigenvector warm start is
+        // actually exercised (the graph is far below the default cutoff).
+        let mut cfg = SpectralConfig::default().with_seed(11);
+        cfg.eigen.dense_cutoff = 4;
+
+        let mut log = RecoveryLog::new();
+        let (cold, artifacts) =
+            spectral_partition_warm(&adj, 3, CutKind::Alpha, &cfg, None, &mut log).unwrap();
+        assert_eq!(artifacts.eigenvectors.rows(), adj.dim());
+        assert_eq!(artifacts.eigenvectors.cols(), 3);
+        assert_eq!(artifacts.centroids.rows(), 3);
+
+        let (warm, next) =
+            spectral_partition_warm(&adj, 3, CutKind::Alpha, &cfg, Some(&artifacts), &mut log)
+                .unwrap();
+        assert_eq!(warm.labels(), cold.labels(), "same graph -> same result");
+        assert_eq!(next.eigenvectors.rows(), adj.dim());
+    }
+
+    #[test]
+    fn stale_artifacts_are_ignored() {
+        let adj = clique_chain(3, 5);
+        let cfg = SpectralConfig::default().with_seed(11);
+        // Artifacts from a differently-sized problem: wrong n, wrong k.
+        let stale = SpectralArtifacts {
+            eigenvectors: roadpart_linalg::DenseMatrix::zeros(7, 2),
+            centroids: roadpart_linalg::DenseMatrix::zeros(5, 9),
+        };
+        let mut log = RecoveryLog::new();
+        let (p, _) =
+            spectral_partition_warm(&adj, 3, CutKind::Alpha, &cfg, Some(&stale), &mut log).unwrap();
+        assert_eq!(p.k(), 3);
+        let mut log2 = RecoveryLog::new();
+        let (p2, _) = spectral_partition_warm(
+            &adj,
+            3,
+            CutKind::Alpha,
+            &cfg,
+            Some(&SpectralArtifacts::empty()),
+            &mut log2,
+        )
+        .unwrap();
+        assert_eq!(p2.labels(), p.labels());
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub use embedding::{
     row_normalize, CutKind,
 };
 pub use error::{CutError, Result};
-pub use kway::{spectral_partition, spectral_partition_recovering, RefineStrategy, SpectralConfig};
+pub use kway::{
+    spectral_partition, spectral_partition_recovering, spectral_partition_warm, RefineStrategy,
+    SpectralArtifacts, SpectralConfig,
+};
 pub use ncut::normalized_cut;
 pub use partition::Partition;
 pub use refine::{greedy_merge, partition_connectivity, recursive_bipartition, split_to_k};

@@ -15,12 +15,16 @@
 //!   α-Cut ≙ −modularity equivalence claim;
 //! * [`similarity`] — Rand index and normalized mutual information for
 //!   tracking partition drift across time steps;
+//! * [`drift`] — shared structural/density drift measures built on
+//!   [`similarity`], used by both the distributed refresher and the online
+//!   repartitioning engine;
 //! * [`report::QualityReport`] — everything in one call.
 
 pub mod adjacency;
 pub mod ans;
 pub mod cut_metrics;
 pub mod distances;
+pub mod drift;
 pub mod gdbi;
 pub mod inter_intra;
 pub mod modularity;
@@ -32,6 +36,7 @@ pub use ans::ans;
 pub use cut_metrics::{
     alpha_cut_value, ncut_value, partition_cost, partition_volume, PartitionWeights,
 };
+pub use drift::{group_divergence, max_group_divergence, PartitionDrift};
 pub use gdbi::gdbi;
 pub use inter_intra::{inter_metric, intra_metric};
 pub use modularity::modularity;

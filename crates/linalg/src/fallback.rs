@@ -263,7 +263,11 @@ fn dense_solve(op: &impl SymOp, nev: usize, which: Which) -> Result<PartialEigen
     };
     let values: Vec<f64> = idx.iter().map(|&i| dec.values[i]).collect();
     let vectors = DenseMatrix::from_fn(n, nev, |r, c| dec.vectors.get(r, idx[c]));
-    Ok(PartialEigen { values, vectors })
+    Ok(PartialEigen {
+        values,
+        vectors,
+        iterations: 0,
+    })
 }
 
 #[cfg(test)]

@@ -46,6 +46,15 @@ pub struct EigenConfig {
     pub tol: f64,
     /// Seed for the random starting vectors.
     pub seed: u64,
+    /// Optional warm-start subspace: an `n x m` matrix whose columns are
+    /// approximate eigenvectors from a previous, nearby solve (e.g. the last
+    /// repartitioning epoch). Each restart seeds its Krylov sequence with the
+    /// combination of the still-unconverged columns instead of a random
+    /// vector. The hint is orthonormalized defensively against the locked
+    /// set and silently ignored when its dimensions disagree with the
+    /// operator or its entries are non-finite, so a stale hint can never
+    /// corrupt a solve — at worst it degrades to the cold start.
+    pub start: Option<DenseMatrix>,
 }
 
 impl Default for EigenConfig {
@@ -56,6 +65,7 @@ impl Default for EigenConfig {
             max_restarts: 24,
             tol: 1e-8,
             seed: 0x5eed_1a27,
+            start: None,
         }
     }
 }
@@ -67,6 +77,10 @@ pub struct PartialEigen {
     pub values: Vec<f64>,
     /// `n x nev` matrix whose column `j` is the eigenvector of `values[j]`.
     pub vectors: DenseMatrix,
+    /// Total Lanczos iterations (operator applications) spent across all
+    /// restarts; `0` for dense solves. Warm starts show up here as a lower
+    /// count for the same spectrum.
+    pub iterations: usize,
 }
 
 impl PartialEigen {
@@ -101,6 +115,7 @@ pub fn sym_eigs(
         return Ok(PartialEigen {
             values: vec![],
             vectors: DenseMatrix::zeros(n, 0),
+            iterations: 0,
         });
     }
     if n <= cfg.dense_cutoff {
@@ -112,7 +127,11 @@ pub fn sym_eigs(
         };
         let values: Vec<f64> = idx.iter().map(|&i| dec.values[i]).collect();
         let vectors = DenseMatrix::from_fn(n, nev, |r, c| dec.vectors.get(r, idx[c]));
-        return Ok(PartialEigen { values, vectors });
+        return Ok(PartialEigen {
+            values,
+            vectors,
+            iterations: 0,
+        });
     }
     lanczos_deflated(op, nev, which, cfg)
 }
@@ -168,7 +187,7 @@ fn lanczos_deflated(
             if locked_vecs.len() >= n {
                 break;
             }
-            let probe = lanczos_run(op, 1, which, cfg, &locked_vecs, &mut rng)?;
+            let probe = lanczos_run(op, 1, which, cfg, &locked_vecs, &mut rng, None)?;
             total_iters += probe.iterations;
             let Some((&new_val, new_vec)) =
                 probe.values.first().zip(probe.vectors.into_iter().next())
@@ -193,7 +212,16 @@ fn lanczos_deflated(
             continue;
         }
         let need = nev - locked_vals.len();
-        let run = lanczos_run(op, need, which, cfg, &locked_vecs, &mut rng)?;
+        let hint = warm_hint(cfg.start.as_ref(), n, locked_vals.len(), nev);
+        let run = lanczos_run(
+            op,
+            need,
+            which,
+            cfg,
+            &locked_vecs,
+            &mut rng,
+            hint.as_deref(),
+        )?;
         total_iters += run.iterations;
         if run.values.is_empty() {
             // No progress in a full inner run: further restarts are hopeless.
@@ -236,7 +264,32 @@ fn lanczos_deflated(
             vectors.set(r, c, v);
         }
     }
-    Ok(PartialEigen { values, vectors })
+    Ok(PartialEigen {
+        values,
+        vectors,
+        iterations: total_iters,
+    })
+}
+
+/// Combines the not-yet-locked warm-start columns into one Krylov seed.
+/// Returns `None` when no usable hint exists (wrong dimensions, non-finite
+/// entries, or every wanted column already locked).
+fn warm_hint(start: Option<&DenseMatrix>, n: usize, locked: usize, nev: usize) -> Option<Vec<f64>> {
+    let s = start?;
+    if s.rows() != n || s.cols() == 0 || locked >= nev.min(s.cols()) {
+        return None;
+    }
+    let mut hint = vec![0.0; n];
+    for c in locked..nev.min(s.cols()) {
+        for (r, h) in hint.iter_mut().enumerate() {
+            *h += s.get(r, c);
+        }
+    }
+    if hint.iter().all(|v| v.is_finite()) {
+        Some(hint)
+    } else {
+        None
+    }
 }
 
 /// The k-th selected eigenvalue from the wanted end: for `Smallest` the
@@ -258,7 +311,11 @@ struct RunResult {
 }
 
 /// One Lanczos run in the orthogonal complement of `locked`, returning up to
-/// `need` converged Ritz pairs from the wanted end of the spectrum.
+/// `need` converged Ritz pairs from the wanted end of the spectrum. When a
+/// warm-start `hint` is supplied it seeds the Krylov sequence (after
+/// defensive orthonormalization) and convergence is checked more eagerly,
+/// since a good hint converges within a handful of iterations.
+#[allow(clippy::too_many_arguments)]
 fn lanczos_run(
     op: &impl SymOp,
     need: usize,
@@ -266,6 +323,7 @@ fn lanczos_run(
     cfg: &EigenConfig,
     locked: &[Vec<f64>],
     rng: &mut ChaCha8Rng,
+    hint: Option<&[f64]>,
 ) -> Result<RunResult> {
     let n = op.dim();
     let m_max = cfg.max_subspace.min(n - locked.len()).max(1);
@@ -274,7 +332,12 @@ fn lanczos_run(
     let mut alphas: Vec<f64> = Vec::with_capacity(m_max);
     let mut betas: Vec<f64> = Vec::with_capacity(m_max);
 
-    let mut q = fresh_direction(n, locked, &[], rng)?;
+    let seeded = hint.and_then(|h| orthonormalized_seed(h, locked));
+    let check_stride = if seeded.is_some() { 4 } else { 20 };
+    let mut q = match seeded {
+        Some(seed) => seed,
+        None => fresh_direction(n, locked, &[], rng)?,
+    };
     let mut w = vec![0.0; n];
     let mut exhausted_complement = false;
 
@@ -327,7 +390,7 @@ fn lanczos_run(
 
         // Periodic convergence check (tridiagonal solve is O(j^3); keep rare).
         let j = basis.len();
-        if j >= need.min(m_max) && (j == m_max || j % 20 == 0) {
+        if j >= need.min(m_max) && (j == m_max || j % check_stride == 0) {
             let (theta, s) = solve_tridiag(&alphas, &betas)?;
             let count = converged_extremal(&theta, &s, beta, which, cfg.tol, scale);
             if count >= need || j == m_max {
@@ -458,6 +521,32 @@ fn solve_tridiag(alphas: &[f64], betas: &[f64]) -> Result<(Vec<f64>, DenseMatrix
     let mut z = DenseMatrix::identity(j);
     tql2(&mut d, &mut e, &mut z)?;
     Ok((d, z))
+}
+
+/// Defensive orthonormalization of a caller-supplied warm-start vector:
+/// projects out the locked directions and normalizes. Returns `None` for a
+/// hint with the wrong length, non-finite entries, or one that lies (almost)
+/// entirely inside the locked subspace — callers fall back to a random
+/// start, so a degenerate hint costs nothing.
+fn orthonormalized_seed(hint: &[f64], locked: &[Vec<f64>]) -> Option<Vec<f64>> {
+    if hint.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut v = hint.to_vec();
+    for _ in 0..2 {
+        for b in locked {
+            if b.len() != v.len() {
+                return None;
+            }
+            let c = vecops::dot(&v, b);
+            vecops::axpy(-c, b, &mut v);
+        }
+    }
+    if vecops::normalize(&mut v) > 1e-8 {
+        Some(v)
+    } else {
+        None
+    }
 }
 
 /// Draws a random unit vector orthogonal to `locked` and `basis`.
@@ -619,6 +708,55 @@ mod tests {
         let d1 = sym_eigs(&a, 3, Which::Smallest, &lanczos_cfg()).unwrap();
         let d2 = sym_eigs(&a, 3, Which::Smallest, &lanczos_cfg()).unwrap();
         assert_eq!(d1.values, d2.values);
+    }
+
+    #[test]
+    fn warm_start_converges_in_fewer_iterations() {
+        let n = 300;
+        let a = ring_laplacian(n);
+        let cold = sym_eigs(&a, 4, Which::Smallest, &lanczos_cfg()).unwrap();
+        assert!(cold.iterations > 0, "Lanczos path must actually iterate");
+        // Seed the next solve with the converged eigenvectors (the online
+        // repartitioning pattern: epoch t+1 starts from epoch t's basis).
+        let warm_cfg = EigenConfig {
+            start: Some(cold.vectors.clone()),
+            ..lanczos_cfg()
+        };
+        let warm = sym_eigs(&a, 4, Which::Smallest, &warm_cfg).unwrap();
+        for j in 0..4 {
+            assert!(
+                (warm.values[j] - cold.values[j]).abs() < 1e-6,
+                "eigenvalue {j}: warm {} vs cold {}",
+                warm.values[j],
+                cold.values[j]
+            );
+        }
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm start should converge faster: {} vs {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn degenerate_warm_start_is_ignored_not_fatal() {
+        let n = 150;
+        let a = ring_laplacian(n);
+        // Wrong dimensions, zero columns, and non-finite entries must all
+        // silently fall back to the cold start.
+        for bad in [
+            DenseMatrix::zeros(n / 2, 3),
+            DenseMatrix::zeros(n, 3),
+            DenseMatrix::from_fn(n, 3, |_, _| f64::NAN),
+        ] {
+            let cfg = EigenConfig {
+                start: Some(bad),
+                ..lanczos_cfg()
+            };
+            let dec = sym_eigs(&a, 3, Which::Smallest, &cfg).unwrap();
+            assert!(dec.values[0].abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Streaming density aggregation.
+//!
+//! Raw per-segment density updates are noisy — a single snapshot can show a
+//! segment empty between two waves of a platoon. The engine therefore
+//! partitions on an *aggregate* of the recent feed, with the smoothing
+//! choices exposed by [`AggregateKind`]. The aggregator wraps a
+//! [`DensityHistory`] and delegates the math to its
+//! [`window_mean`](DensityHistory::window_mean) /
+//! [`ewma`](DensityHistory::ewma) accessors, so batch and streaming callers
+//! share one implementation.
+
+use crate::error::{Result, StreamError};
+use roadpart_traffic::DensityHistory;
+
+/// How the recent density feed is reduced to one value per segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggregateKind {
+    /// The latest snapshot, unsmoothed.
+    Latest,
+    /// Mean of the trailing `window` snapshots.
+    WindowMean(usize),
+    /// Exponentially weighted moving average with smoothing factor
+    /// `alpha` in `(0, 1]`.
+    Ewma(f64),
+}
+
+/// Accumulates per-segment density updates and serves the current
+/// aggregate.
+#[derive(Debug, Clone)]
+pub struct DensityAggregator {
+    kind: AggregateKind,
+    history: DensityHistory,
+    /// Snapshots retained in `history`; older ones are compacted away once
+    /// the buffer doubles past this (bounded memory on unbounded feeds).
+    retain: usize,
+}
+
+impl DensityAggregator {
+    /// Creates an aggregator for `n_segments` segments.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfig`] for a zero window or an EWMA
+    /// factor outside `(0, 1]`.
+    pub fn new(n_segments: usize, kind: AggregateKind) -> Result<Self> {
+        let retain = match kind {
+            AggregateKind::Latest => 1,
+            AggregateKind::WindowMean(w) => {
+                if w == 0 {
+                    return Err(StreamError::InvalidConfig(
+                        "window mean needs a window >= 1".into(),
+                    ));
+                }
+                w
+            }
+            AggregateKind::Ewma(alpha) => {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(StreamError::InvalidConfig(format!(
+                        "EWMA alpha must lie in (0, 1], got {alpha}"
+                    )));
+                }
+                // EWMA weights decay geometrically; beyond ~5 mean
+                // lifetimes the contribution is numerically negligible.
+                ((5.0 / alpha).ceil() as usize).max(1)
+            }
+        };
+        Ok(Self {
+            kind,
+            history: DensityHistory::new(n_segments),
+            retain,
+        })
+    }
+
+    /// The configured aggregation mode.
+    pub fn kind(&self) -> AggregateKind {
+        self.kind
+    }
+
+    /// Number of updates ingested and retained.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True before the first update.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Ingests one density snapshot.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidUpdate`] on length mismatch or
+    /// non-finite entries — a malformed feed must not poison the aggregate.
+    pub fn push(&mut self, densities: &[f64]) -> Result<()> {
+        if densities.len() != self.history.n_segments() {
+            return Err(StreamError::InvalidUpdate(format!(
+                "snapshot covers {} segments, network has {}",
+                densities.len(),
+                self.history.n_segments()
+            )));
+        }
+        if densities.iter().any(|d| !d.is_finite()) {
+            return Err(StreamError::InvalidUpdate(
+                "densities must be finite".into(),
+            ));
+        }
+        self.history.push(densities.to_vec());
+        self.compact();
+        Ok(())
+    }
+
+    /// Ingests every snapshot of a recorded history (replay).
+    ///
+    /// # Errors
+    /// Same as [`Self::push`].
+    pub fn push_history(&mut self, history: &DensityHistory) -> Result<()> {
+        for t in 0..history.len() {
+            self.push(history.at(t))?;
+        }
+        Ok(())
+    }
+
+    /// The current aggregate, one density per segment; `None` before the
+    /// first update.
+    pub fn current(&self) -> Option<Vec<f64>> {
+        match self.kind {
+            AggregateKind::Latest => self.history.last().map(<[f64]>::to_vec),
+            AggregateKind::WindowMean(w) => self.history.window_mean(w),
+            AggregateKind::Ewma(alpha) => self.history.ewma(alpha),
+        }
+    }
+
+    /// Drops snapshots that can no longer influence the aggregate. Amortized
+    /// O(1) per push: compaction only runs when the buffer has doubled.
+    fn compact(&mut self) {
+        if self.history.len() < self.retain.saturating_mul(2).max(8) {
+            return;
+        }
+        let keep = self.retain;
+        let mut trimmed = DensityHistory::new(self.history.n_segments());
+        for t in self.history.len() - keep..self.history.len() {
+            trimmed.push(self.history.at(t).to_vec());
+        }
+        self.history = trimmed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latest_tracks_the_feed() {
+        let mut agg = DensityAggregator::new(2, AggregateKind::Latest).unwrap();
+        assert!(agg.current().is_none());
+        agg.push(&[0.1, 0.2]).unwrap();
+        agg.push(&[0.3, 0.4]).unwrap();
+        assert_eq!(agg.current().unwrap(), vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn window_mean_matches_history_accessor() {
+        let mut agg = DensityAggregator::new(1, AggregateKind::WindowMean(2)).unwrap();
+        for v in [1.0, 2.0, 4.0] {
+            agg.push(&[v]).unwrap();
+        }
+        assert!((agg.current().unwrap()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_smooths() {
+        let mut agg = DensityAggregator::new(1, AggregateKind::Ewma(0.5)).unwrap();
+        for v in [0.0, 1.0, 1.0] {
+            agg.push(&[v]).unwrap();
+        }
+        assert!((agg.current().unwrap()[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_updates_and_configs() {
+        let mut agg = DensityAggregator::new(2, AggregateKind::Latest).unwrap();
+        assert!(agg.push(&[0.1]).is_err());
+        assert!(agg.push(&[0.1, f64::NAN]).is_err());
+        assert!(agg.is_empty(), "bad updates are not ingested");
+        assert!(DensityAggregator::new(2, AggregateKind::WindowMean(0)).is_err());
+        assert!(DensityAggregator::new(2, AggregateKind::Ewma(0.0)).is_err());
+        assert!(DensityAggregator::new(2, AggregateKind::Ewma(1.5)).is_err());
+    }
+
+    #[test]
+    fn compaction_bounds_memory_without_changing_the_aggregate() {
+        let mut bounded = DensityAggregator::new(1, AggregateKind::WindowMean(3)).unwrap();
+        for i in 0..1000 {
+            bounded.push(&[i as f64]).unwrap();
+        }
+        assert!(bounded.len() <= 8, "buffer stays near the window size");
+        // Mean of the last 3 of 0..1000.
+        assert!((bounded.current().unwrap()[0] - 998.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replayed_history_matches_incremental_pushes() {
+        let mut h = DensityHistory::new(1);
+        for v in [0.2, 0.4, 0.8] {
+            h.push(vec![v]);
+        }
+        let mut agg = DensityAggregator::new(1, AggregateKind::Ewma(0.3)).unwrap();
+        agg.push_history(&h).unwrap();
+        let direct = h.ewma(0.3).unwrap();
+        assert!((agg.current().unwrap()[0] - direct[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-epoch drift detection and the refresh policy.
+//!
+//! Deciding *whether* to repartition is much cheaper than repartitioning:
+//! the probe combines two O(n log n) signals over the current aggregate —
+//!
+//! 1. **density divergence**: the largest per-partition relative change of
+//!    mean density against the baseline captured at the last refresh
+//!    ([`roadpart_eval::max_group_divergence`]) — detects congestion
+//!    migrating *within* the current structure;
+//! 2. **trial-alignment retention**: a 1-D k-means over the current
+//!    densities (the same clustering the supergraph miner uses as its first
+//!    step) is compared to the live partition via
+//!    [`roadpart_eval::similarity::nmi`], and that alignment is normalized
+//!    by the same measurement over the *baseline* densities. Absolute
+//!    trial-vs-live NMI is small even at refresh time (a spatial partition
+//!    never matches a raw density clustering exactly), so the policy reacts
+//!    to alignment *loss* — retention near 1 means the natural congestion
+//!    grouping still relates to the served partition the way it did when
+//!    the partition was built; retention near 0 means it walked away.
+//!
+//! The thresholds in [`DriftPolicy`] map the probe to one of three
+//! [`EpochAction`]s: do nothing, refresh regions in place, or rebuild
+//! globally.
+
+use crate::error::{Result, StreamError};
+use roadpart_cluster::kmeans_1d;
+use roadpart_eval::{max_group_divergence, similarity::nmi};
+use serde::{Deserialize, Serialize};
+
+/// What the engine does with an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochAction {
+    /// Drift below every threshold: keep serving the current partition.
+    NoOp,
+    /// Moderate drift: re-partition each region independently on its own
+    /// subgraph (`core::distributed`), keeping region boundaries.
+    Regional,
+    /// Heavy drift: full warm-started global repartition.
+    Global,
+}
+
+/// Thresholds steering the epoch decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftPolicy {
+    /// Divergence at or below this (and alignment retention at or above
+    /// [`Self::noop_retention`]) is a [`EpochAction::NoOp`].
+    pub noop_divergence: f64,
+    /// Alignment-retention floor for a no-op epoch.
+    pub noop_retention: f64,
+    /// Divergence above this (or retention below [`Self::global_retention`])
+    /// forces [`EpochAction::Global`]; the band between no-op and global is
+    /// [`EpochAction::Regional`].
+    pub global_divergence: f64,
+    /// Alignment-retention floor below which only a global rebuild helps.
+    pub global_retention: f64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        Self {
+            noop_divergence: 0.10,
+            noop_retention: 0.60,
+            global_divergence: 0.50,
+            global_retention: 0.25,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// Validates threshold ordering (`noop <= global` on both axes).
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfig`] on inverted or non-finite
+    /// thresholds.
+    pub fn validate(&self) -> Result<()> {
+        let all = [
+            self.noop_divergence,
+            self.noop_retention,
+            self.global_divergence,
+            self.global_retention,
+        ];
+        if all.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err(StreamError::InvalidConfig(
+                "drift thresholds must be finite and non-negative".into(),
+            ));
+        }
+        if self.noop_divergence > self.global_divergence {
+            return Err(StreamError::InvalidConfig(
+                "noop_divergence must not exceed global_divergence".into(),
+            ));
+        }
+        if self.global_retention > self.noop_retention {
+            return Err(StreamError::InvalidConfig(
+                "global_retention must not exceed noop_retention".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Maps a probe to an action.
+    pub fn decide(&self, probe: &DriftProbe) -> EpochAction {
+        let retention = probe.retention();
+        if probe.max_divergence <= self.noop_divergence && retention >= self.noop_retention {
+            EpochAction::NoOp
+        } else if probe.max_divergence > self.global_divergence || retention < self.global_retention
+        {
+            EpochAction::Global
+        } else {
+            EpochAction::Regional
+        }
+    }
+}
+
+/// The measured drift signals for one epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftProbe {
+    /// Largest per-partition relative density change vs. the baseline.
+    pub max_divergence: f64,
+    /// NMI between a cheap 1-D trial clustering of the *current* densities
+    /// and the live partition.
+    pub trial_nmi: f64,
+    /// The same trial-vs-live NMI measured on the *baseline* densities —
+    /// the alignment the partition had when it was built/refreshed.
+    pub reference_nmi: f64,
+}
+
+/// Reference alignments below this floor carry no signal; retention is
+/// computed against the floor instead to avoid dividing by noise.
+const RETENTION_FLOOR: f64 = 0.05;
+
+impl DriftProbe {
+    /// Measures drift of `current` densities against the `baseline`
+    /// captured when `live_labels` was last rebuilt.
+    ///
+    /// # Errors
+    /// Propagates 1-D k-means failures (non-finite densities).
+    pub fn measure(live_labels: &[usize], baseline: &[f64], current: &[f64]) -> Result<Self> {
+        let max_divergence = max_group_divergence(live_labels, baseline, current);
+        let k_live = live_labels.iter().copied().max().map_or(1, |m| m + 1);
+        let kappa = k_live.clamp(1, current.len().max(1));
+        let trial_nmi = nmi(&kmeans_1d(current, kappa)?.assignments, live_labels);
+        let reference_nmi = nmi(&kmeans_1d(baseline, kappa)?.assignments, live_labels);
+        Ok(Self {
+            max_divergence,
+            trial_nmi,
+            reference_nmi,
+        })
+    }
+
+    /// Fraction of the refresh-time trial alignment still present: `1` (or
+    /// above) means the natural congestion grouping relates to the served
+    /// partition as well as it did at refresh time; near `0` means the
+    /// structure walked away.
+    pub fn retention(&self) -> f64 {
+        self.trial_nmi / self.reference_nmi.max(RETENTION_FLOOR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_feed_is_a_noop() {
+        let labels = [0, 0, 1, 1];
+        let base = [0.1, 0.1, 0.9, 0.9];
+        let probe = DriftProbe::measure(&labels, &base, &base).unwrap();
+        assert!(probe.max_divergence < 1e-12);
+        assert!(probe.trial_nmi > 0.99, "trial clustering finds the split");
+        assert_eq!(DriftPolicy::default().decide(&probe), EpochAction::NoOp);
+    }
+
+    #[test]
+    fn inverted_structure_forces_global() {
+        let labels = [0, 0, 0, 1, 1, 1];
+        let base = [0.1, 0.1, 0.1, 0.9, 0.9, 0.9];
+        // Congestion pattern now cuts across the served partition.
+        let cur = [0.1, 0.9, 0.1, 0.9, 0.1, 0.9];
+        let probe = DriftProbe::measure(&labels, &base, &cur).unwrap();
+        assert!(probe.trial_nmi < 0.25);
+        assert_eq!(DriftPolicy::default().decide(&probe), EpochAction::Global);
+    }
+
+    #[test]
+    fn moderate_shift_lands_in_the_regional_band() {
+        let policy = DriftPolicy::default();
+        let probe = DriftProbe {
+            max_divergence: 0.3,
+            trial_nmi: 0.5,
+            reference_nmi: 1.0,
+        };
+        assert!((probe.retention() - 0.5).abs() < 1e-12);
+        assert_eq!(policy.decide(&probe), EpochAction::Regional);
+    }
+
+    #[test]
+    fn retention_is_relative_to_the_reference_alignment() {
+        // Weak absolute alignment that hasn't moved since refresh time is
+        // NOT drift: retention stays at 1.
+        let probe = DriftProbe {
+            max_divergence: 0.05,
+            trial_nmi: 0.12,
+            reference_nmi: 0.12,
+        };
+        assert!((probe.retention() - 1.0).abs() < 1e-12);
+        assert_eq!(DriftPolicy::default().decide(&probe), EpochAction::NoOp);
+        // A noise-floor reference never inflates retention explosively.
+        let probe = DriftProbe {
+            max_divergence: 0.05,
+            trial_nmi: 0.04,
+            reference_nmi: 0.0,
+        };
+        assert!(probe.retention() <= 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_inverted_thresholds() {
+        assert!(DriftPolicy::default().validate().is_ok());
+        let inverted = DriftPolicy {
+            noop_divergence: 0.9,
+            ..Default::default()
+        };
+        assert!(inverted.validate().is_err());
+        let retention_flipped = DriftPolicy {
+            global_retention: 0.9,
+            ..Default::default()
+        };
+        assert!(retention_flipped.validate().is_err());
+        let non_finite = DriftPolicy {
+            noop_retention: f64::NAN,
+            ..Default::default()
+        };
+        assert!(non_finite.validate().is_err());
+    }
+}

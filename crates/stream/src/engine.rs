@@ -1,0 +1,311 @@
+//! The epoch-based online repartitioning engine.
+//!
+//! Lifecycle per epoch:
+//!
+//! 1. the caller [`ingest`](StreamEngine::ingest)s density updates as they
+//!    arrive (any number per epoch, including zero);
+//! 2. [`run_epoch`](StreamEngine::run_epoch) reduces the feed to one
+//!    aggregate density per segment, probes drift against the baseline
+//!    captured at the last refresh, and acts:
+//!    [`EpochAction::NoOp`] serves on, [`EpochAction::Regional`] refreshes
+//!    each region on its own subgraph, [`EpochAction::Global`] rebuilds the
+//!    whole partition with a warm-started spectral solve;
+//! 3. any new partition is published to the [`PartitionStore`] — readers
+//!    holding the store handle never block and never see a partial update.
+//!
+//! Warm starts make the expensive path cheap: the previous epoch's
+//! eigenvectors seed the Lanczos iteration and its centroids seed the
+//! eigenspace k-means ([`roadpart_cut::spectral_partition_warm`]), so a
+//! global rebuild after modest drift converges in a fraction of the cold
+//! iteration count.
+
+use crate::aggregate::{AggregateKind, DensityAggregator};
+use crate::drift::{DriftPolicy, DriftProbe, EpochAction};
+use crate::error::{Result, StreamError};
+use crate::report::EpochReport;
+use crate::snapshot::PartitionStore;
+use roadpart::{repartition_regions, DistributedConfig};
+use roadpart_cut::{
+    gaussian_affinity, spectral_partition_warm, CutKind, Partition, SpectralArtifacts,
+    SpectralConfig,
+};
+use roadpart_eval::PartitionDrift;
+use roadpart_linalg::RecoveryLog;
+use roadpart_net::RoadGraph;
+use roadpart_traffic::DensityHistory;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for [`StreamEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Target partition count for global rebuilds.
+    pub k: usize,
+    /// Spectral cut used by global rebuilds (α-Cut matches the paper).
+    pub cut: CutKind,
+    /// How the density feed is smoothed before each probe.
+    pub aggregate: AggregateKind,
+    /// Drift thresholds steering the per-epoch decision.
+    pub policy: DriftPolicy,
+    /// Spectral settings for global rebuilds.
+    pub spectral: SpectralConfig,
+    /// Settings for regional refreshes (`core::distributed`).
+    pub regional: DistributedConfig,
+    /// Seed global rebuilds with the previous epoch's eigenvectors and
+    /// centroids. Disable only to measure the cold baseline.
+    pub warm_start: bool,
+}
+
+impl EngineConfig {
+    /// Defaults for a `k`-way engine: α-Cut, 3-snapshot window mean,
+    /// default drift policy, warm starts on.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            cut: CutKind::Alpha,
+            aggregate: AggregateKind::WindowMean(3),
+            policy: DriftPolicy::default(),
+            spectral: SpectralConfig::default(),
+            regional: DistributedConfig::default(),
+            warm_start: true,
+        }
+    }
+
+    /// Re-seeds the stochastic components.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.spectral = self.spectral.with_seed(seed);
+        self.regional.framework = self.regional.framework.clone().with_seed(seed ^ 0x5747);
+        self
+    }
+}
+
+/// Long-lived online repartitioning engine over one road network.
+#[derive(Debug)]
+pub struct StreamEngine {
+    cfg: EngineConfig,
+    graph: RoadGraph,
+    aggregator: DensityAggregator,
+    store: Arc<PartitionStore>,
+    /// Densities the live partition was last built/refreshed on — the
+    /// reference point for divergence probes.
+    baseline: Vec<f64>,
+    /// Spectral state of the last global rebuild, fed back as a warm start.
+    artifacts: Option<SpectralArtifacts>,
+    epoch: u64,
+}
+
+impl StreamEngine {
+    /// Builds the engine and runs the initial (cold) global partition on
+    /// the graph's current features, publishing it as version 1.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidConfig`] for `k == 0`, `k` above the
+    /// segment count, or inconsistent drift thresholds; propagates initial
+    /// partitioning failures.
+    pub fn new(graph: RoadGraph, cfg: EngineConfig) -> Result<Self> {
+        let n = graph.node_count();
+        if cfg.k == 0 || cfg.k > n {
+            return Err(StreamError::InvalidConfig(format!(
+                "k = {} outside 1..={n}",
+                cfg.k
+            )));
+        }
+        cfg.policy.validate()?;
+        let aggregator = DensityAggregator::new(n, cfg.aggregate)?;
+        let baseline = graph.features().to_vec();
+        let mut engine = Self {
+            cfg,
+            graph,
+            aggregator,
+            store: Arc::new(PartitionStore::new(vec![0; n], 0)),
+            baseline,
+            artifacts: None,
+            epoch: 0,
+        };
+        let densities = engine.baseline.clone();
+        let (partition, _) = engine.global_repartition(&densities)?;
+        engine.store = Arc::new(PartitionStore::new(partition.labels().to_vec(), 0));
+        Ok(engine)
+    }
+
+    /// Shared handle to the snapshot store for concurrent readers.
+    pub fn store(&self) -> Arc<PartitionStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The configured engine settings.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Ingests one per-segment density snapshot.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidUpdate`] on malformed snapshots.
+    pub fn ingest(&mut self, densities: &[f64]) -> Result<()> {
+        self.aggregator.push(densities)
+    }
+
+    /// Replays every snapshot of a recorded history into the feed.
+    ///
+    /// # Errors
+    /// Same as [`Self::ingest`].
+    pub fn ingest_history(&mut self, history: &DensityHistory) -> Result<()> {
+        self.aggregator.push_history(history)
+    }
+
+    /// Closes the current epoch: aggregate, probe, act, publish.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidUpdate`] when no densities were ever
+    /// ingested; propagates repartitioning failures (the live snapshot is
+    /// untouched on failure — the store only changes on success).
+    pub fn run_epoch(&mut self) -> Result<EpochReport> {
+        let t0 = Instant::now();
+        let current = self.aggregator.current().ok_or_else(|| {
+            StreamError::InvalidUpdate("epoch with no density updates ever ingested".into())
+        })?;
+        self.epoch += 1;
+        let live = self.store.read();
+        let probe = DriftProbe::measure(live.labels(), &self.baseline, &current)?;
+        let action = self.cfg.policy.decide(&probe);
+
+        let mut drift = None;
+        let mut warm_started = false;
+        match action {
+            EpochAction::NoOp => {}
+            EpochAction::Regional => {
+                self.graph.set_features(current.clone())?;
+                let prev = Partition::from_labels(live.labels());
+                let out = repartition_regions(&self.graph, &prev, &self.cfg.regional)?;
+                self.store
+                    .publish(out.partition.labels().to_vec(), self.epoch);
+                drift = Some(out.drift);
+                self.baseline = current;
+            }
+            EpochAction::Global => {
+                let (partition, warm) = self.global_repartition(&current)?;
+                warm_started = warm;
+                drift = Some(PartitionDrift::between(live.labels(), partition.labels()));
+                self.store.publish(partition.labels().to_vec(), self.epoch);
+                self.baseline = current;
+            }
+        }
+
+        let after = self.store.read();
+        Ok(EpochReport {
+            epoch: self.epoch,
+            action,
+            probe,
+            version: after.version,
+            k: after.k,
+            drift,
+            warm_started,
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// Full spectral rebuild on `densities`, reusing (and then replacing)
+    /// the cached warm-start artifacts. Returns the partition and whether a
+    /// warm start was actually applied.
+    fn global_repartition(&mut self, densities: &[f64]) -> Result<(Partition, bool)> {
+        self.graph.set_features(densities.to_vec())?;
+        let affinity = gaussian_affinity(self.graph.adjacency(), self.graph.features())?;
+        let warm = if self.cfg.warm_start {
+            self.artifacts.as_ref()
+        } else {
+            None
+        };
+        let warm_used = warm.is_some();
+        let mut log = RecoveryLog::new();
+        let (partition, artifacts) = spectral_partition_warm(
+            &affinity,
+            self.cfg.k.min(self.graph.node_count()),
+            self.cfg.cut,
+            &self.cfg.spectral,
+            warm,
+            &mut log,
+        )?;
+        self.artifacts = Some(artifacts);
+        Ok((partition, warm_used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadpart_linalg::CsrMatrix;
+
+    /// Path of `plateaus` density plateaus, 8 segments each.
+    fn plateau_graph(plateaus: usize) -> RoadGraph {
+        let n = plateaus * 8;
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+        let feats: Vec<f64> = (0..n).map(|i| (i / 8) as f64 * 0.4 + 0.05).collect();
+        RoadGraph::from_parts(adj, feats, vec![]).unwrap()
+    }
+
+    #[test]
+    fn initial_partition_is_published_as_version_one() {
+        let engine = StreamEngine::new(plateau_graph(3), EngineConfig::new(3)).unwrap();
+        let snap = engine.store().read();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.len(), 24);
+        assert_eq!(snap.k, 3);
+    }
+
+    #[test]
+    fn stable_feed_yields_noop_epochs_without_version_bumps() {
+        let graph = plateau_graph(3);
+        let baseline = graph.features().to_vec();
+        let mut engine = StreamEngine::new(graph, EngineConfig::new(3)).unwrap();
+        for _ in 0..3 {
+            engine.ingest(&baseline).unwrap();
+            let report = engine.run_epoch().unwrap();
+            assert_eq!(report.action, EpochAction::NoOp);
+            assert_eq!(report.version, 1, "no-op must not republish");
+            assert!(report.drift.is_none());
+        }
+        assert_eq!(engine.epochs(), 3);
+    }
+
+    #[test]
+    fn inverted_densities_force_a_warm_global_rebuild() {
+        let graph = plateau_graph(3);
+        let n = graph.node_count();
+        let mut engine = StreamEngine::new(graph, EngineConfig::new(3)).unwrap();
+        // Flip the congestion landscape: fine stripes across old regions.
+        let flipped: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 0.05 } else { 0.9 })
+            .collect();
+        for _ in 0..3 {
+            engine.ingest(&flipped).unwrap();
+        }
+        let report = engine.run_epoch().unwrap();
+        assert_eq!(report.action, EpochAction::Global);
+        assert!(report.warm_started, "artifacts from the initial build");
+        assert_eq!(report.version, 2);
+        assert!(report.drift.is_some());
+    }
+
+    #[test]
+    fn epoch_without_any_ingest_is_an_error() {
+        let mut engine = StreamEngine::new(plateau_graph(2), EngineConfig::new(2)).unwrap();
+        assert!(engine.run_epoch().is_err());
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        assert!(StreamEngine::new(plateau_graph(2), EngineConfig::new(0)).is_err());
+        assert!(StreamEngine::new(plateau_graph(2), EngineConfig::new(1000)).is_err());
+        let mut cfg = EngineConfig::new(2);
+        cfg.policy.noop_divergence = 2.0; // above global_divergence
+        assert!(StreamEngine::new(plateau_graph(2), cfg).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Unified error type for the streaming layer.
+
+use std::fmt;
+
+/// Errors surfaced by the online repartitioning engine.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Configuration violates a documented precondition.
+    InvalidConfig(String),
+    /// A density update is structurally unusable (wrong length, non-finite).
+    InvalidUpdate(String),
+    /// A failure in the underlying partitioning framework.
+    Framework(roadpart::RoadpartError),
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StreamError>;
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::InvalidConfig(msg) => write!(f, "invalid stream config: {msg}"),
+            StreamError::InvalidUpdate(msg) => write!(f, "invalid density update: {msg}"),
+            StreamError::Framework(e) => write!(f, "framework error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Framework(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<roadpart::RoadpartError> for StreamError {
+    fn from(e: roadpart::RoadpartError) -> Self {
+        StreamError::Framework(e)
+    }
+}
+
+impl From<roadpart_cut::CutError> for StreamError {
+    fn from(e: roadpart_cut::CutError) -> Self {
+        StreamError::Framework(roadpart::RoadpartError::Cut(e))
+    }
+}
+
+impl From<roadpart_cluster::ClusterError> for StreamError {
+    fn from(e: roadpart_cluster::ClusterError) -> Self {
+        StreamError::Framework(roadpart::RoadpartError::Cluster(e))
+    }
+}
+
+impl From<roadpart_net::NetError> for StreamError {
+    fn from(e: roadpart_net::NetError) -> Self {
+        StreamError::Framework(roadpart::RoadpartError::Net(e))
+    }
+}

@@ -1,0 +1,122 @@
+//! Machine-readable per-epoch reporting (the streaming analogue of the
+//! supervisor's `RunReport`).
+
+use crate::drift::{DriftProbe, EpochAction};
+use roadpart_eval::PartitionDrift;
+use serde::{Deserialize, Serialize};
+
+/// Everything one epoch did, serializable for logs and dashboards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// 1-based epoch counter.
+    pub epoch: u64,
+    /// The decision the drift policy made.
+    pub action: EpochAction,
+    /// The drift signals behind the decision.
+    pub probe: DriftProbe,
+    /// Snapshot-store version after the epoch (unchanged on no-op).
+    pub version: u64,
+    /// Partition count being served after the epoch.
+    pub k: usize,
+    /// Old-vs-new structural drift when the epoch repartitioned.
+    pub drift: Option<PartitionDrift>,
+    /// True when a global rebuild reused the previous epoch's spectral
+    /// artifacts.
+    pub warm_started: bool,
+    /// Wall-clock spent in the epoch.
+    pub elapsed_ms: f64,
+}
+
+/// An append-only log of epoch reports with summary accessors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamLog {
+    /// Reports in epoch order.
+    pub reports: Vec<EpochReport>,
+}
+
+impl StreamLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one epoch.
+    pub fn push(&mut self, report: EpochReport) {
+        self.reports.push(report);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// `(noop, regional, global)` epoch counts.
+    pub fn action_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in &self.reports {
+            match r.action {
+                EpochAction::NoOp => c.0 += 1,
+                EpochAction::Regional => c.1 += 1,
+                EpochAction::Global => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Total wall-clock across recorded epochs, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.reports.iter().map(|r| r.elapsed_ms).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(epoch: u64, action: EpochAction) -> EpochReport {
+        EpochReport {
+            epoch,
+            action,
+            probe: DriftProbe {
+                max_divergence: 0.0,
+                trial_nmi: 1.0,
+                reference_nmi: 1.0,
+            },
+            version: 1,
+            k: 4,
+            drift: None,
+            warm_started: false,
+            elapsed_ms: 1.5,
+        }
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        let mut log = StreamLog::new();
+        log.push(report(1, EpochAction::NoOp));
+        log.push(report(2, EpochAction::NoOp));
+        log.push(report(3, EpochAction::Global));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.action_counts(), (2, 0, 1));
+        assert!((log.total_ms() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let mut r = report(7, EpochAction::Regional);
+        r.drift = Some(roadpart_eval::PartitionDrift::between(
+            &[0, 0, 1],
+            &[0, 1, 1],
+        ));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: EpochReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.epoch, 7);
+        assert_eq!(back.action, EpochAction::Regional);
+        assert!(back.drift.is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! Double-buffered, versioned partition snapshots.
+//!
+//! The serving path of a production deployment answers one question at very
+//! high rate: *which partition does segment `s` belong to right now?* That
+//! lookup must stay O(1) and must never block behind a repartition that is
+//! minutes deep into an eigensolve. The store here gets both properties from
+//! a classic read-copy-update shape:
+//!
+//! * readers grab an [`Arc`] clone of the current [`PartitionSnapshot`]
+//!   under a read lock held for nanoseconds, then index into it freely —
+//!   a snapshot is immutable, so a reader can hold it across an entire
+//!   request without seeing a partial update;
+//! * the writer (the epoch loop) builds the *next* snapshot entirely
+//!   off-lock and swaps the `Arc` in one short write-lock critical section.
+//!
+//! Versions are strictly monotonic and survive no-op epochs unchanged, so a
+//! consumer can cheaply detect "partition changed since I last looked".
+
+use roadpart_net::SegmentId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One immutable, fully consistent partition of the road network.
+#[derive(Debug, Clone)]
+pub struct PartitionSnapshot {
+    labels: Vec<usize>,
+    /// Strictly increasing across publishes; `1` for the initial partition.
+    pub version: u64,
+    /// The engine epoch that produced this snapshot (`0` = initial).
+    pub epoch: u64,
+    /// Number of partitions in `labels`.
+    pub k: usize,
+}
+
+impl PartitionSnapshot {
+    fn new(labels: Vec<usize>, version: u64, epoch: u64) -> Self {
+        let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+        Self {
+            labels,
+            version,
+            epoch,
+            k,
+        }
+    }
+
+    /// Partition of segment `seg`, or `None` when the index is out of
+    /// range. O(1).
+    #[inline]
+    pub fn lookup(&self, seg: usize) -> Option<usize> {
+        self.labels.get(seg).copied()
+    }
+
+    /// [`Self::lookup`] with the typed segment id.
+    #[inline]
+    pub fn lookup_segment(&self, seg: SegmentId) -> Option<usize> {
+        self.lookup(seg.index())
+    }
+
+    /// The full labeling (one partition id per segment).
+    #[inline]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of segments covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for an empty network.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Concurrent store holding the live [`PartitionSnapshot`]. Cheap to share
+/// (`Arc<PartitionStore>`); see the module docs for the consistency model.
+#[derive(Debug)]
+pub struct PartitionStore {
+    current: RwLock<Arc<PartitionSnapshot>>,
+    version: AtomicU64,
+}
+
+impl PartitionStore {
+    /// Creates a store serving `labels` as version 1 / epoch `epoch`.
+    pub fn new(labels: Vec<usize>, epoch: u64) -> Self {
+        let snap = Arc::new(PartitionSnapshot::new(labels, 1, epoch));
+        Self {
+            current: RwLock::new(snap),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// The live snapshot. O(1): one `Arc` clone under a momentary read
+    /// lock. The returned snapshot stays valid (and immutable) however long
+    /// the caller holds it, regardless of concurrent publishes.
+    pub fn read(&self) -> Arc<PartitionSnapshot> {
+        self.current.read().expect("store lock poisoned").clone()
+    }
+
+    /// Current version without taking the snapshot (monotonic).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Publishes a new labeling produced at `epoch`, returning its version.
+    /// The snapshot is constructed before the write lock is taken; readers
+    /// block only for the pointer swap.
+    pub fn publish(&self, labels: Vec<usize>, epoch: u64) -> u64 {
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        let snap = Arc::new(PartitionSnapshot::new(labels, version, epoch));
+        *self.current.write().expect("store lock poisoned") = snap;
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn lookup_and_metadata() {
+        let store = PartitionStore::new(vec![0, 0, 1, 2], 0);
+        let snap = store.read();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.k, 3);
+        assert_eq!(snap.lookup(2), Some(1));
+        assert_eq!(snap.lookup_segment(SegmentId::from_index(3)), Some(2));
+        assert_eq!(snap.lookup(4), None);
+    }
+
+    #[test]
+    fn publish_bumps_version_and_preserves_old_readers() {
+        let store = PartitionStore::new(vec![0, 1], 0);
+        let old = store.read();
+        let v2 = store.publish(vec![1, 0], 1);
+        assert_eq!(v2, 2);
+        assert_eq!(store.version(), 2);
+        // The pre-publish snapshot is untouched.
+        assert_eq!(old.version, 1);
+        assert_eq!(old.lookup(0), Some(0));
+        let new = store.read();
+        assert_eq!(new.version, 2);
+        assert_eq!(new.epoch, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_complete_partitions() {
+        let store = Arc::new(PartitionStore::new(vec![0; 64], 0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut last_version = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = store.read();
+                        assert_eq!(snap.len(), 64, "snapshot must be complete");
+                        // All labels of one snapshot come from one publish.
+                        let first = snap.lookup(0).unwrap();
+                        assert!(snap.labels().iter().all(|&l| l == first));
+                        assert!(snap.version >= last_version, "versions monotonic");
+                        last_version = snap.version;
+                    }
+                })
+            })
+            .collect();
+        for e in 1..200u64 {
+            store.publish(vec![e as usize % 7; 64], e);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.version(), 200);
+    }
+}

@@ -77,6 +77,50 @@ impl DensityHistory {
                 .expect("finite densities")
         })
     }
+
+    /// Per-segment mean over the trailing `window` snapshots (all snapshots
+    /// when fewer than `window` exist). `None` when the history is empty or
+    /// `window == 0` — there is nothing to average.
+    ///
+    /// This is the "sliding window" aggregate the online engine feeds into
+    /// repartitioning: smoother than a single snapshot, but bounded-memory
+    /// and responsive to recent change.
+    pub fn window_mean(&self, window: usize) -> Option<Vec<f64>> {
+        if self.is_empty() || window == 0 {
+            return None;
+        }
+        let take = window.min(self.len());
+        let recent = &self.steps[self.len() - take..];
+        let mut mean = vec![0.0; self.n_segments];
+        for snap in recent {
+            for (m, &v) in mean.iter_mut().zip(snap) {
+                *m += v;
+            }
+        }
+        let inv = 1.0 / take as f64;
+        mean.iter_mut().for_each(|m| *m *= inv);
+        Some(mean)
+    }
+
+    /// Per-segment exponentially weighted moving average over the whole
+    /// history: `ewma_t = alpha * x_t + (1 - alpha) * ewma_{t-1}`, seeded
+    /// with the first snapshot. `None` when the history is empty or `alpha`
+    /// is outside `(0, 1]`.
+    ///
+    /// Higher `alpha` tracks the feed more closely; lower `alpha` smooths
+    /// harder. `alpha == 1` degenerates to [`Self::last`].
+    pub fn ewma(&self, alpha: f64) -> Option<Vec<f64>> {
+        if self.is_empty() || !(alpha > 0.0 && alpha <= 1.0) {
+            return None;
+        }
+        let mut acc = self.steps[0].clone();
+        for snap in &self.steps[1..] {
+            for (a, &v) in acc.iter_mut().zip(snap) {
+                *a += alpha * (v - *a);
+            }
+        }
+        Some(acc)
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +154,41 @@ mod tests {
     fn mismatched_snapshot_panics() {
         let mut h = DensityHistory::new(2);
         h.push(vec![0.1]);
+    }
+
+    #[test]
+    fn window_mean_averages_trailing_snapshots() {
+        let mut h = DensityHistory::new(2);
+        h.push(vec![1.0, 0.0]);
+        h.push(vec![2.0, 2.0]);
+        h.push(vec![4.0, 4.0]);
+        // Last two snapshots only.
+        let m = h.window_mean(2).unwrap();
+        assert!((m[0] - 3.0).abs() < 1e-12 && (m[1] - 3.0).abs() < 1e-12);
+        // Window longer than the history: everything.
+        let m = h.window_mean(10).unwrap();
+        assert!((m[0] - 7.0 / 3.0).abs() < 1e-12);
+        // Window of one equals the last snapshot.
+        assert_eq!(h.window_mean(1).unwrap(), h.last().unwrap().to_vec());
+        // Degenerate inputs.
+        assert!(h.window_mean(0).is_none());
+        assert!(DensityHistory::new(2).window_mean(3).is_none());
+    }
+
+    #[test]
+    fn ewma_smooths_and_tracks() {
+        let mut h = DensityHistory::new(1);
+        h.push(vec![0.0]);
+        h.push(vec![1.0]);
+        h.push(vec![1.0]);
+        // alpha = 0.5: 0 -> 0.5 -> 0.75.
+        let e = h.ewma(0.5).unwrap();
+        assert!((e[0] - 0.75).abs() < 1e-12);
+        // alpha = 1 degenerates to the last snapshot.
+        assert_eq!(h.ewma(1.0).unwrap(), h.last().unwrap().to_vec());
+        // Invalid alpha / empty history.
+        assert!(h.ewma(0.0).is_none());
+        assert!(h.ewma(1.5).is_none());
+        assert!(DensityHistory::new(1).ewma(0.5).is_none());
     }
 }

@@ -1,0 +1,87 @@
+//! Online repartitioning over a replayed microsim density trace.
+//!
+//! Builds the D1 surrogate network, hands the stream engine its first
+//! snapshot as the initial state, then replays the remaining trace in
+//! epoch-sized chunks. Each epoch the engine probes drift and decides:
+//! serve on (no-op), refresh regions in place, or rebuild globally with a
+//! warm-started spectral solve. Every decision and partition version bump
+//! is printed as it happens.
+//!
+//! ```text
+//! cargo run --release --example online_repartition [scale] [seed]
+//! ```
+
+use roadpart_net::RoadGraph;
+use roadpart_stream::{EngineConfig, EpochAction, StreamEngine, StreamLog};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.35);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(23);
+
+    let dataset = roadpart::datasets::d1(scale, seed)?;
+    println!(
+        "D1 surrogate: {} segments, {} simulated steps",
+        dataset.network.segment_count(),
+        dataset.history.len()
+    );
+
+    // Engine initialized on the first snapshot of the trace.
+    let mut graph = RoadGraph::from_network(&dataset.network)?;
+    graph.set_features(dataset.history.at(0).to_vec())?;
+    let mut engine = StreamEngine::new(graph, EngineConfig::new(4).with_seed(seed))?;
+    let store = engine.store();
+    {
+        let snap = store.read();
+        println!(
+            "initial partition: version {} | {} partitions over {} segments\n",
+            snap.version,
+            snap.k,
+            snap.len()
+        );
+    }
+
+    // Replay: a handful of simulation steps per engine epoch.
+    let steps_per_epoch = (dataset.history.len() / 10).max(1);
+    let mut log = StreamLog::new();
+    let mut t = 1;
+    while t < dataset.history.len() {
+        let end = (t + steps_per_epoch).min(dataset.history.len());
+        for step in t..end {
+            engine.ingest(dataset.history.at(step))?;
+        }
+        t = end;
+        let report = engine.run_epoch()?;
+        let action = match report.action {
+            EpochAction::NoOp => "no-op   ",
+            EpochAction::Regional => "regional",
+            EpochAction::Global => "global  ",
+        };
+        let warm = if report.warm_started { " (warm)" } else { "" };
+        println!(
+            "epoch {:>2}: {action}{warm} | divergence {:.3}, alignment retention {:.2} | \
+             v{} serving k = {} | {:.1} ms",
+            report.epoch,
+            report.probe.max_divergence,
+            report.probe.retention(),
+            report.version,
+            report.k,
+            report.elapsed_ms
+        );
+        log.push(report);
+    }
+
+    let (noop, regional, global) = log.action_counts();
+    let snap = store.read();
+    println!(
+        "\n{} epochs: {noop} no-op, {regional} regional, {global} global \
+         | final version {} | total {:.1} ms",
+        log.len(),
+        snap.version,
+        log.total_ms()
+    );
+    println!("Readers hold O(1) snapshot handles throughout — a repartition in");
+    println!("flight never blocks a lookup, and every published version is a");
+    println!("complete, consistent segment-to-partition map.");
+    Ok(())
+}

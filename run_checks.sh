@@ -17,6 +17,10 @@ step() {
 step fmt    cargo fmt --all --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step tests  cargo test -q --workspace
+# Online-engine gate: the warm-start path must build and produce
+# target/experiments/BENCH_stream.json (cold vs warm replay comparison).
+step stream-bench cargo run -q --release -p roadpart-bench --bin stream_bench -- --runs 3
+step stream-json  test -s target/experiments/BENCH_stream.json
 
 if [ "$fail" -ne 0 ]; then
   echo CHECKS_FAILED
