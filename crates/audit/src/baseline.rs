@@ -1,0 +1,179 @@
+//! The ratcheting baseline: pre-existing violations are tolerated at their
+//! recorded per-`(crate, rule)` counts, new ones fail the audit, and any
+//! count that drops below its allowance is reported so the baseline can be
+//! tightened (`--update-baseline`). The file lives at the workspace root
+//! as `AUDIT_baseline.json` and is committed, so the allowed debt only
+//! ever moves down under review.
+
+use crate::{AuditError, Delta, Result};
+use serde_json::{Map, Number, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Allowed violation counts keyed by `(crate, rule)`.
+pub type Allowances = BTreeMap<(String, String), usize>;
+
+/// Loads the baseline; a missing file means "no allowances" (every
+/// violation is new), so fresh checkouts fail closed rather than open.
+///
+/// # Errors
+/// Returns [`AuditError`] when the file exists but cannot be read or is
+/// not the expected JSON shape.
+pub fn load(path: &Path) -> Result<Allowances> {
+    if !path.exists() {
+        return Ok(Allowances::new());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| AuditError::Io(path.to_path_buf(), e))?;
+    let value: Value = serde_json::from_str(&text)
+        .map_err(|e| AuditError::Parse(format!("{}: {e}", path.display())))?;
+    let mut out = Allowances::new();
+    let Some(allowances) = value.get("allowances").and_then(Value::as_object) else {
+        return Err(AuditError::Parse(format!(
+            "{}: missing `allowances` object",
+            path.display()
+        )));
+    };
+    for (krate, rules) in allowances.iter() {
+        let Some(rules) = rules.as_object() else {
+            return Err(AuditError::Parse(format!(
+                "{}: allowances for `{krate}` must be an object",
+                path.display()
+            )));
+        };
+        for (rule, count) in rules.iter() {
+            let Some(count) = count.as_f64().map(|f| f as usize) else {
+                return Err(AuditError::Parse(format!(
+                    "{}: allowance {krate}/{rule} must be a number",
+                    path.display()
+                )));
+            };
+            out.insert((krate.clone(), rule.clone()), count);
+        }
+    }
+    Ok(out)
+}
+
+/// Splits the run's counts against the allowances into regressions
+/// (found > allowed — these fail the run) and ratchet opportunities
+/// (found < allowed — the baseline can be tightened).
+pub fn compare(
+    counts: &BTreeMap<(String, String), usize>,
+    allowances: &Allowances,
+) -> (Vec<Delta>, Vec<Delta>) {
+    let mut regressions = Vec::new();
+    let mut ratchet = Vec::new();
+    let mut keys: Vec<&(String, String)> = counts.keys().chain(allowances.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let found = counts.get(key).copied().unwrap_or(0);
+        let allowed = allowances.get(key).copied().unwrap_or(0);
+        let delta = Delta {
+            krate: key.0.clone(),
+            rule: key.1.clone(),
+            found,
+            allowed,
+        };
+        if found > allowed {
+            regressions.push(delta);
+        } else if found < allowed {
+            ratchet.push(delta);
+        }
+    }
+    (regressions, ratchet)
+}
+
+/// Rewrites the baseline to exactly the current counts (zero-count pairs
+/// are dropped). Used by `--update-baseline` after reviewed cleanups.
+///
+/// # Errors
+/// Returns [`AuditError`] when the file cannot be written.
+pub fn write(path: &Path, counts: &BTreeMap<(String, String), usize>) -> Result<()> {
+    let mut by_crate: BTreeMap<&str, Map> = BTreeMap::new();
+    for ((krate, rule), &count) in counts {
+        if count == 0 {
+            continue;
+        }
+        by_crate
+            .entry(krate)
+            .or_default()
+            .insert(rule.clone(), Value::Number(Number::PosInt(count as u64)));
+    }
+    let mut allowances = Map::new();
+    for (krate, rules) in by_crate {
+        allowances.insert(krate.to_string(), Value::Object(rules));
+    }
+    let mut root = Map::new();
+    root.insert(
+        "comment".to_string(),
+        Value::String(
+            "Ratcheting allowances for pre-existing roadpart-audit violations; \
+             counts may only decrease. Regenerate with \
+             `cargo run -p roadpart-audit -- --update-baseline`."
+                .to_string(),
+        ),
+    );
+    root.insert("allowances".to_string(), Value::Object(allowances));
+    let text = serde_json::to_string_pretty(&Value::Object(root))
+        .map_err(|e| AuditError::Parse(e.to_string()))?;
+    std::fs::write(path, text + "\n").map_err(|e| AuditError::Io(path.to_path_buf(), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: &str, r: &str) -> (String, String) {
+        (k.to_string(), r.to_string())
+    }
+
+    #[test]
+    fn compare_splits_regressions_and_ratchet() {
+        let mut counts = BTreeMap::new();
+        counts.insert(key("a", "no-panic"), 3usize);
+        counts.insert(key("b", "no-panic"), 1usize);
+        let mut allow = Allowances::new();
+        allow.insert(key("a", "no-panic"), 1);
+        allow.insert(key("b", "no-panic"), 1);
+        allow.insert(key("c", "total-order"), 4);
+        let (regressions, ratchet) = compare(&counts, &allow);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].krate, "a");
+        assert_eq!((regressions[0].found, regressions[0].allowed), (3, 1));
+        assert_eq!(ratchet.len(), 1);
+        assert_eq!(ratchet[0].krate, "c");
+        assert_eq!((ratchet[0].found, ratchet[0].allowed), (0, 4));
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("audit-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("AUDIT_baseline.json");
+        let mut counts = BTreeMap::new();
+        counts.insert(key("roadpart-net", "no-panic"), 5usize);
+        counts.insert(key("roadpart-net", "missing-errors-doc"), 2usize);
+        counts.insert(key("roadpart-eval", "no-panic"), 0usize);
+        write(&path, &counts).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.get(&key("roadpart-net", "no-panic")), Some(&5));
+        assert_eq!(
+            loaded.get(&key("roadpart-net", "missing-errors-doc")),
+            Some(&2)
+        );
+        assert!(!loaded.contains_key(&key("roadpart-eval", "no-panic")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_baseline_is_empty_and_malformed_fails() {
+        let missing = Path::new("/nonexistent/AUDIT_baseline.json");
+        assert!(load(missing).unwrap().is_empty());
+        let dir = std::env::temp_dir().join(format!("audit-bad-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("AUDIT_baseline.json");
+        std::fs::write(&path, "{\"no_allowances\": true}").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

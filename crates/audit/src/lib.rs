@@ -1,0 +1,186 @@
+//! Source-scanning lint pass for the roadpart workspace (xtask-style).
+//!
+//! `cargo run -p roadpart-audit` walks the library source of every
+//! workspace crate (dev tooling — bench, cli, and this crate — and the
+//! vendored stubs are exempt) and enforces four correctness rules that
+//! rustc/clippy cannot express precisely enough for this codebase:
+//!
+//! | rule | requirement |
+//! |------|-------------|
+//! | `no-panic` | no `unwrap()` / `expect()` / `panic!` in library code (tests are exempt) |
+//! | `total-order` | float comparisons route through `roadpart_linalg::ord` / `f64::total_cmp`, never `partial_cmp` |
+//! | `csr-raw-indexing` | no raw indexing into CSR `row_ptr`/`col_idx`/`indptr`/`indices` outside `roadpart-linalg` |
+//! | `missing-errors-doc` | every public `Result`-returning API documents a `# Errors` section |
+//!
+//! Findings are compared against a *ratcheting baseline*
+//! (`AUDIT_baseline.json` at the workspace root): pre-existing violations
+//! are allowed per `(crate, rule)` count, new ones fail the run, and
+//! counts that drop below the baseline are reported as ratchet
+//! opportunities. A machine-readable report is written to
+//! `target/audit/AUDIT_report.json`; human diagnostics with `file:line`
+//! go to stderr. See DESIGN.md "Correctness tooling".
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use rules::Violation;
+
+/// Exit status: everything within baseline.
+pub const EXIT_CLEAN: u8 = 0;
+/// Exit status: at least one violation above the baseline allowance.
+pub const EXIT_VIOLATIONS: u8 = 1;
+/// Exit status: I/O or configuration failure.
+pub const EXIT_ERROR: u8 = 2;
+
+/// Failure while running the audit itself (not a lint finding).
+#[derive(Debug)]
+pub enum AuditError {
+    /// Filesystem access failed for the given path.
+    Io(PathBuf, std::io::Error),
+    /// A manifest or baseline file could not be interpreted.
+    Parse(String),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Io(path, err) => write!(f, "{}: {err}", path.display()),
+            AuditError::Parse(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Convenience alias for audit-internal results.
+pub type Result<T> = std::result::Result<T, AuditError>;
+
+/// One run's configuration, normally built from CLI flags.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory holding the root `Cargo.toml`).
+    pub root: PathBuf,
+    /// Baseline file path (default `<root>/AUDIT_baseline.json`).
+    pub baseline_path: PathBuf,
+    /// Report output path (default `<root>/target/audit/AUDIT_report.json`).
+    pub report_path: PathBuf,
+    /// Rewrite the baseline to the current counts instead of failing.
+    pub update_baseline: bool,
+}
+
+impl Config {
+    /// Standard configuration rooted at `root`.
+    pub fn for_root(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        Self {
+            baseline_path: root.join("AUDIT_baseline.json"),
+            report_path: root.join("target/audit/AUDIT_report.json"),
+            root,
+            update_baseline: false,
+        }
+    }
+}
+
+/// A `(crate, rule)` pair whose found count differs from its allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Crate package name.
+    pub krate: String,
+    /// Rule identifier.
+    pub rule: String,
+    /// Violations found in this run.
+    pub found: usize,
+    /// Violations the baseline allows.
+    pub allowed: usize,
+}
+
+/// Everything one audit run produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All violations found, ordered by crate/file/line.
+    pub violations: Vec<Violation>,
+    /// Found counts per `(crate, rule)`.
+    pub counts: BTreeMap<(String, String), usize>,
+    /// Pairs exceeding their baseline allowance (these fail the run).
+    pub regressions: Vec<Delta>,
+    /// Pairs now below their allowance (the baseline can ratchet down).
+    pub ratchet: Vec<Delta>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of crates scanned.
+    pub crates_scanned: usize,
+    /// Process exit code for this outcome.
+    pub exit_code: u8,
+}
+
+/// Runs the full audit: discover crates, scan, apply rules, compare to the
+/// baseline, write the report (and optionally the refreshed baseline).
+///
+/// # Errors
+/// Returns [`AuditError`] when source files, the baseline, or the report
+/// path cannot be read/written, never for lint findings — those are
+/// reported through [`Outcome::exit_code`].
+pub fn run(cfg: &Config) -> Result<Outcome> {
+    let crates = workspace::discover(&cfg.root)?;
+    let mut violations = Vec::new();
+    let mut files_scanned = 0usize;
+    for krate in &crates {
+        for file in &krate.files {
+            files_scanned += 1;
+            let src = read_file(file)?;
+            let masked = scan::mask_source(&src);
+            let rel = relative_display(&cfg.root, file);
+            violations.extend(rules::apply_all(&krate.name, &rel, &masked));
+        }
+    }
+    violations.sort_by(|a, b| {
+        (&a.krate, &a.file, a.line, &a.rule).cmp(&(&b.krate, &b.file, b.line, &b.rule))
+    });
+
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in &violations {
+        *counts.entry((v.krate.clone(), v.rule.clone())).or_insert(0) += 1;
+    }
+
+    let allowances = baseline::load(&cfg.baseline_path)?;
+    let (regressions, ratchet) = baseline::compare(&counts, &allowances);
+
+    let exit_code = if regressions.is_empty() || cfg.update_baseline {
+        EXIT_CLEAN
+    } else {
+        EXIT_VIOLATIONS
+    };
+    let outcome = Outcome {
+        violations,
+        counts,
+        regressions,
+        ratchet,
+        files_scanned,
+        crates_scanned: crates.len(),
+        exit_code,
+    };
+
+    if cfg.update_baseline {
+        baseline::write(&cfg.baseline_path, &outcome.counts)?;
+    }
+    report::write(&cfg.report_path, cfg, &outcome)?;
+    Ok(outcome)
+}
+
+fn read_file(path: &Path) -> Result<String> {
+    std::fs::read_to_string(path).map_err(|e| AuditError::Io(path.to_path_buf(), e))
+}
+
+/// Path relative to the workspace root, with forward slashes, for stable
+/// report output.
+fn relative_display(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}

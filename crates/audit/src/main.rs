@@ -1,0 +1,105 @@
+//! CLI entry point: `cargo run -p roadpart-audit [-- flags]`.
+//!
+//! Exit codes: 0 clean against the baseline, 1 new violations,
+//! 2 I/O or usage error.
+
+use roadpart_audit::{report, Config, EXIT_ERROR};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+roadpart-audit — workspace lint pass (see DESIGN.md \"Correctness tooling\")
+
+USAGE:
+    cargo run -p roadpart-audit [-- OPTIONS]
+
+OPTIONS:
+    --root <dir>        Workspace root (default: nearest ancestor with Cargo.toml [workspace])
+    --baseline <file>   Baseline path (default: <root>/AUDIT_baseline.json)
+    --report <file>     Report path (default: <root>/target/audit/AUDIT_report.json)
+    --update-baseline   Rewrite the baseline to current counts and exit 0
+    --help              Show this message
+";
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => ExitCode::from(code),
+        Err(message) => {
+            eprintln!("audit: error: {message}");
+            ExitCode::from(EXIT_ERROR)
+        }
+    }
+}
+
+fn try_main() -> Result<u8, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => root = Some(take_value(&mut argv, "--root")?),
+            "--baseline" => baseline = Some(take_value(&mut argv, "--baseline")?),
+            "--report" => report_path = Some(take_value(&mut argv, "--report")?),
+            "--update-baseline" => update_baseline = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+    let mut cfg = Config::for_root(root);
+    if let Some(b) = baseline {
+        cfg.baseline_path = b;
+    }
+    if let Some(r) = report_path {
+        cfg.report_path = r;
+    }
+    cfg.update_baseline = update_baseline;
+
+    let outcome = roadpart_audit::run(&cfg).map_err(|e| e.to_string())?;
+    let mut stderr = std::io::stderr().lock();
+    report::human(&mut stderr, &outcome).map_err(|e| e.to_string())?;
+    if update_baseline {
+        eprintln!(
+            "audit: baseline rewritten to {}",
+            cfg.baseline_path.display()
+        );
+    }
+    eprintln!("audit: report written to {}", cfg.report_path.display());
+    Ok(outcome.exit_code)
+}
+
+fn take_value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    argv.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} requires a value\n\n{USAGE}"))
+}
+
+/// Walks up from the current directory to the first manifest declaring a
+/// `[workspace]` — matches cargo's own resolution for this repo layout.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return Err(format!("no workspace root found above {}", start.display())),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Machine-readable audit report (`AUDIT_report.json`) plus the human
+//! diagnostics format. The report is the tool's contract with CI: the
+//! `summary.exit_code` field mirrors the process exit code, and the
+//! `regressions` array is exactly the set of findings that caused a
+//! failure.
+
+use crate::{rules, AuditError};
+use crate::{Config, Delta, Outcome, Result};
+use serde_json::{Map, Number, Value};
+use std::path::Path;
+
+/// Writes the JSON report for `outcome`, creating parent directories.
+///
+/// # Errors
+/// Returns [`AuditError`] when the report path cannot be created/written.
+pub fn write(path: &Path, cfg: &Config, outcome: &Outcome) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| AuditError::Io(parent.to_path_buf(), e))?;
+    }
+    let text = serde_json::to_string_pretty(&build(cfg, outcome))
+        .map_err(|e| AuditError::Parse(e.to_string()))?;
+    std::fs::write(path, text + "\n").map_err(|e| AuditError::Io(path.to_path_buf(), e))
+}
+
+/// Builds the report tree (exposed for tests).
+pub fn build(cfg: &Config, outcome: &Outcome) -> Value {
+    let mut root = Map::new();
+    root.insert("tool".into(), Value::String("roadpart-audit".into()));
+
+    let mut rules_obj = Map::new();
+    for (id, requirement) in rules::RULES {
+        rules_obj.insert((*id).into(), Value::String((*requirement).into()));
+    }
+    root.insert("rules".into(), Value::Object(rules_obj));
+
+    let mut summary = Map::new();
+    summary.insert("crates_scanned".into(), num(outcome.crates_scanned));
+    summary.insert("files_scanned".into(), num(outcome.files_scanned));
+    summary.insert("violations".into(), num(outcome.violations.len()));
+    summary.insert("regressions".into(), num(outcome.regressions.len()));
+    summary.insert("ratchet_opportunities".into(), num(outcome.ratchet.len()));
+    summary.insert("exit_code".into(), num(outcome.exit_code as usize));
+    summary.insert(
+        "baseline".into(),
+        Value::String(cfg.baseline_path.display().to_string()),
+    );
+    root.insert("summary".into(), Value::Object(summary));
+
+    let mut counts = Map::new();
+    for ((krate, rule), &n) in &outcome.counts {
+        let entry = match counts.get(krate.as_str()) {
+            Some(Value::Object(m)) => {
+                let mut m = m.clone();
+                m.insert(rule.clone(), num(n));
+                m
+            }
+            _ => {
+                let mut m = Map::new();
+                m.insert(rule.clone(), num(n));
+                m
+            }
+        };
+        counts.insert(krate.clone(), Value::Object(entry));
+    }
+    root.insert("counts".into(), Value::Object(counts));
+
+    root.insert(
+        "regressions".into(),
+        Value::Array(outcome.regressions.iter().map(delta).collect()),
+    );
+    root.insert(
+        "ratchet".into(),
+        Value::Array(outcome.ratchet.iter().map(delta).collect()),
+    );
+    root.insert(
+        "violations".into(),
+        Value::Array(
+            outcome
+                .violations
+                .iter()
+                .map(|v| {
+                    let mut m = Map::new();
+                    m.insert("rule".into(), Value::String(v.rule.clone()));
+                    m.insert("crate".into(), Value::String(v.krate.clone()));
+                    m.insert("file".into(), Value::String(v.file.clone()));
+                    m.insert("line".into(), num(v.line));
+                    m.insert("excerpt".into(), Value::String(v.excerpt.clone()));
+                    Value::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(root)
+}
+
+/// Renders human diagnostics to `out` — regressions with `file:line`, the
+/// ratchet hint, and a one-line summary. Returns true when clean.
+pub fn human(out: &mut impl std::io::Write, outcome: &Outcome) -> std::io::Result<bool> {
+    if !outcome.regressions.is_empty() {
+        writeln!(out, "audit: violations above baseline:")?;
+        for delta in &outcome.regressions {
+            writeln!(
+                out,
+                "  {} / {}: found {}, baseline allows {}",
+                delta.krate, delta.rule, delta.found, delta.allowed
+            )?;
+            for v in outcome
+                .violations
+                .iter()
+                .filter(|v| v.krate == delta.krate && v.rule == delta.rule)
+            {
+                writeln!(out, "    {}:{}: {}", v.file, v.line, v.excerpt)?;
+            }
+        }
+    }
+    for delta in &outcome.ratchet {
+        writeln!(
+            out,
+            "audit: ratchet opportunity: {} / {} is now {} (baseline {}); \
+             run with --update-baseline to lock it in",
+            delta.krate, delta.rule, delta.found, delta.allowed
+        )?;
+    }
+    writeln!(
+        out,
+        "audit: {} crates, {} files, {} finding(s), {} above baseline",
+        outcome.crates_scanned,
+        outcome.files_scanned,
+        outcome.violations.len(),
+        outcome.regressions.len()
+    )?;
+    Ok(outcome.regressions.is_empty())
+}
+
+fn num(n: usize) -> Value {
+    Value::Number(Number::PosInt(n as u64))
+}
+
+fn delta(d: &Delta) -> Value {
+    let mut m = Map::new();
+    m.insert("crate".into(), Value::String(d.krate.clone()));
+    m.insert("rule".into(), Value::String(d.rule.clone()));
+    m.insert("found".into(), num(d.found));
+    m.insert("allowed".into(), num(d.allowed));
+    Value::Object(m)
+}

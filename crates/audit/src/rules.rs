@@ -1,0 +1,330 @@
+//! The four audit rules. Each rule scans a [`MaskedFile`] and yields
+//! [`Violation`]s; test-exempt lines are skipped uniformly here so the
+//! individual matchers stay simple.
+
+use crate::scan::MaskedFile;
+
+/// Identifier for the panic-free-library-code rule.
+pub const NO_PANIC: &str = "no-panic";
+/// Identifier for the total-order float comparison rule.
+pub const TOTAL_ORDER: &str = "total-order";
+/// Identifier for the CSR encapsulation rule.
+pub const CSR_RAW_INDEXING: &str = "csr-raw-indexing";
+/// Identifier for the mandatory `# Errors` doc rule.
+pub const MISSING_ERRORS_DOC: &str = "missing-errors-doc";
+
+/// `(id, requirement)` for every rule, in reporting order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        NO_PANIC,
+        "library code must not call unwrap()/expect() or invoke panic!; \
+         propagate a Result or use a total/defaulting combinator",
+    ),
+    (
+        TOTAL_ORDER,
+        "float comparisons must route through roadpart_linalg::ord or \
+         f64::total_cmp, never PartialOrd::partial_cmp",
+    ),
+    (
+        CSR_RAW_INDEXING,
+        "CSR internals (row_ptr/col_idx/indptr/indices) may be indexed \
+         raw only inside roadpart-linalg; other crates use accessors",
+    ),
+    (
+        MISSING_ERRORS_DOC,
+        "public Result-returning APIs must document a `# Errors` section",
+    ),
+];
+
+/// One lint finding at a specific source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier (one of the constants in this module).
+    pub rule: String,
+    /// Package name of the crate the file belongs to.
+    pub krate: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Trimmed raw source line, for diagnostics.
+    pub excerpt: String,
+}
+
+/// Runs every rule over one prepared file.
+pub fn apply_all(krate: &str, file: &str, masked: &MaskedFile) -> Vec<Violation> {
+    let mut lines = Vec::new();
+    no_panic(masked, &mut lines);
+    total_order(masked, &mut lines);
+    if krate != "roadpart-linalg" {
+        csr_raw_indexing(masked, &mut lines);
+    }
+    missing_errors_doc(masked, &mut lines);
+    lines
+        .into_iter()
+        .filter(|(_, line)| !masked.is_exempt(*line))
+        .map(|(rule, line)| Violation {
+            rule: rule.to_string(),
+            krate: krate.to_string(),
+            file: file.to_string(),
+            line,
+            excerpt: masked.excerpt(line),
+        })
+        .collect()
+}
+
+fn no_panic(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
+    for name in ["unwrap", "expect"] {
+        for off in method_calls(&masked.masked, name) {
+            out.push((NO_PANIC, masked.line_of(off)));
+        }
+    }
+    for off in macro_calls(&masked.masked, "panic") {
+        out.push((NO_PANIC, masked.line_of(off)));
+    }
+}
+
+fn total_order(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
+    for off in method_calls(&masked.masked, "partial_cmp") {
+        out.push((TOTAL_ORDER, masked.line_of(off)));
+    }
+}
+
+fn csr_raw_indexing(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
+    // Bare identifiers only the CSR layout uses; `indices` is a common
+    // local-variable name, so it counts only as a field access.
+    for name in ["row_ptr", "col_idx", "indptr"] {
+        for off in indexed_idents(&masked.masked, name, false) {
+            out.push((CSR_RAW_INDEXING, masked.line_of(off)));
+        }
+    }
+    for off in indexed_idents(&masked.masked, "indices", true) {
+        out.push((CSR_RAW_INDEXING, masked.line_of(off)));
+    }
+}
+
+/// Flags `pub fn` items returning `Result` whose doc comment lacks a
+/// `# Errors` section. Works on raw lines because doc text is masked out.
+fn missing_errors_doc(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
+    for (idx, raw) in masked.raw.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        let is_pub_fn = [
+            "pub fn ",
+            "pub async fn ",
+            "pub const fn ",
+            "pub unsafe fn ",
+        ]
+        .iter()
+        .any(|p| trimmed.starts_with(p));
+        if !is_pub_fn {
+            continue;
+        }
+        // Assemble the signature up to its body/terminator.
+        let mut signature = String::new();
+        for sig_line in masked.raw.iter().skip(idx).take(24) {
+            signature.push_str(sig_line);
+            signature.push(' ');
+            if sig_line.contains('{') || sig_line.trim_end().ends_with(';') {
+                break;
+            }
+        }
+        let returns_result = signature.split_once("->").is_some_and(|(_, ret)| {
+            ret.contains("Result<") || ret.trim_start().starts_with("Result")
+        });
+        if !returns_result {
+            continue;
+        }
+        // Walk the contiguous doc/attribute block above the item.
+        let mut has_errors_doc = false;
+        for j in (0..idx).rev() {
+            let above = masked.raw[j].trim_start();
+            if above.starts_with("///") {
+                if above.contains("# Errors") {
+                    has_errors_doc = true;
+                    break;
+                }
+            } else if !(above.starts_with("#[") || above.starts_with("#!")) {
+                break;
+            }
+        }
+        if !has_errors_doc {
+            out.push((MISSING_ERRORS_DOC, idx + 1));
+        }
+    }
+}
+
+/// Byte offsets of `.name(` method calls in masked source: the receiver
+/// dot may be separated by whitespace (method chains split across lines),
+/// the name must be a full token, and the call parenthesis must follow.
+/// `name_or_else`-style methods never match because the token continues.
+fn method_calls(masked: &str, name: &str) -> Vec<usize> {
+    token_positions(masked, name)
+        .into_iter()
+        .filter(|&pos| {
+            let before = masked[..pos].trim_end();
+            let after = masked[pos + name.len()..].trim_start();
+            before.ends_with('.') && after.starts_with('(')
+        })
+        .collect()
+}
+
+/// Byte offsets of `name!(`-style macro invocations (also `name!{`/`name![`).
+fn macro_calls(masked: &str, name: &str) -> Vec<usize> {
+    token_positions(masked, name)
+        .into_iter()
+        .filter(|&pos| {
+            let after = &masked[pos + name.len()..];
+            let Some(rest) = after.strip_prefix('!') else {
+                return false;
+            };
+            let rest = rest.trim_start();
+            rest.starts_with('(') || rest.starts_with('{') || rest.starts_with('[')
+        })
+        .collect()
+}
+
+/// Byte offsets of `name[`/`name [` indexing; `field_only` additionally
+/// requires the identifier to be a `.name` field access.
+fn indexed_idents(masked: &str, name: &str, field_only: bool) -> Vec<usize> {
+    token_positions(masked, name)
+        .into_iter()
+        .filter(|&pos| {
+            let after = masked[pos + name.len()..].trim_start();
+            if !after.starts_with('[') {
+                return false;
+            }
+            !field_only || masked[..pos].trim_end().ends_with('.')
+        })
+        .collect()
+}
+
+/// All positions where `name` appears as a complete identifier token.
+fn token_positions(masked: &str, name: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(found) = masked.get(from..).and_then(|s| s.find(name)) {
+        let pos = from + found;
+        from = pos + 1;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + name.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::mask_source;
+
+    fn rules_on(src: &str) -> Vec<(String, usize)> {
+        apply_all("some-crate", "f.rs", &mask_source(src))
+            .into_iter()
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_but_combinators_pass() {
+        let found = rules_on(
+            "fn f() {\n    a.unwrap();\n    b.expect(\"x\");\n    c.unwrap_or(0);\n    d.unwrap_or_else(|| 1);\n    e.unwrap_or_default();\n}\n",
+        );
+        assert_eq!(
+            found,
+            vec![(NO_PANIC.to_string(), 2), (NO_PANIC.to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn chained_call_across_lines_is_flagged() {
+        let found = rules_on("fn f() {\n    a\n        .unwrap();\n}\n");
+        assert_eq!(found, vec![(NO_PANIC.to_string(), 3)]);
+    }
+
+    #[test]
+    fn panic_macro_flagged_but_not_in_tests() {
+        let found = rules_on(
+            "fn f() {\n    panic!(\"boom\");\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        panic!(\"fine\");\n    }\n}\n",
+        );
+        assert_eq!(found, vec![(NO_PANIC.to_string(), 2)]);
+    }
+
+    #[test]
+    fn partial_cmp_flagged() {
+        let found = rules_on("fn f(a: f64, b: f64) {\n    let _ = a.partial_cmp(&b);\n}\n");
+        assert_eq!(found, vec![(TOTAL_ORDER.to_string(), 2)]);
+    }
+
+    #[test]
+    fn csr_indexing_flagged_outside_linalg_only() {
+        let src = "fn f(m: &M) -> usize {\n    m.row_ptr[3] + m.indices[0]\n}\n";
+        let outside = apply_all("roadpart-net", "f.rs", &mask_source(src));
+        assert_eq!(outside.len(), 2);
+        assert!(outside.iter().all(|v| v.rule == CSR_RAW_INDEXING));
+        let inside = apply_all("roadpart-linalg", "f.rs", &mask_source(src));
+        assert!(inside.is_empty());
+    }
+
+    #[test]
+    fn plain_indices_variable_is_not_flagged() {
+        let found = rules_on("fn f(indices: &[usize]) -> usize {\n    indices[0]\n}\n");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn result_fn_without_errors_doc_flagged() {
+        let src = "\
+/// Does a thing.
+pub fn bad() -> Result<(), E> {
+    Ok(())
+}
+
+/// Does a thing.
+///
+/// # Errors
+/// Never, actually.
+pub fn good() -> Result<(), E> {
+    Ok(())
+}
+
+/// No Result here.
+pub fn unrelated() -> usize {
+    0
+}
+";
+        let found = rules_on(src);
+        assert_eq!(found, vec![(MISSING_ERRORS_DOC.to_string(), 2)]);
+    }
+
+    #[test]
+    fn multi_line_signature_with_attribute_between_docs() {
+        let src = "\
+/// Docs.
+///
+/// # Errors
+/// When it fails.
+#[inline]
+pub fn long(
+    a: usize,
+    b: usize,
+) -> Result<usize, E> {
+    Ok(a + b)
+}
+";
+        assert!(rules_on(src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "fn f() {\n    // a.unwrap() here\n    let s = \"b.expect(c) panic!()\";\n    let _ = s;\n}\n";
+        assert!(rules_on(src).is_empty());
+    }
+}

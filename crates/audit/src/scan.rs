@@ -1,0 +1,347 @@
+//! Line-preserving source masking and test-region detection.
+//!
+//! Lint rules must not fire on text inside comments, string literals, or
+//! `#[cfg(test)]` regions. [`mask_source`] produces a *masked* copy of a
+//! file in which comment and literal contents are blanked to spaces while
+//! every newline is kept, so byte offsets map to the same line numbers as
+//! the original — rules scan the masked text and report lines against the
+//! raw text. Doc-comment checks (the `missing-errors-doc` rule) use the
+//! raw lines, which are preserved alongside.
+
+/// A source file prepared for rule scanning.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// Original lines (1-indexed via `raw[line - 1]`).
+    pub raw: Vec<String>,
+    /// Source with comment/string/char contents blanked, newlines intact.
+    pub masked: String,
+    /// `exempt[line - 1]` is true inside `#[cfg(test)]` / `#[test]` regions.
+    pub exempt: Vec<bool>,
+}
+
+impl MaskedFile {
+    /// 1-indexed line number of a byte offset into `masked`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.masked[..offset]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// True when the 1-indexed line lies inside a test-exempt region.
+    pub fn is_exempt(&self, line: usize) -> bool {
+        self.exempt
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Trimmed raw text of a 1-indexed line (for diagnostics).
+    pub fn excerpt(&self, line: usize) -> String {
+        self.raw
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Masks comments, string literals, and char literals in `src` and marks
+/// test-only regions. See the module docs for the contract.
+pub fn mask_source(src: &str) -> MaskedFile {
+    let masked = mask_text(src);
+    let raw: Vec<String> = src.lines().map(str::to_string).collect();
+    let exempt = exempt_lines(&masked, raw.len());
+    MaskedFile {
+        raw,
+        masked,
+        exempt,
+    }
+}
+
+/// Blanks non-code text to spaces, preserving newlines and code bytes.
+fn mask_text(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Pushes `c` if it is a newline, a blank otherwise (inside literals).
+    let blank = |out: &mut String, c: char| {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        // Line comment (including doc comments //! and ///).
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && next == Some('*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br"...", etc. The prefix
+        // must not continue an identifier (`for"` cannot occur in code).
+        let ident_before = i > 0 && is_ident(chars[i - 1]);
+        if !ident_before && (c == 'r' || (c == 'b' && next == Some('r'))) {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut j = start;
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                let hashes = j - start;
+                // Keep the opening delimiter as code, blank the contents.
+                for &d in &chars[i..=j] {
+                    out.push(d);
+                }
+                i = j + 1;
+                let mut closer = vec!['"'];
+                closer.extend(std::iter::repeat('#').take(hashes));
+                while i < chars.len() {
+                    if chars[i..].starts_with(&closer[..]) {
+                        for &d in &closer {
+                            out.push(d);
+                        }
+                        i += closer.len();
+                        break;
+                    }
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain (byte) string literal.
+        if c == '"' || (c == 'b' && next == Some('"') && !ident_before) {
+            if c == 'b' {
+                out.push('b');
+                i += 1;
+            }
+            out.push('"');
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    blank(&mut out, chars[i]);
+                    if let Some(&e) = chars.get(i + 1) {
+                        blank(&mut out, e);
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' / '\n' are literals; 'a in a
+        // generic position has no closing quote within the token.
+        if c == '\'' {
+            let is_char_lit = match next {
+                Some('\\') => true,
+                Some(x) if x != '\'' => chars.get(i + 2) == Some(&'\''),
+                _ => false,
+            };
+            if is_char_lit {
+                out.push('\'');
+                i += 1;
+                if chars.get(i) == Some(&'\\') {
+                    blank(&mut out, '\\');
+                    i += 1;
+                    if let Some(&e) = chars.get(i) {
+                        blank(&mut out, e);
+                        i += 1;
+                    }
+                    // Longer escapes (\u{...}, \x41) run to the quote.
+                    while i < chars.len() && chars[i] != '\'' {
+                        blank(&mut out, chars[i]);
+                        i += 1;
+                    }
+                } else if let Some(&x) = chars.get(i) {
+                    blank(&mut out, x);
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'\'') {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks lines covered by `#[cfg(test)]` / `#[cfg(all(test, ...))]` /
+/// `#[test]` items: from the attribute to the matching close brace of the
+/// item body (or just the item line for `mod tests;` declarations).
+fn exempt_lines(masked: &str, line_count: usize) -> Vec<bool> {
+    let mut exempt = vec![false; line_count];
+    let bytes = masked.as_bytes();
+    for pat in ["#[cfg(test)]", "#[cfg(all(test", "#[test]"] {
+        let mut from = 0;
+        while let Some(pos) = find_from(masked, pat, from) {
+            from = pos + pat.len();
+            let start_line = line_no(bytes, pos);
+            // Scan forward to the item's opening brace; a `;` first means
+            // an out-of-line declaration — exempt only its own lines.
+            let mut j = pos + pat.len();
+            let mut open = None;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'{' => {
+                        open = Some(j);
+                        break;
+                    }
+                    b';' => break,
+                    _ => j += 1,
+                }
+            }
+            let end = match open {
+                Some(open_at) => matching_brace(bytes, open_at).unwrap_or(bytes.len() - 1),
+                None => j.min(bytes.len().saturating_sub(1)),
+            };
+            let end_line = line_no(bytes, end);
+            for line in start_line..=end_line.min(line_count) {
+                exempt[line - 1] = true;
+            }
+        }
+    }
+    exempt
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| p + from)
+}
+
+fn line_no(bytes: &[u8], offset: usize) -> usize {
+    bytes[..offset.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Byte offset of the `}` matching the `{` at `open`, on masked text.
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_preserves_line_structure() {
+        let src = "let a = 1; // unwrap() in comment\nlet s = \"panic!\";\nlet c = '\\n';\n";
+        let m = mask_source(src);
+        assert_eq!(m.raw.len(), 3);
+        assert_eq!(m.masked.lines().count(), 3);
+        assert!(!m.masked.contains("unwrap"));
+        assert!(!m.masked.contains("panic"));
+        assert!(m.masked.contains("let a = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_block_comments_are_blanked() {
+        let src = "let r = r#\"has .unwrap() inside\"#;\n/* multi\nline .expect( */\nlet x = 2;\n";
+        let m = mask_source(src);
+        assert!(!m.masked.contains("unwrap"));
+        assert!(!m.masked.contains("expect"));
+        assert!(m.masked.contains("let x = 2;"));
+        assert_eq!(m.masked.lines().count(), 4);
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literal_masking() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'q';\n";
+        let m = mask_source(src);
+        assert!(m.masked.contains("<'a>"), "lifetime mangled: {}", m.masked);
+        assert!(!m.masked.contains('q'));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "\
+pub fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        x.unwrap();
+    }
+}
+";
+        let m = mask_source(src);
+        assert!(!m.is_exempt(1));
+        for line in 3..=9 {
+            assert!(m.is_exempt(line), "line {line} should be exempt");
+        }
+    }
+
+    #[test]
+    fn standalone_test_fn_is_exempt() {
+        let src = "pub fn a() {}\n#[test]\nfn t() {\n    b.unwrap();\n}\npub fn c() {}\n";
+        let m = mask_source(src);
+        assert!(!m.is_exempt(1));
+        assert!(m.is_exempt(2));
+        assert!(m.is_exempt(4));
+        assert!(!m.is_exempt(6));
+    }
+
+    #[test]
+    fn out_of_line_test_mod_exempts_only_declaration() {
+        let src = "#[cfg(test)]\nmod tests;\npub fn lib() {}\n";
+        let m = mask_source(src);
+        assert!(m.is_exempt(1));
+        assert!(m.is_exempt(2));
+        assert!(!m.is_exempt(3));
+    }
+}

@@ -1,0 +1,113 @@
+//! Workspace crate discovery: which crates and files the audit scans.
+//!
+//! Scope is *library code of first-party framework crates*:
+//!
+//! * `vendor/` stubs are skipped entirely — they mirror external APIs and
+//!   are not held to framework rules;
+//! * dev tooling (`roadpart-bench`, `roadpart-cli`, `roadpart-audit`) is
+//!   skipped — binaries may panic on unrecoverable conditions by design;
+//! * within a crate, only `src/` is scanned, minus `src/bin/`,
+//!   `main.rs`, and `build.rs` (integration tests, benches, and examples
+//!   live outside `src/` in this workspace and are never visited).
+
+use crate::{AuditError, Result};
+use std::path::{Path, PathBuf};
+
+/// Crates exempt from scanning (dev tooling; see module docs).
+pub const EXEMPT_CRATES: &[&str] = &["roadpart-bench", "roadpart-cli", "roadpart-audit"];
+
+/// One scannable crate: its package name and library source files.
+#[derive(Debug)]
+pub struct CrateSource {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// `.rs` files under `src/`, sorted, minus binary entry points.
+    pub files: Vec<PathBuf>,
+}
+
+/// Finds the framework crates under `<root>/crates/` subject to auditing.
+///
+/// # Errors
+/// Returns [`AuditError`] when the crates directory cannot be listed or a
+/// crate manifest cannot be read/parsed.
+pub fn discover(root: &Path) -> Result<Vec<CrateSource>> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let mut dirs: Vec<PathBuf> = read_dir_paths(&crates_dir)?
+        .into_iter()
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let name = package_name(&manifest)?;
+        if EXEMPT_CRATES.contains(&name.as_str()) {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_sources(&dir.join("src"), &mut files)?;
+        files.sort();
+        out.push(CrateSource { name, files });
+    }
+    Ok(out)
+}
+
+/// Extracts `name = "..."` from a crate manifest without a TOML parser:
+/// the first `name =` assignment is the package name in every manifest of
+/// this workspace (the `[package]` table comes first by convention).
+fn package_name(manifest: &Path) -> Result<String> {
+    let text =
+        std::fs::read_to_string(manifest).map_err(|e| AuditError::Io(manifest.to_path_buf(), e))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                let value = value.trim().trim_matches('"');
+                if !value.is_empty() {
+                    return Ok(value.to_string());
+                }
+            }
+        }
+    }
+    Err(AuditError::Parse(format!(
+        "no package name in {}",
+        manifest.display()
+    )))
+}
+
+/// Recursively gathers `.rs` files under `dir`, skipping binary entry
+/// points (`src/bin/`, `main.rs`, `build.rs`).
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for path in read_dir_paths(dir)? {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if matches!(name.as_deref(), Some("main.rs") | Some("build.rs")) {
+                continue;
+            }
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_paths(dir: &Path) -> Result<Vec<PathBuf>> {
+    let entries = std::fs::read_dir(dir).map_err(|e| AuditError::Io(dir.to_path_buf(), e))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AuditError::Io(dir.to_path_buf(), e))?;
+        out.push(entry.path());
+    }
+    Ok(out)
+}

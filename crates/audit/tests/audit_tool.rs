@@ -1,0 +1,183 @@
+//! End-to-end tests for the audit pass: a synthetic workspace with seeded
+//! violations must fail (exit 1), baselining must absorb them (exit 0),
+//! and the real roadpart workspace must be clean against its committed
+//! baseline.
+
+use roadpart_audit::{Config, EXIT_CLEAN, EXIT_VIOLATIONS};
+use std::path::{Path, PathBuf};
+
+/// Builds a throwaway workspace with one crate whose lib seeds one
+/// violation of every rule.
+fn seeded_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("roadpart-audit-{tag}-{}", std::process::id()));
+    let src_dir = root.join("crates/seeded/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .unwrap();
+    std::fs::write(
+        root.join("crates/seeded/Cargo.toml"),
+        "[package]\nname = \"seeded\"\nversion = \"0.0.0\"\n",
+    )
+    .unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        r#"
+/// Seeded violations, one per audit rule.
+pub fn panics(x: Option<usize>) -> usize {
+    x.unwrap()
+}
+
+pub fn compares(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn pokes(m: &CsrLike) -> usize {
+    m.row_ptr[0]
+}
+
+/// Returns a result but never says when it errs.
+pub fn undocumented() -> Result<(), ()> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        None::<usize>.unwrap();
+    }
+}
+"#,
+    )
+    .unwrap();
+    root
+}
+
+fn config_for(root: &Path) -> Config {
+    Config::for_root(root.to_path_buf())
+}
+
+#[test]
+fn seeded_violations_fail_with_nonzero_exit() {
+    let root = seeded_workspace("fail");
+    let cfg = config_for(&root);
+    let outcome = roadpart_audit::run(&cfg).unwrap();
+
+    assert_eq!(outcome.exit_code, EXIT_VIOLATIONS);
+    assert_eq!(outcome.crates_scanned, 1);
+    let rules: Vec<&str> = outcome.violations.iter().map(|v| v.rule.as_str()).collect();
+    for rule in [
+        "no-panic",
+        "total-order",
+        "csr-raw-indexing",
+        "missing-errors-doc",
+    ] {
+        assert!(
+            rules.contains(&rule),
+            "missing seeded rule {rule}: {rules:?}"
+        );
+    }
+    // The cfg(test) unwrap is exempt: exactly one no-panic finding.
+    assert_eq!(rules.iter().filter(|r| **r == "no-panic").count(), 1);
+
+    // The machine-readable report landed and mirrors the exit code.
+    let report = std::fs::read_to_string(&cfg.report_path).unwrap();
+    let value: serde_json::Value = serde_json::from_str(&report).unwrap();
+    assert_eq!(value["summary"]["exit_code"].as_f64(), Some(1.0));
+    assert_eq!(
+        value["summary"]["violations"].as_f64(),
+        Some(outcome.violations.len() as f64)
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn update_baseline_absorbs_then_ratchets() {
+    let root = seeded_workspace("ratchet");
+    let mut cfg = config_for(&root);
+
+    cfg.update_baseline = true;
+    let outcome = roadpart_audit::run(&cfg).unwrap();
+    assert_eq!(outcome.exit_code, EXIT_CLEAN);
+    assert!(cfg.baseline_path.is_file(), "baseline file written");
+
+    // Same workspace against the fresh baseline: clean.
+    cfg.update_baseline = false;
+    let outcome = roadpart_audit::run(&cfg).unwrap();
+    assert_eq!(outcome.exit_code, EXIT_CLEAN);
+    assert!(outcome.regressions.is_empty());
+    assert!(outcome.ratchet.is_empty());
+
+    // Fixing the panic site turns the allowance into a ratchet hint.
+    let lib = root.join("crates/seeded/src/lib.rs");
+    let fixed = std::fs::read_to_string(&lib)
+        .unwrap()
+        .replace("x.unwrap()", "x.unwrap_or(0)");
+    std::fs::write(&lib, fixed).unwrap();
+    let outcome = roadpart_audit::run(&cfg).unwrap();
+    assert_eq!(outcome.exit_code, EXIT_CLEAN);
+    assert_eq!(outcome.ratchet.len(), 1);
+    assert_eq!(outcome.ratchet[0].rule, "no-panic");
+
+    // Regressing fails against the same baseline: the fix above freed one
+    // allowance slot, so it takes two fresh panic sites to exceed it.
+    let lib_src = std::fs::read_to_string(&lib).unwrap().replace(
+        "Ok(())",
+        "{ None::<()>.unwrap(); Some(()).unwrap(); Ok(()) }",
+    );
+    std::fs::write(&lib, lib_src).unwrap();
+    let outcome = roadpart_audit::run(&cfg).unwrap();
+    assert_eq!(outcome.exit_code, EXIT_VIOLATIONS);
+    assert!(outcome
+        .regressions
+        .iter()
+        .any(|d| d.rule == "no-panic" && d.found > d.allowed));
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn real_workspace_is_clean_against_committed_baseline() {
+    // CARGO_MANIFEST_DIR = crates/audit → workspace root two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let mut cfg = Config::for_root(root.clone());
+    // Keep the committed baseline but write the report somewhere scratch
+    // so parallel test binaries don't race on target/audit.
+    cfg.report_path = std::env::temp_dir().join(format!(
+        "roadpart-audit-selfcheck-{}.json",
+        std::process::id()
+    ));
+    let outcome = roadpart_audit::run(&cfg).unwrap();
+    let mut diagnostics = Vec::new();
+    roadpart_audit::report::human(&mut diagnostics, &outcome).unwrap();
+    assert_eq!(
+        outcome.exit_code,
+        EXIT_CLEAN,
+        "workspace regressed against AUDIT_baseline.json:\n{}",
+        String::from_utf8_lossy(&diagnostics)
+    );
+    // The three ratcheted-to-zero crates must stay spotless: no findings
+    // at all, not even baselined ones.
+    for krate in ["roadpart-cluster", "roadpart-cut", "roadpart-eval"] {
+        let findings: Vec<_> = outcome
+            .violations
+            .iter()
+            .filter(|v| v.krate == krate)
+            .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule, v.excerpt))
+            .collect();
+        assert!(
+            findings.is_empty(),
+            "{krate} must be violation-free:\n{}",
+            findings.join("\n")
+        );
+    }
+    std::fs::remove_file(&cfg.report_path).ok();
+}

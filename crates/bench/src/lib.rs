@@ -77,7 +77,7 @@ pub fn median(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    roadpart_linalg::ord::sort_f64(xs);
     let mid = xs.len() / 2;
     if xs.len() % 2 == 1 {
         xs[mid]

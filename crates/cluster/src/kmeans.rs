@@ -9,7 +9,7 @@
 use crate::error::{ClusterError, Result};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use roadpart_linalg::DenseMatrix;
+use roadpart_linalg::{ord::max_by_f64_key, DenseMatrix};
 
 /// Configuration for [`kmeans`].
 #[derive(Debug, Clone)]
@@ -101,7 +101,13 @@ pub fn kmeans(points: &DenseMatrix, k: usize, cfg: &KMeansConfig) -> Result<KMea
     for _ in 0..remaining {
         consider(single_run(points, k, cfg, &mut rng), &mut best);
     }
-    let mut best = best.expect("at least one restart");
+    // `restarts.max(1)` guarantees at least one run considered; the error
+    // is a defensive fallback rather than a reachable state.
+    let Some(mut best) = best else {
+        return Err(ClusterError::InvalidInput(
+            "k-means completed zero restarts".into(),
+        ));
+    };
     best.inertia = best.inertia.max(0.0);
     Ok(best)
 }
@@ -195,14 +201,13 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
         for c in 0..k {
             if counts[c] == 0 {
                 // Reseed an empty cluster at the point farthest from its
-                // assigned center.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        let da = sq_dist(points.row(a), centers.row(assignments[a]));
-                        let db = sq_dist(points.row(b), centers.row(assignments[b]));
-                        da.partial_cmp(&db).expect("finite")
-                    })
-                    .expect("n >= 1");
+                // assigned center (`n >= 1` always holds here, so the
+                // argmax exists).
+                let Some(far) = max_by_f64_key(0..n, |&i| {
+                    sq_dist(points.row(i), centers.row(assignments[i]))
+                }) else {
+                    continue;
+                };
                 moved += sq_dist(centers.row(c), points.row(far));
                 centers.row_mut(c).copy_from_slice(points.row(far));
                 assignments[far] = c;

@@ -52,11 +52,14 @@ impl RangeCost {
     fn new(sorted: &[f64]) -> Self {
         let mut s1 = Vec::with_capacity(sorted.len() + 1);
         let mut s2 = Vec::with_capacity(sorted.len() + 1);
+        let (mut r1, mut r2) = (0.0, 0.0);
         s1.push(0.0);
         s2.push(0.0);
         for &v in sorted {
-            s1.push(s1.last().unwrap() + v);
-            s2.push(s2.last().unwrap() + v * v);
+            r1 += v;
+            r2 += v * v;
+            s1.push(r1);
+            s2.push(r2);
         }
         Self { s1, s2 }
     }
@@ -99,7 +102,7 @@ pub fn kmeans_1d(values: &[f64], kappa: usize) -> Result<KMeans1d> {
 
     // Sort once; remember original positions.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    order.sort_by(|&a, &b| roadpart_linalg::ord::cmp_f64(values[a], values[b]));
     let sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
     let rc = RangeCost::new(&sorted);
 
@@ -202,7 +205,7 @@ mod tests {
     #[test]
     fn matches_brute_force_optimum() {
         let mut values = vec![0.3, -1.2, 4.5, 4.4, 0.1, 2.2, -1.0, 7.7, 2.3, 0.0];
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        roadpart_linalg::ord::sort_f64(&mut values);
         for kappa in 1..=5 {
             let r = kmeans_1d(&values, kappa).unwrap();
             let opt = brute_force_sse(&values, kappa);
@@ -267,7 +270,7 @@ mod tests {
             .copied()
             .zip(r.assignments.iter().copied())
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in pairs.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }

@@ -163,10 +163,7 @@ pub fn optimality_sweep(
 /// The `kappa` whose MCG is maximal in a sweep (the paper's optimal `θ`);
 /// `None` for an empty sweep.
 pub fn mcg_argmax(sweep: &[OptimalityPoint]) -> Option<usize> {
-    sweep
-        .iter()
-        .max_by(|a, b| a.mcg.partial_cmp(&b.mcg).expect("finite MCG"))
-        .map(|p| p.kappa)
+    roadpart_linalg::ord::max_by_f64_key(sweep.iter(), |p| p.mcg).map(|p| p.kappa)
 }
 
 #[cfg(test)]

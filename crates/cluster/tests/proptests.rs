@@ -26,7 +26,7 @@ proptest! {
         // Contiguity: sort values; cluster ids must be non-decreasing.
         let mut pairs: Vec<(f64, usize)> = values
             .iter().copied().zip(r.assignments.iter().copied()).collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in pairs.windows(2) {
             prop_assert!(w[0].1 <= w[1].1);
         }

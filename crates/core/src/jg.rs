@@ -93,15 +93,15 @@ fn merge_small_partitions(graph: &RoadGraph, labels: &mut [usize], k: usize) {
         else {
             return; // nothing mergeable
         };
-        let target = neighbors[small]
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let da = (means[a] - means[small]).abs();
-                let db = (means[b] - means[small]).abs();
-                da.partial_cmp(&db).expect("finite means")
+        // `small` was chosen among partitions with neighbours, so the
+        // argmin exists.
+        let Some(target) =
+            roadpart_linalg::ord::min_by_f64_key(neighbors[small].iter().copied(), |&cand| {
+                (means[cand] - means[small]).abs()
             })
-            .expect("non-empty neighbour set");
+        else {
+            return;
+        };
         for l in labels.iter_mut() {
             if *l == small {
                 *l = target;

@@ -127,9 +127,7 @@ pub fn mine_supergraph(graph: &RoadGraph, cfg: &MiningConfig) -> Result<MiningOu
     if shortlisted.is_empty() {
         // Numerical corner (all-equal densities give zero MCG everywhere):
         // fall back to the best single κ.
-        let best = sweep
-            .iter()
-            .max_by(|a, b| a.mcg.partial_cmp(&b.mcg).expect("finite MCG"))
+        let best = roadpart_linalg::ord::max_by_f64_key(sweep.iter(), |p| p.mcg)
             .map(|p| p.kappa)
             .unwrap_or(2);
         shortlisted.push(best);
@@ -158,8 +156,11 @@ pub fn mine_supergraph(graph: &RoadGraph, cfg: &MiningConfig) -> Result<MiningOu
             best = Some((count, kappa, comp, cluster_mean_per_node));
         }
     }
-    let (_, chosen_kappa, comp, cluster_mean_per_node) =
-        best.expect("at least one shortlisted kappa");
+    let Some((_, chosen_kappa, comp, cluster_mean_per_node)) = best else {
+        return Err(RoadpartError::InvalidConfig(
+            "kappa shortlist was empty; cannot mine a supergraph".to_string(),
+        ));
+    };
 
     // --- Step 4: supernode creation + stability check. ---
     let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);

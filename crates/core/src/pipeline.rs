@@ -9,7 +9,7 @@
 //! Table 3 reports wall-clock per module; [`PipelineTimings`] captures the
 //! same breakdown.
 
-use crate::error::Result;
+use crate::error::{Result, RoadpartError};
 use crate::schemes::{run_scheme, FrameworkConfig, Scheme, SchemeOutcome};
 use roadpart_cut::Partition;
 use roadpart_linalg::RecoveryLog;
@@ -83,6 +83,17 @@ pub struct PipelineResult {
     pub outcome: SchemeOutcome,
 }
 
+/// True when stage-boundary structural validation is active: every debug
+/// build (so the whole test suite runs validated) plus release builds with
+/// the `strict-invariants` feature. See DESIGN.md "Correctness tooling".
+pub const STRICT_INVARIANTS: bool = cfg!(any(debug_assertions, feature = "strict-invariants"));
+
+/// Maps a validator failure at a named pipeline stage boundary into the
+/// framework error space with stage context attached.
+fn stage_violation(stage: &str, err: impl std::fmt::Display) -> RoadpartError {
+    RoadpartError::InvalidData(format!("stage invariant violated after {stage}: {err}"))
+}
+
 /// Runs the complete framework on a road network with the given segment
 /// densities (the network's stored densities are ignored in favour of
 /// `densities`, so one network can be re-partitioned across time steps).
@@ -99,6 +110,12 @@ pub fn partition_network(
     let mut graph = RoadGraph::from_network(net)?;
     graph.set_features(densities.to_vec())?;
     let module1 = t0.elapsed();
+    if STRICT_INVARIANTS {
+        graph
+            .adjacency()
+            .validate()
+            .map_err(|e| stage_violation("road-graph construction (module 1)", e))?;
+    }
 
     // Modules 2 + 3 run inside run_scheme, which clocks the mining phase
     // itself; module 3 is the remainder.
@@ -107,6 +124,27 @@ pub fn partition_network(
     let rest = t1.elapsed();
     let module2 = outcome.mining_time.min(rest);
     let module3 = rest.saturating_sub(module2);
+    if STRICT_INVARIANTS {
+        if let Some(m) = &outcome.mining {
+            m.supergraph
+                .validate(graph.adjacency())
+                .map_err(|e| stage_violation("supergraph mining (module 2)", e))?;
+        }
+        outcome
+            .partition
+            .validate()
+            .map_err(|e| stage_violation("supergraph partitioning (module 3)", e))?;
+        if outcome.partition.len() != graph.node_count() {
+            return Err(stage_violation(
+                "supergraph partitioning (module 3)",
+                format!(
+                    "partition covers {} nodes but the road graph has {}",
+                    outcome.partition.len(),
+                    graph.node_count()
+                ),
+            ));
+        }
+    }
 
     Ok(PipelineResult {
         partition: outcome.partition.clone(),

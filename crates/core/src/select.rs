@@ -59,10 +59,12 @@ pub fn select_k(
             "select_k requires a non-empty k range".into(),
         ));
     }
-    let best = sweep
-        .iter()
-        .min_by(|a, b| a.report.ans.partial_cmp(&b.report.ans).expect("finite ANS"))
-        .expect("non-empty sweep");
+    // The emptiness check above guarantees the argmin exists.
+    let Some(best) = roadpart_linalg::ord::min_by_f64_key(sweep.iter(), |c| c.report.ans) else {
+        return Err(crate::error::RoadpartError::InvalidConfig(
+            "select_k sweep produced no candidates".into(),
+        ));
+    };
     let (best_k, best_ans) = (best.k, best.report.ans);
 
     // Local minima of the ANS curve.

@@ -74,7 +74,16 @@ pub fn stability_check(
             });
             continue;
         }
-        let mu = mean(&values).expect("non-empty unstable supernode");
+        // `values` is non-empty here (singletons were accepted above), but
+        // degrade to force-accept rather than panic if that ever changes.
+        let Some(mu) = mean(&values) else {
+            out.push(StableSupernode {
+                members,
+                feature,
+                eta,
+            });
+            continue;
+        };
         let mut pre = Vec::new();
         let mut post = Vec::new();
         for (&m, &v) in members.iter().zip(&values) {

@@ -108,6 +108,102 @@ impl Supergraph {
         self.adjacency.nnz() / 2
     }
 
+    /// Checks the structural invariants of the supergraph against the road
+    /// graph it condenses:
+    ///
+    /// * the superlink matrix is a valid symmetric CSR adjacency
+    ///   ([`CsrMatrix::validate`]) with no self-loops and positive weights;
+    /// * every supernode is non-empty with a finite feature value;
+    /// * every supernode is **internally connected** in the road graph
+    ///   (Definition 6 — checked via same-supernode constrained components,
+    ///   which equal the supernode count exactly when each member set is
+    ///   connected);
+    /// * the superlink pattern matches the road graph: a superlink
+    ///   `(p, q)` exists **iff** at least one road link crosses between the
+    ///   member sets of `p` and `q` (§4.3.3).
+    ///
+    /// [`Supergraph::new`] already enforces the disjoint-cover conditions;
+    /// this method adds the checks that need the road adjacency, so
+    /// pipeline stage boundaries can verify mined and stability-split
+    /// supergraphs mechanically.
+    ///
+    /// # Errors
+    /// Returns [`RoadpartError::InvalidData`] naming the first violated
+    /// invariant, or [`RoadpartError::Linalg`] for a malformed superlink
+    /// matrix.
+    pub fn validate(&self, road_adj: &CsrMatrix) -> Result<()> {
+        if road_adj.dim() != self.member_of.len() {
+            return Err(RoadpartError::InvalidData(format!(
+                "road adjacency dimension {} != covered node count {}",
+                road_adj.dim(),
+                self.member_of.len()
+            )));
+        }
+        self.adjacency.validate()?;
+        for (s, node) in self.nodes.iter().enumerate() {
+            if node.is_empty() {
+                return Err(RoadpartError::InvalidData(format!(
+                    "supernode {s} is empty"
+                )));
+            }
+            if !node.feature.is_finite() {
+                return Err(RoadpartError::InvalidData(format!(
+                    "supernode {s} has non-finite feature {}",
+                    node.feature
+                )));
+            }
+        }
+        for (p, q, w) in self.adjacency.iter() {
+            if p == q {
+                return Err(RoadpartError::InvalidData(format!(
+                    "self-loop superlink on supernode {p}"
+                )));
+            }
+            if w <= 0.0 {
+                return Err(RoadpartError::InvalidData(format!(
+                    "non-positive superlink weight {w} on ({p},{q})"
+                )));
+            }
+        }
+        // Internal connectivity: components constrained to same-supernode
+        // links == supernode count exactly when every member set is
+        // connected in the road graph.
+        let comp = roadpart_cluster::constrained_components(road_adj, Some(&self.member_of))?;
+        let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+        if n_comp != self.order() {
+            return Err(RoadpartError::InvalidData(format!(
+                "{} supernodes but {n_comp} same-supernode connected components: \
+                 some supernode is internally disconnected",
+                self.order()
+            )));
+        }
+        // Superlink pattern ⇔ crossing road links.
+        let mut crossing = std::collections::HashSet::new();
+        for (u, v, _) in road_adj.iter() {
+            let (p, q) = (self.member_of[u], self.member_of[v]);
+            if p != q {
+                crossing.insert((p.min(q), p.max(q)));
+            }
+        }
+        let mut linked = std::collections::HashSet::new();
+        for (p, q, _) in self.adjacency.iter() {
+            if p < q {
+                linked.insert((p, q));
+            }
+        }
+        if let Some(&(p, q)) = linked.difference(&crossing).next() {
+            return Err(RoadpartError::InvalidData(format!(
+                "superlink ({p},{q}) has no crossing road link"
+            )));
+        }
+        if let Some(&(p, q)) = crossing.difference(&linked).next() {
+            return Err(RoadpartError::InvalidData(format!(
+                "road links cross supernodes ({p},{q}) but no superlink exists"
+            )));
+        }
+        Ok(())
+    }
+
     /// Expands supernode labels to road-graph node labels: road node `v`
     /// receives `labels[member_of[v]]`.
     ///
@@ -160,6 +256,39 @@ mod tests {
         let sg = two_supernodes();
         assert_eq!(sg.expand_labels(&[5, 7]).unwrap(), vec![5, 5, 7]);
         assert!(sg.expand_labels(&[1]).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_supergraph() {
+        // Road graph: 0-1 inside supernode 0, 1-2 crossing to supernode 1.
+        let road = CsrMatrix::from_undirected_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        two_supernodes().validate(&road).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_structural_violations() {
+        let sg = two_supernodes();
+        // Supernode 0 = {0, 1} disconnected: only the crossing link exists.
+        let road = CsrMatrix::from_undirected_edges(3, &[(1, 2, 1.0)]).unwrap();
+        assert!(sg.validate(&road).is_err(), "disconnected supernode");
+
+        // Superlink (0,1) exists but no road link crosses the boundary.
+        let road = CsrMatrix::from_undirected_edges(3, &[(0, 1, 1.0)]).unwrap();
+        assert!(sg.validate(&road).is_err(), "dangling superlink");
+
+        // Crossing road links with no superlink: strip the adjacency.
+        let bare = Supergraph::new(
+            sg.nodes().to_vec(),
+            CsrMatrix::from_triplets(2, &[]).unwrap(),
+            3,
+        )
+        .unwrap();
+        let road = CsrMatrix::from_undirected_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(bare.validate(&road).is_err(), "missing superlink");
+
+        // Dimension mismatch between road graph and cover.
+        let road = CsrMatrix::from_undirected_edges(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(sg.validate(&road).is_err(), "wrong road dimension");
     }
 
     #[test]

@@ -71,7 +71,7 @@ fn robust_sigma(features: &[f64]) -> f64 {
         return 0.0;
     }
     let median_of = |xs: &mut Vec<f64>| -> f64 {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        roadpart_linalg::ord::sort_f64(xs);
         let m = xs.len() / 2;
         if xs.len() % 2 == 1 {
             xs[m]

@@ -16,6 +16,8 @@
 //! * [`affinity::gaussian_affinity`] — congestion-similarity weighting of
 //!   binary road-graph links for the AG/NG direct schemes.
 
+#![warn(missing_docs)]
+
 pub mod affinity;
 pub mod alpha;
 pub mod bipartition;

@@ -1,5 +1,6 @@
 //! The partition type shared by all cut algorithms.
 
+use crate::error::{CutError, Result};
 use serde::{Deserialize, Serialize};
 
 /// A disjoint partition of graph nodes: `labels[i]` is the partition index
@@ -75,6 +76,51 @@ impl Partition {
         sizes
     }
 
+    /// Checks the structural invariants every consumer of a partition
+    /// relies on: the labeling is **disjoint and covering** by
+    /// representation (exactly one label per node), so what remains to
+    /// verify is that the stored `k` is consistent and the labels are
+    /// **contiguous** — every label is `< k` and every value in `0..k`
+    /// names a non-empty partition (no holes).
+    ///
+    /// [`Partition::from_labels`] establishes these invariants; this method
+    /// exists so deserialized partitions (the type is `Deserialize`) and
+    /// pipeline outputs can be checked mechanically at stage boundaries
+    /// instead of trusted.
+    ///
+    /// # Errors
+    /// Returns [`CutError::InvalidInput`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        if self.labels.is_empty() {
+            return if self.k == 0 {
+                Ok(())
+            } else {
+                Err(CutError::InvalidInput(format!(
+                    "empty partition claims k = {}",
+                    self.k
+                )))
+            };
+        }
+        let mut seen = vec![false; self.k];
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l >= self.k {
+                return Err(CutError::InvalidInput(format!(
+                    "node {i} has label {l} >= k = {}",
+                    self.k
+                )));
+            }
+            seen[l] = true;
+        }
+        if let Some(hole) = seen.iter().position(|&s| !s) {
+            return Err(CutError::InvalidInput(format!(
+                "label {hole} of 0..{} names an empty partition (label hole)",
+                self.k
+            )));
+        }
+        Ok(())
+    }
+
     /// Composes with a coarser partition of the partitions themselves:
     /// `meta.label(p)` gives the final group of partition `p`.
     ///
@@ -119,6 +165,26 @@ mod tests {
         assert_eq!(coarse.label(0), coarse.label(2));
         assert_eq!(coarse.label(1), coarse.label(3));
         assert_ne!(coarse.label(0), coarse.label(1));
+    }
+
+    #[test]
+    fn validate_accepts_constructor_output() {
+        Partition::from_labels(&[7, 7, 3, 9, 3]).validate().unwrap();
+        Partition::from_labels(&[]).validate().unwrap();
+        Partition::from_labels(&[0]).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_label_holes_and_bad_k() {
+        // The type is Deserialize, so invalid states can enter via JSON.
+        let hole: Partition = serde_json::from_str(r#"{"labels": [0, 2, 0], "k": 3}"#).unwrap();
+        assert!(hole.validate().is_err(), "label 1 is a hole");
+        let oob: Partition = serde_json::from_str(r#"{"labels": [0, 5], "k": 2}"#).unwrap();
+        assert!(oob.validate().is_err(), "label 5 >= k");
+        let empty_k: Partition = serde_json::from_str(r#"{"labels": [], "k": 1}"#).unwrap();
+        assert!(empty_k.validate().is_err(), "empty labels with k = 1");
+        let ok: Partition = serde_json::from_str(r#"{"labels": [1, 0, 1], "k": 2}"#).unwrap();
+        ok.validate().unwrap();
     }
 
     #[test]

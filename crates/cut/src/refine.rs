@@ -188,9 +188,7 @@ pub fn greedy_merge(connectivity: &CsrMatrix, k: usize) -> Result<Partition> {
     let mut remaining = kp;
     while remaining > k {
         // Strongest adjacent pair of current roots.
-        let Some((&(a, b), _)) = weights
-            .iter()
-            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite weights"))
+        let Some((&(a, b), _)) = roadpart_linalg::ord::max_by_f64_key(weights.iter(), |e| *e.1)
         else {
             break; // disconnected remainder: cannot merge further
         };

@@ -91,3 +91,34 @@ proptest! {
         prop_assert_eq!(meta.len(), p.k());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `Partition::validate` accepts every densified labeling and rejects
+    /// the same labeling with a hole punched into its label space.
+    #[test]
+    fn validate_accepts_dense_and_rejects_holes(raw in proptest::collection::vec(0usize..6, 1..40)) {
+        let p = Partition::from_labels(&raw);
+        prop_assert!(p.validate().is_ok());
+
+        // Punch a hole: move the top label one up, then claim k + 1
+        // labels. The typed API cannot express this, so go through serde
+        // like a corrupted checkpoint would.
+        let holed: Vec<usize> = p
+            .labels()
+            .iter()
+            .map(|&l| if l == p.k() - 1 { l + 1 } else { l })
+            .collect();
+        let json = format!("{{\"labels\": {:?}, \"k\": {}}}", holed, p.k() + 1);
+        let mutated: Partition = serde_json::from_str(&json).unwrap();
+        prop_assert!(mutated.validate().is_err(), "label hole accepted");
+
+        // Out-of-range labels are also rejected.
+        let json = format!("{{\"labels\": {:?}, \"k\": {}}}", p.labels(), p.k().saturating_sub(1).max(1));
+        let mutated: Partition = serde_json::from_str(&json).unwrap();
+        if p.k() > 1 {
+            prop_assert!(mutated.validate().is_err(), "out-of-range label accepted");
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! reconstruction rationale.
 
 use crate::adjacency::PartitionAdjacency;
+use roadpart_linalg::ord::sort_f64;
 
 /// Floor on the inter distance (caps the ratio for adjacent partitions with
 /// indistinguishable densities instead of dividing by zero).
@@ -76,27 +77,33 @@ pub fn ans(groups: &[Vec<f64>], adjacency: &PartitionAdjacency) -> f64 {
 struct SortedPrefix {
     sorted: Vec<f64>,
     prefix: Vec<f64>,
+    total: f64,
 }
 
 impl SortedPrefix {
     fn new(values: &[f64]) -> Self {
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sort_f64(&mut sorted);
         let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        let mut running = 0.0;
         prefix.push(0.0);
         for &v in &sorted {
-            prefix.push(prefix.last().unwrap() + v);
+            running += v;
+            prefix.push(running);
         }
-        Self { sorted, prefix }
+        Self {
+            sorted,
+            prefix,
+            total: running,
+        }
     }
 
     /// `Σ_u |x - u|` over all stored values (including an exact copy of x,
     /// which contributes 0).
     fn sum_abs_diff(&self, x: f64) -> f64 {
         let pos = self.sorted.partition_point(|&y| y <= x);
-        let total: f64 = *self.prefix.last().unwrap();
         let below = x * pos as f64 - self.prefix[pos];
-        let above = (total - self.prefix[pos]) - x * (self.sorted.len() - pos) as f64;
+        let above = (self.total - self.prefix[pos]) - x * (self.sorted.len() - pos) as f64;
         below + above
     }
 }

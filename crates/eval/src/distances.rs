@@ -4,6 +4,8 @@
 //! between node sets. Naive all-pairs evaluation is quadratic; sorting plus
 //! prefix sums brings every kernel to `O(n log n)`.
 
+use roadpart_linalg::ord::sort_f64;
+
 /// Mean `|x_i - x_j|` over all unordered pairs within `values`;
 /// `0.0` for fewer than two values.
 pub fn mean_abs_pairwise(values: &[f64]) -> f64 {
@@ -12,7 +14,7 @@ pub fn mean_abs_pairwise(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sort_f64(&mut sorted);
     // For sorted x: sum_{i<j} (x_j - x_i) = sum_j x_j * j - prefix_j.
     let mut prefix = 0.0;
     let mut total = 0.0;
@@ -32,13 +34,15 @@ pub fn mean_abs_cross(a: &[f64], b: &[f64]) -> f64 {
     // Sort b once; for each x in a, sum |x - y| over sorted b via binary
     // search + prefix sums.
     let mut sb = b.to_vec();
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite values"));
+    sort_f64(&mut sb);
     let mut prefix = Vec::with_capacity(sb.len() + 1);
+    let mut running = 0.0;
     prefix.push(0.0);
     for &y in &sb {
-        prefix.push(prefix.last().unwrap() + y);
+        running += y;
+        prefix.push(running);
     }
-    let total_b: f64 = *prefix.last().unwrap();
+    let total_b: f64 = running;
     let mut total = 0.0;
     for &x in a {
         let pos = sb.partition_point(|&y| y <= x);

@@ -112,6 +112,35 @@ impl CsrMatrix {
         Self::from_triplets(n, &triplets)
     }
 
+    /// Builds a matrix directly from CSR raw parts, validating every
+    /// structural invariant ([`CsrMatrix::validate`] minus the symmetry
+    /// check, which is a property of the *content*, not the layout).
+    ///
+    /// This is the zero-copy ingestion path for callers that already hold a
+    /// CSR layout (external loaders, test harnesses building adversarial
+    /// layouts); everything else should prefer [`CsrMatrix::from_triplets`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] when the arrays do not form a
+    /// well-formed CSR matrix: wrong `row_ptr` length or endpoints,
+    /// non-monotone `row_ptr`, unsorted/duplicate/out-of-range column
+    /// indices, length-mismatched value array, or non-finite values.
+    pub fn from_raw_parts(
+        n: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.validate_structure()?;
+        Ok(m)
+    }
+
     /// The matrix dimension `n`.
     #[inline]
     pub fn dim(&self) -> usize {
@@ -241,6 +270,110 @@ impl CsrMatrix {
         m
     }
 
+    /// Checks the CSR *layout* invariants every other method relies on:
+    ///
+    /// * `row_ptr` has length `n + 1`, starts at 0, ends at `nnz`, and is
+    ///   non-decreasing;
+    /// * `col_idx` and `values` have equal length;
+    /// * column indices are strictly increasing within each row (sortedness
+    ///   is what makes [`CsrMatrix::get`]'s binary search correct; strict
+    ///   monotonicity rules out duplicates) and in `0..n`;
+    /// * every stored value is finite.
+    ///
+    /// Constructors establish these invariants; this method exists so
+    /// deserialized or externally assembled matrices can be checked at a
+    /// pipeline boundary instead of trusted.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] naming the first violated
+    /// invariant and where it sits.
+    pub fn validate_structure(&self) -> Result<()> {
+        let nnz = self.col_idx.len();
+        if self.row_ptr.len() != self.n + 1 {
+            return Err(LinalgError::InvalidInput(format!(
+                "row_ptr length {} != n + 1 = {}",
+                self.row_ptr.len(),
+                self.n + 1
+            )));
+        }
+        if self.values.len() != nnz {
+            return Err(LinalgError::InvalidInput(format!(
+                "values length {} != col_idx length {nnz}",
+                self.values.len()
+            )));
+        }
+        if self.row_ptr[0] != 0 || self.row_ptr[self.n] != nnz {
+            return Err(LinalgError::InvalidInput(format!(
+                "row_ptr endpoints ({}, {}) != (0, {nnz})",
+                self.row_ptr[0], self.row_ptr[self.n]
+            )));
+        }
+        for i in 0..self.n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            if lo > hi || hi > nnz {
+                return Err(LinalgError::InvalidInput(format!(
+                    "row_ptr not monotone at row {i}: {lo} > {hi} (nnz {nnz})"
+                )));
+            }
+            let mut prev: Option<usize> = None;
+            for p in lo..hi {
+                let c = self.col_idx[p];
+                if c >= self.n {
+                    return Err(LinalgError::InvalidInput(format!(
+                        "column index {c} out of range in row {i} (n = {})",
+                        self.n
+                    )));
+                }
+                if prev.is_some_and(|q| q >= c) {
+                    return Err(LinalgError::InvalidInput(format!(
+                        "column indices not strictly increasing in row {i} at slot {p}"
+                    )));
+                }
+                prev = Some(c);
+                if !self.values[p].is_finite() {
+                    return Err(LinalgError::InvalidInput(format!(
+                        "non-finite value {} at ({i},{c})",
+                        self.values[p]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full structural invariant check for a symmetric adjacency matrix:
+    /// [`CsrMatrix::validate_structure`] plus pattern/value symmetry
+    /// (`|A_ij − A_ji| ≤ 1e-9 · (1 + max|A|)`). Every adjacency the
+    /// partitioning pipeline builds (road graph, affinity, superlinks) is
+    /// symmetric by construction; this is the mechanical check of that
+    /// contract at stage boundaries (`debug_assertions` /
+    /// `strict-invariants` builds).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<()> {
+        self.validate_structure()?;
+        let scale = 1.0 + self.values.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let back = self.get(j, i);
+                if back == 0.0 && self.row(j).0.binary_search(&i).is_err() {
+                    return Err(LinalgError::InvalidInput(format!(
+                        "asymmetric pattern: ({i},{j}) stored but ({j},{i}) missing"
+                    )));
+                }
+                if (v - back).abs() > 1e-9 * scale {
+                    return Err(LinalgError::InvalidInput(format!(
+                        "asymmetric values: A[{i}][{j}] = {v} vs A[{j}][{i}] = {back}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Iterator over all stored `(row, col, value)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.n).flat_map(move |i| {
@@ -326,6 +459,71 @@ mod tests {
     fn submatrix_rejects_duplicates() {
         assert!(path3().submatrix(&[0, 0]).is_err());
         assert!(path3().submatrix(&[5]).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_constructor_output() {
+        path3().validate().unwrap();
+        CsrMatrix::from_triplets(4, &[])
+            .unwrap()
+            .validate()
+            .unwrap();
+        CsrMatrix::from_undirected_edges(2, &[(0, 0, 3.0)])
+            .unwrap()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_mutated_internals() {
+        // Unsorted column indices.
+        let mut m = path3();
+        m.col_idx.swap(1, 2);
+        assert!(m.validate_structure().is_err());
+
+        // Non-finite value smuggled in post-construction.
+        let mut m = path3();
+        m.values[0] = f64::NAN;
+        assert!(m.validate_structure().is_err());
+
+        // Non-monotone row_ptr.
+        let mut m = path3();
+        m.row_ptr[1] = 3;
+        m.row_ptr[2] = 1;
+        assert!(m.validate_structure().is_err());
+
+        // Out-of-range column.
+        let mut m = path3();
+        m.col_idx[0] = 9;
+        assert!(m.validate_structure().is_err());
+
+        // Asymmetric pattern: drop the (2,1) back-edge but keep (1,2).
+        let mut m = path3();
+        m.row_ptr[3] = m.row_ptr[2]; // row 2 becomes empty
+        m.col_idx.truncate(m.row_ptr[2]);
+        m.values.truncate(m.row_ptr[2]);
+        m.validate_structure().unwrap();
+        assert!(m.validate().is_err());
+
+        // Asymmetric values.
+        let mut m = path3();
+        m.values[0] *= 2.0; // A[0][1] != A[1][0]
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_and_rejects_garbage() {
+        let m = path3();
+        let rebuilt =
+            CsrMatrix::from_raw_parts(m.n, m.row_ptr.clone(), m.col_idx.clone(), m.values.clone())
+                .unwrap();
+        assert_eq!(rebuilt, m);
+        // Wrong row_ptr length.
+        assert!(CsrMatrix::from_raw_parts(2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // values/col_idx length mismatch.
+        assert!(CsrMatrix::from_raw_parts(1, vec![0, 1], vec![0], vec![]).is_err());
+        // Duplicate column in a row.
+        assert!(CsrMatrix::from_raw_parts(2, vec![0, 2, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

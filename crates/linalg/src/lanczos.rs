@@ -345,8 +345,9 @@ fn lanczos_run(
         op.apply_checked(&q, &mut w)?;
         let alpha = vecops::dot(&w, &q);
         vecops::axpy(-alpha, &q, &mut w);
-        if let Some(prev) = basis.last() {
-            let beta_prev = *betas.last().expect("beta recorded with each basis push");
+        // Basis vectors and betas are pushed in lockstep, so both are
+        // present or both absent.
+        if let (Some(prev), Some(&beta_prev)) = (basis.last(), betas.last()) {
             vecops::axpy(-beta_prev, prev, &mut w);
         }
         basis.push(std::mem::replace(&mut q, vec![0.0; n]));

@@ -24,6 +24,8 @@
 //!   reorthogonalization for large instances, with automatic fallback to the
 //!   dense path below a configurable cutoff.
 
+#![warn(missing_docs)]
+
 pub mod csr;
 pub mod dense;
 pub mod eigen_dense;
@@ -31,6 +33,7 @@ pub mod error;
 pub mod fallback;
 pub mod lanczos;
 pub mod operator;
+pub mod ord;
 pub mod tridiag;
 pub mod vecops;
 
@@ -41,3 +44,4 @@ pub use error::{LinalgError, Result};
 pub use fallback::{sym_eigs_recovering, FallbackConfig, FallbackRung, RecoveryEvent, RecoveryLog};
 pub use lanczos::{densify, sym_eigs, EigenConfig, PartialEigen, Which};
 pub use operator::{DiagScaledOp, RankOneUpdate, SymOp};
+pub use ord::{cmp_f64, max_by_f64_key, min_by_f64_key, sort_by_f64_key, sort_f64};

@@ -1,0 +1,101 @@
+//! Total-order comparison helpers for `f64`.
+//!
+//! `f64: !Ord` forces a choice at every float sort/argmax site, and the
+//! historically popular choice — `partial_cmp(..).unwrap()` — turns a single
+//! stray NaN into a library panic (or, worse, into `sort_by` logic errors
+//! when the comparator is inconsistent). The workspace bans that pattern
+//! (`roadpart-audit` rule `float-cmp-unwrap`, plus a clippy
+//! `disallowed-methods` entry) and routes every float comparison through
+//! this module instead.
+//!
+//! All helpers use [`f64::total_cmp`] (IEEE 754 `totalOrder`): never panics,
+//! orders NaN after +∞ and −NaN before −∞, and agrees with the usual `<`
+//! ordering on the finite values our pipelines produce.
+
+use std::cmp::Ordering;
+
+/// Total-order comparison of two floats. Drop-in comparator for
+/// `sort_by` / `max_by` / `min_by`: `xs.sort_by(|a, b| cmp_f64(*a, *b))`.
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Sorts a float slice ascending under the total order.
+#[inline]
+pub fn sort_f64(xs: &mut [f64]) {
+    xs.sort_unstable_by(f64::total_cmp);
+}
+
+/// Sorts a slice ascending by a float key under the total order.
+#[inline]
+pub fn sort_by_f64_key<T>(xs: &mut [T], mut key: impl FnMut(&T) -> f64) {
+    xs.sort_by(|a, b| key(a).total_cmp(&key(b)));
+}
+
+/// The item with the largest float key under the total order
+/// (last maximum wins, matching [`Iterator::max_by`]); `None` for an
+/// empty iterator.
+#[inline]
+pub fn max_by_f64_key<T>(
+    items: impl IntoIterator<Item = T>,
+    mut key: impl FnMut(&T) -> f64,
+) -> Option<T> {
+    items.into_iter().max_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+/// The item with the smallest float key under the total order
+/// (first minimum wins, matching [`Iterator::min_by`]); `None` for an
+/// empty iterator.
+#[inline]
+pub fn min_by_f64_key<T>(
+    items: impl IntoIterator<Item = T>,
+    mut key: impl FnMut(&T) -> f64,
+) -> Option<T> {
+    items.into_iter().min_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_is_total_and_nan_safe() {
+        assert_eq!(cmp_f64(1.0, 2.0), Ordering::Less);
+        assert_eq!(cmp_f64(2.0, 1.0), Ordering::Greater);
+        assert_eq!(cmp_f64(1.5, 1.5), Ordering::Equal);
+        // NaN participates in the order instead of panicking.
+        assert_eq!(cmp_f64(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(cmp_f64(-f64::NAN, f64::NEG_INFINITY), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_orders_finite_values_conventionally() {
+        let mut xs = vec![3.0, -1.0, 2.5, 0.0];
+        sort_f64(&mut xs);
+        assert_eq!(xs, vec![-1.0, 0.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn sort_by_key_uses_key_order() {
+        let mut xs = vec![(0, 3.0), (1, -1.0), (2, 2.0)];
+        sort_by_f64_key(&mut xs, |p| p.1);
+        assert_eq!(xs.iter().map(|p| p.0).collect::<Vec<_>>(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argmax_argmin_match_iterator_semantics() {
+        assert_eq!(max_by_f64_key([1.0, 3.0, 2.0], |&x| x), Some(3.0));
+        assert_eq!(min_by_f64_key([1.0, 3.0, 0.5], |&x| x), Some(0.5));
+        assert_eq!(max_by_f64_key(std::iter::empty::<f64>(), |&x| x), None);
+        // Ties: max keeps the last, min keeps the first.
+        assert_eq!(
+            max_by_f64_key([(0, 1.0), (1, 1.0)], |p| p.1),
+            Some((1, 1.0))
+        );
+        assert_eq!(
+            min_by_f64_key([(0, 1.0), (1, 1.0)], |p| p.1),
+            Some((0, 1.0))
+        );
+    }
+}

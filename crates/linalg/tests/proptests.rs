@@ -114,3 +114,59 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `validate` accepts everything the constructors produce, and
+    /// `from_raw_parts` round-trips the raw arrays.
+    #[test]
+    fn validate_accepts_constructed_matrices((a, _) in arb_sparse()) {
+        prop_assert!(a.validate().is_ok());
+        let n = a.dim();
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        let rebuilt = CsrMatrix::from_raw_parts(n, row_ptr, col_idx, values).unwrap();
+        prop_assert!(rebuilt.validate().is_ok());
+    }
+
+    /// Structural mutations of valid raw arrays are rejected: unsorted
+    /// column indices and non-finite values.
+    #[test]
+    fn from_raw_parts_rejects_mutations((a, _) in arb_sparse(), use_nan in any::<bool>()) {
+        let poison = if use_nan { f64::NAN } else { f64::INFINITY };
+        let n = a.dim();
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        if let Some(i) = (0..n).find(|&i| row_ptr[i + 1] - row_ptr[i] >= 2) {
+            let mut bad = col_idx.clone();
+            bad.swap(row_ptr[i], row_ptr[i] + 1);
+            prop_assert!(
+                CsrMatrix::from_raw_parts(n, row_ptr.clone(), bad, values.clone()).is_err(),
+                "unsorted column indices accepted"
+            );
+        }
+        if !values.is_empty() {
+            let mut bad = values.clone();
+            bad[0] = poison;
+            prop_assert!(
+                CsrMatrix::from_raw_parts(n, row_ptr.clone(), col_idx.clone(), bad).is_err(),
+                "non-finite value accepted"
+            );
+        }
+    }
+}

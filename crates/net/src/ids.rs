@@ -11,10 +11,25 @@ use std::fmt;
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
         pub struct $name(pub u32);
+
+        // Integer ids are totally ordered; implementing both orderings by
+        // hand (deferring to `Ord::cmp`) keeps the workspace ban on
+        // `partial_cmp` airtight.
+        impl Ord for $name {
+            #[inline]
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&other.0)
+            }
+        }
+
+        impl PartialOrd for $name {
+            #[inline]
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
 
         impl $name {
             /// The id as a `usize` array index.

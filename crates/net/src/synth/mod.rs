@@ -296,7 +296,9 @@ impl UrbanConfig {
             // requesting more one-way streets.
             frac = (frac + overshoot / streets).clamp(0.0, 1.0);
         }
-        Ok(best.expect("at least one realization attempt"))
+        best.ok_or_else(|| {
+            NetError::Invalid("no realization attempt produced a network".to_string())
+        })
     }
 }
 

@@ -24,6 +24,7 @@ use crate::drift::{DriftPolicy, DriftProbe, EpochAction};
 use crate::error::{Result, StreamError};
 use crate::report::EpochReport;
 use crate::snapshot::PartitionStore;
+use roadpart::pipeline::STRICT_INVARIANTS;
 use roadpart::{repartition_regions, DistributedConfig};
 use roadpart_cut::{
     gaussian_affinity, spectral_partition_warm, CutKind, Partition, SpectralArtifacts,
@@ -124,6 +125,7 @@ impl StreamEngine {
         };
         let densities = engine.baseline.clone();
         let (partition, _) = engine.global_repartition(&densities)?;
+        engine.check_publishable(&partition)?;
         engine.store = Arc::new(PartitionStore::new(partition.labels().to_vec(), 0));
         Ok(engine)
     }
@@ -183,6 +185,7 @@ impl StreamEngine {
                 self.graph.set_features(current.clone())?;
                 let prev = Partition::from_labels(live.labels());
                 let out = repartition_regions(&self.graph, &prev, &self.cfg.regional)?;
+                self.check_publishable(&out.partition)?;
                 self.store
                     .publish(out.partition.labels().to_vec(), self.epoch);
                 drift = Some(out.drift);
@@ -191,6 +194,7 @@ impl StreamEngine {
             EpochAction::Global => {
                 let (partition, warm) = self.global_repartition(&current)?;
                 warm_started = warm;
+                self.check_publishable(&partition)?;
                 drift = Some(PartitionDrift::between(live.labels(), partition.labels()));
                 self.store.publish(partition.labels().to_vec(), self.epoch);
                 self.baseline = current;
@@ -208,6 +212,30 @@ impl StreamEngine {
             warm_started,
             elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
         })
+    }
+
+    /// Epoch-boundary invariant gate (active under `debug_assertions` or
+    /// the `strict-invariants` feature): a partition must be structurally
+    /// valid and cover every segment before it may reach the store.
+    ///
+    /// # Errors
+    /// Returns [`StreamError::InvalidUpdate`] naming the violated invariant.
+    fn check_publishable(&self, partition: &Partition) -> Result<()> {
+        if !STRICT_INVARIANTS {
+            return Ok(());
+        }
+        partition.validate().map_err(|e| {
+            StreamError::InvalidUpdate(format!("epoch invariant violated before publish: {e}"))
+        })?;
+        if partition.len() != self.graph.node_count() {
+            return Err(StreamError::InvalidUpdate(format!(
+                "epoch invariant violated before publish: partition covers {} segments \
+                 but the graph has {}",
+                partition.len(),
+                self.graph.node_count()
+            )));
+        }
+        Ok(())
     }
 
     /// Full spectral rebuild on `densities`, reusing (and then replacing)

@@ -17,8 +17,21 @@
 //! consumer can cheaply detect "partition changed since I last looked".
 
 use roadpart_net::SegmentId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+
+// Under `--cfg loom` the store is built on the model checker's sync types
+// so `tests/loom_snapshot.rs` can explore publish/read interleavings; the
+// loom stub's `Arc` is a re-export of `std::sync::Arc`, so the public
+// `read() -> Arc<PartitionSnapshot>` signature is identical either way.
+#[cfg(loom)]
+use loom::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc, RwLock,
+};
+#[cfg(not(loom))]
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc, RwLock,
+};
 
 /// One immutable, fully consistent partition of the road network.
 #[derive(Debug, Clone)]
@@ -97,7 +110,13 @@ impl PartitionStore {
     /// lock. The returned snapshot stays valid (and immutable) however long
     /// the caller holds it, regardless of concurrent publishes.
     pub fn read(&self) -> Arc<PartitionSnapshot> {
-        self.current.read().expect("store lock poisoned").clone()
+        // Poison recovery is sound here: the only mutation ever performed
+        // under the lock is a single `Arc` pointer swap, so a panicking
+        // writer cannot leave a torn snapshot behind.
+        match self.current.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
     }
 
     /// Current version without taking the snapshot (monotonic).
@@ -111,12 +130,19 @@ impl PartitionStore {
     pub fn publish(&self, labels: Vec<usize>, epoch: u64) -> u64 {
         let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
         let snap = Arc::new(PartitionSnapshot::new(labels, version, epoch));
-        *self.current.write().expect("store lock poisoned") = snap;
+        match self.current.write() {
+            Ok(mut guard) => *guard = snap,
+            // See `read`: the swap is atomic with respect to readers, so a
+            // poisoned lock still guards a fully consistent snapshot.
+            Err(poisoned) => *poisoned.into_inner() = snap,
+        }
         version
     }
 }
 
-#[cfg(test)]
+// Plain std-thread tests; the loom interleaving suite lives in
+// `tests/loom_snapshot.rs` and runs under `RUSTFLAGS="--cfg loom"`.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;

@@ -71,11 +71,7 @@ impl DensityHistory {
     /// The timestep with the highest network-mean density (the simulated
     /// "peak"), if any snapshots exist.
     pub fn peak_step(&self) -> Option<usize> {
-        (0..self.len()).max_by(|&a, &b| {
-            self.mean_at(a)
-                .partial_cmp(&self.mean_at(b))
-                .expect("finite densities")
-        })
+        (0..self.len()).max_by(|&a, &b| self.mean_at(a).total_cmp(&self.mean_at(b)))
     }
 
     /// Per-segment mean over the trailing `window` snapshots (all snapshots

@@ -213,7 +213,7 @@ mod tests {
                 (((x - cbd.x).powi(2) + (y - cbd.y).powi(2)).sqrt(), d[i])
             })
             .collect();
-        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        by_dist.sort_by(|a, b| a.0.total_cmp(&b.0));
         let q = by_dist.len() / 4;
         let inner: f64 = by_dist[..q].iter().map(|p| p.1).sum::<f64>() / q as f64;
         let outer: f64 = by_dist[by_dist.len() - q..]

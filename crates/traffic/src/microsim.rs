@@ -207,8 +207,12 @@ pub fn simulate(
                 // destination while journey legs remain.
                 let redispatched = {
                     let v = &mut active[v_idx];
-                    if v.legs_remaining > 0 && !redispatch_pool.is_empty() {
-                        let here = net.segment(*v.route.last().expect("non-empty route")).to;
+                    let last_seg = v.route.last().copied();
+                    if let (Some(last_seg), true) = (
+                        last_seg,
+                        v.legs_remaining > 0 && !redispatch_pool.is_empty(),
+                    ) {
+                        let here = net.segment(last_seg).to;
                         let mut new_route = None;
                         for _ in 0..8 {
                             let dest = redispatch_pool[rng.gen_range(0..redispatch_pool.len())];

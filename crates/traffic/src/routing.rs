@@ -20,11 +20,9 @@ impl Eq for QueueEntry {}
 
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; costs are finite by construction.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
+        // Reverse for a min-heap; the total order keeps the comparator
+        // consistent even for non-finite costs.
+        other.cost.total_cmp(&self.cost)
     }
 }
 
@@ -117,7 +115,11 @@ impl<'a> Router<'a> {
         let mut route = Vec::new();
         let mut at = dst;
         while at != src {
-            let seg_id = self.prev_seg[at].expect("predecessor chain reaches origin");
+            // A finite distance guarantees a predecessor chain; a broken
+            // chain means internal state corruption, reported as no-route.
+            let Some(seg_id) = self.prev_seg[at] else {
+                return Err(TrafficError::NoRoute { from: src, to: dst });
+            };
             route.push(seg_id);
             at = self.net.segment(seg_id).from.index();
         }

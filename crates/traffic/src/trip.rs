@@ -98,9 +98,14 @@ pub fn generate_trips(
     };
 
     let sample_cum = |cum: &[f64], rng: &mut ChaCha8Rng| -> usize {
-        let total = *cum.last().expect("non-empty cumulative weights");
-        let u = rng.gen_range(0.0..total);
-        cum.partition_point(|&c| c <= u).min(cum.len() - 1)
+        match cum.last() {
+            Some(&total) if total > 0.0 => {
+                let u = rng.gen_range(0.0..total);
+                cum.partition_point(|&c| c <= u).min(cum.len() - 1)
+            }
+            // Degenerate weights (empty or all-zero): first candidate.
+            _ => 0,
+        }
     };
 
     let mut trips = Vec::with_capacity(n);

@@ -17,6 +17,14 @@ step() {
 step fmt    cargo fmt --all --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step tests  cargo test -q --workspace
+# Workspace lint pass: exits non-zero when library code regresses against
+# AUDIT_baseline.json (panic-freedom, total-order floats, CSR
+# encapsulation, # Errors docs). Report: target/audit/AUDIT_report.json.
+step audit  cargo run -q -p roadpart-audit
+# Concurrency model checking of the snapshot store under --cfg loom (own
+# target dir so the flag does not invalidate the main build cache).
+step loom   env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+  cargo test -q -p roadpart-stream --test loom_snapshot
 # Online-engine gate: the warm-start path must build and produce
 # target/experiments/BENCH_stream.json (cold vs warm replay comparison).
 step stream-bench cargo run -q --release -p roadpart-bench --bin stream_bench -- --runs 3

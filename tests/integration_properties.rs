@@ -110,3 +110,109 @@ proptest! {
         }
     }
 }
+
+/// A small synthetic urban network with paper-style densities: either a
+/// jittered grid (`UrbanConfig`) or a radial-ring spider web.
+fn synth_network(seed: u64, spider: bool) -> (roadpart_net::RoadNetwork, Vec<f64>) {
+    use rand::SeedableRng;
+    let net = if spider {
+        let cfg = roadpart_net::synth::spider::SpiderConfig {
+            rings: 3,
+            spokes: 6,
+            ring_spacing_m: 250.0,
+            jitter_rad: 0.05,
+        };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let plan = roadpart_net::synth::spider::spider_plan(&cfg, &mut rng);
+        roadpart_net::synth::realize(&plan, 0.2, &mut rng).unwrap()
+    } else {
+        roadpart_net::UrbanConfig::d1()
+            .scaled(0.25)
+            .generate(seed)
+            .unwrap()
+    };
+    let field = roadpart_traffic::CongestionField::urban_default(&net, seed);
+    let densities = field.densities(&net, 0.4, &roadpart_traffic::TemporalProfile::morning());
+    (net, densities)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The structural validators accept every stage output the pipeline
+    /// produces on grid and spider synthetic networks.
+    #[test]
+    fn validators_accept_pipeline_outputs(seed in 0u64..1000, spider in any::<bool>(), k in 3usize..6) {
+        let (net, densities) = synth_network(seed, spider);
+        let cfg = PipelineConfig::asg(k).with_seed(seed);
+        let result = roadpart::partition_network(&net, &densities, &cfg).unwrap();
+        prop_assert!(result.graph.adjacency().validate().is_ok());
+        prop_assert!(result.partition.validate().is_ok());
+        if let Some(m) = &result.outcome.mining {
+            prop_assert!(m.supergraph.validate(result.graph.adjacency()).is_ok());
+        }
+    }
+
+    /// Mutated counterexamples derived from real pipeline outputs are
+    /// rejected: label holes, unsorted CSR indices, and NaN weights.
+    #[test]
+    fn validators_reject_mutated_pipeline_outputs(seed in 0u64..1000, spider in any::<bool>()) {
+        let (net, densities) = synth_network(seed, spider);
+        let cfg = PipelineConfig::asg(4).with_seed(seed);
+        let result = roadpart::partition_network(&net, &densities, &cfg).unwrap();
+
+        // Label hole: shift the top label up by one, leaving a gap, via the
+        // serde escape hatch (the typed API cannot build this state).
+        let p = &result.partition;
+        let holed: Vec<usize> = p
+            .labels()
+            .iter()
+            .map(|&l| if l == p.k() - 1 { l + 1 } else { l })
+            .collect();
+        let json = format!(
+            "{{\"labels\": {:?}, \"k\": {}}}",
+            holed,
+            p.k() + 1
+        );
+        let mutated: Partition = serde_json::from_str(&json).unwrap();
+        prop_assert!(mutated.validate().is_err(), "label hole accepted");
+
+        // Rebuild the adjacency's raw arrays, then corrupt them.
+        let adj = result.graph.adjacency();
+        let n = adj.dim();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0usize);
+        for i in 0..n {
+            let (cols, vals) = adj.row(i);
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len());
+        }
+        prop_assert!(
+            CsrMatrix::from_raw_parts(n, row_ptr.clone(), col_idx.clone(), values.clone()).is_ok()
+        );
+
+        // Unsorted indices: swap the first row with >= 2 entries.
+        if let Some(i) = (0..n).find(|&i| row_ptr[i + 1] - row_ptr[i] >= 2) {
+            let mut bad_cols = col_idx.clone();
+            bad_cols.swap(row_ptr[i], row_ptr[i] + 1);
+            prop_assert!(
+                CsrMatrix::from_raw_parts(n, row_ptr.clone(), bad_cols, values.clone()).is_err(),
+                "unsorted indices accepted"
+            );
+        }
+
+        // NaN weight: structurally valid, so construction succeeds only if
+        // the value check is skipped — it must not be.
+        if !values.is_empty() {
+            let mut bad_vals = values.clone();
+            bad_vals[0] = f64::NAN;
+            prop_assert!(
+                CsrMatrix::from_raw_parts(n, row_ptr.clone(), col_idx.clone(), bad_vals).is_err(),
+                "NaN weight accepted"
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stub of the [`loom`](https://docs.rs/loom) concurrency model
+//! checker, following the workspace's vendored-stub convention: the same
+//! API spelling as the real crate, with a simplified engine.
+//!
+//! Real loom exhaustively enumerates thread interleavings with DPOR and
+//! simulated scheduling. This stub instead runs each [`model`] closure for
+//! many iterations on real OS threads while every loom-typed synchronisation
+//! operation injects schedule perturbation (yields/spins) driven by a
+//! deterministic per-iteration seed. That explores interleavings
+//! empirically rather than exhaustively: a passing run is strong evidence,
+//! not a proof — but the test source is written against the genuine loom
+//! API, so dropping in the real crate upgrades the guarantee without
+//! touching the tests.
+//!
+//! Only the surface the workspace uses is provided: `model`, `thread`,
+//! `sync::{Arc, RwLock}` and `sync::atomic::{AtomicU64, AtomicUsize,
+//! AtomicBool, Ordering}`.
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Number of schedule-randomised iterations one [`model`] call performs.
+/// Override with `LOOM_STUB_ITERS` (the real crate uses
+/// `LOOM_MAX_BRANCHES` etc.; the stub keeps its knob clearly distinct).
+const DEFAULT_ITERS: u64 = 128;
+
+/// Global schedule-perturbation state shared by every loom-typed
+/// primitive. Mixed on each sync operation; per-iteration reseeding makes
+/// runs reproducible while cross-thread contention on the atomic adds the
+/// genuine nondeterminism being explored.
+static SCHED_STATE: StdAtomicU64 = StdAtomicU64::new(0);
+
+/// Injects a schedule perturbation point. Called by every operation on the
+/// loom sync types so thread interleavings vary across model iterations.
+fn schedule_point() {
+    // splitmix64 step over the shared state; low bits pick the action.
+    let x = SCHED_STATE.fetch_add(0x9E37_79B9_7F4A_7C15, StdOrdering::Relaxed);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    match z % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => {
+            // A short spin perturbs timing without a full reschedule.
+            for _ in 0..(z >> 59) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs `f` under the stub model checker: [`DEFAULT_ITERS`] iterations
+/// (or `LOOM_STUB_ITERS`), each with a fresh deterministic schedule seed.
+/// Panics from the closure propagate, failing the enclosing test exactly
+/// as real loom does.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_STUB_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS);
+    for iter in 0..iters {
+        SCHED_STATE.store(
+            iter.wrapping_mul(0xA076_1D64_78BD_642F),
+            StdOrdering::Relaxed,
+        );
+        f();
+    }
+}
+
+pub mod thread {
+    //! Mirror of `loom::thread`: spawns real OS threads with schedule
+    //! perturbation at spawn and start.
+
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a thread, injecting schedule points around the handoff.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::schedule_point();
+        std::thread::spawn(move || {
+            crate::schedule_point();
+            f()
+        })
+    }
+
+    /// Yields the current thread (a plain passthrough; the stub has no
+    /// simulated scheduler to notify).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    //! Mirror of `loom::sync`: wrappers over the std primitives that
+    //! inject schedule perturbation on every acquire/operation.
+
+    // Real loom ships its own Arc to track causality; clone/deref/new are
+    // API-identical, so the std type serves the stub directly.
+    pub use std::sync::Arc;
+    pub use std::sync::{LockResult, RwLockReadGuard, RwLockWriteGuard};
+
+    /// Reader-writer lock with schedule points before each acquire.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(std::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        /// Creates a new lock holding `t`.
+        pub fn new(t: T) -> Self {
+            Self(std::sync::RwLock::new(t))
+        }
+
+        /// Acquires shared read access.
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            crate::schedule_point();
+            self.0.read()
+        }
+
+        /// Acquires exclusive write access.
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            crate::schedule_point();
+            self.0.write()
+        }
+
+        /// Consumes the lock, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    pub mod atomic {
+        //! Mirror of `loom::sync::atomic` with perturbation on every op.
+
+        pub use std::sync::atomic::Ordering;
+
+        /// `u64` atomic injecting schedule points around each operation.
+        #[derive(Debug, Default)]
+        pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+        impl AtomicU64 {
+            /// Creates a new atomic with the given value.
+            pub fn new(v: u64) -> Self {
+                Self(std::sync::atomic::AtomicU64::new(v))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> u64 {
+                crate::schedule_point();
+                self.0.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: u64, order: Ordering) {
+                crate::schedule_point();
+                self.0.store(v, order);
+            }
+
+            /// Adds to the value, returning the previous value.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                crate::schedule_point();
+                let prev = self.0.fetch_add(v, order);
+                crate::schedule_point();
+                prev
+            }
+
+            /// Returns the previous value after an atomic swap.
+            pub fn swap(&self, v: u64, order: Ordering) -> u64 {
+                crate::schedule_point();
+                self.0.swap(v, order)
+            }
+        }
+
+        /// `usize` atomic injecting schedule points around each operation.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// Creates a new atomic with the given value.
+            pub fn new(v: usize) -> Self {
+                Self(std::sync::atomic::AtomicUsize::new(v))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> usize {
+                crate::schedule_point();
+                self.0.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: usize, order: Ordering) {
+                crate::schedule_point();
+                self.0.store(v, order);
+            }
+
+            /// Adds to the value, returning the previous value.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                crate::schedule_point();
+                let prev = self.0.fetch_add(v, order);
+                crate::schedule_point();
+                prev
+            }
+        }
+
+        /// `bool` atomic injecting schedule points around each operation.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic with the given value.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::schedule_point();
+                self.0.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::schedule_point();
+                self.0.store(v, order);
+            }
+        }
+    }
+}
