@@ -12,6 +12,8 @@ pub const TOTAL_ORDER: &str = "total-order";
 pub const CSR_RAW_INDEXING: &str = "csr-raw-indexing";
 /// Identifier for the mandatory `# Errors` doc rule.
 pub const MISSING_ERRORS_DOC: &str = "missing-errors-doc";
+/// Identifier for the thread-spawn containment rule.
+pub const THREAD_SPAWN: &str = "thread-spawn";
 
 /// `(id, requirement)` for every rule, in reporting order.
 pub const RULES: &[(&str, &str)] = &[
@@ -33,6 +35,12 @@ pub const RULES: &[(&str, &str)] = &[
     (
         MISSING_ERRORS_DOC,
         "public Result-returning APIs must document a `# Errors` section",
+    ),
+    (
+        THREAD_SPAWN,
+        "threads may be spawned only inside roadpart-linalg (the `par` \
+         thread pool); other crates take a `ThreadPool` and stay \
+         deterministic through its ordered reductions",
     ),
 ];
 
@@ -58,6 +66,7 @@ pub fn apply_all(krate: &str, file: &str, masked: &MaskedFile) -> Vec<Violation>
     total_order(masked, &mut lines);
     if krate != "roadpart-linalg" {
         csr_raw_indexing(masked, &mut lines);
+        thread_spawn(masked, &mut lines);
     }
     missing_errors_doc(masked, &mut lines);
     lines
@@ -100,6 +109,22 @@ fn csr_raw_indexing(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
     }
     for off in indexed_idents(&masked.masked, "indices", true) {
         out.push((CSR_RAW_INDEXING, masked.line_of(off)));
+    }
+}
+
+/// Flags thread creation outside `roadpart-linalg`: any `spawn(...)` call
+/// (method or path form) and `thread::scope` blocks. The parallel
+/// substrate lives in `roadpart_linalg::par`; everything else routes
+/// through a [`ThreadPool`] so reductions stay deterministic.
+fn thread_spawn(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
+    for off in call_sites(&masked.masked, "spawn") {
+        out.push((THREAD_SPAWN, masked.line_of(off)));
+    }
+    for off in token_positions(&masked.masked, "scope") {
+        let before = masked.masked[..off].trim_end();
+        if before.ends_with("thread::") || before.ends_with("thread ::") {
+            out.push((THREAD_SPAWN, masked.line_of(off)));
+        }
     }
 }
 
@@ -165,6 +190,15 @@ fn method_calls(masked: &str, name: &str) -> Vec<usize> {
             let after = masked[pos + name.len()..].trim_start();
             before.ends_with('.') && after.starts_with('(')
         })
+        .collect()
+}
+
+/// Byte offsets of `name(` call sites regardless of receiver: matches both
+/// `recv.name(` method calls and `path::name(` free-function calls.
+fn call_sites(masked: &str, name: &str) -> Vec<usize> {
+    token_positions(masked, name)
+        .into_iter()
+        .filter(|&pos| masked[pos + name.len()..].trim_start().starts_with('('))
         .collect()
 }
 
@@ -320,6 +354,28 @@ pub fn long(
 }
 ";
         assert!(rules_on(src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_linalg_only() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n";
+        let outside = apply_all("roadpart-stream", "f.rs", &mask_source(src));
+        let mut spawns: Vec<usize> = outside
+            .iter()
+            .filter(|v| v.rule == THREAD_SPAWN)
+            .map(|v| v.line)
+            .collect();
+        spawns.sort_unstable();
+        assert_eq!(spawns, vec![2, 3, 4]);
+        let inside = apply_all("roadpart-linalg", "f.rs", &mask_source(src));
+        assert!(inside.iter().all(|v| v.rule != THREAD_SPAWN));
+    }
+
+    #[test]
+    fn unrelated_spawn_like_identifiers_pass() {
+        let src = "fn f() {\n    let spawn_count = 1;\n    respawn(spawn_count);\n    let scope = 2;\n    let _ = (spawn_count, scope);\n}\n";
+        let found = apply_all("roadpart-stream", "f.rs", &mask_source(src));
+        assert!(found.iter().all(|v| v.rule != THREAD_SPAWN), "{found:?}");
     }
 
     #[test]

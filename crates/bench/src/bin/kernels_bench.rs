@@ -1,0 +1,297 @@
+//! BENCH_kernels — serial vs multi-thread wall time for every deterministic
+//! parallel kernel, plus an end-to-end pipeline differential run.
+//!
+//! ```text
+//! cargo run -p roadpart-bench --release --bin kernels_bench -- --scale 0.15 --runs 5
+//! ```
+//!
+//! Every kernel in `roadpart_linalg::par` uses fixed chunk boundaries with
+//! an ordered merge, so the outputs at each pool size must be *bit
+//! identical* — the bench asserts this (`diffs` columns) while timing the
+//! kernels at 1/2/4/N threads on a jittered-grid and a spider-web synthetic
+//! network. The closing section runs the full ASG pipeline serially and at
+//! 4 threads and counts label differences (must be zero).
+//!
+//! Speedups depend on the host: on a single-core machine all pool sizes
+//! degenerate to roughly serial time (the chunks still exist, there is just
+//! nobody to run them concurrently); `host_threads` records what was
+//! available so the JSON is interpretable either way.
+
+use roadpart::prelude::*;
+use roadpart_bench::{median, write_json, ExpArgs};
+use roadpart_cluster::{kmeans, KMeansConfig};
+use roadpart_cut::gaussian_affinity_par;
+use roadpart_linalg::par::ThreadPool;
+use roadpart_linalg::{DenseMatrix, RankOneUpdate, SymOp};
+use serde_json::json;
+use std::time::Instant;
+
+/// Number of supernodes for the synthetic superlink cover.
+const N_SUPER: usize = 48;
+/// Embedding dimensionality for the k-means kernel.
+const KM_DIM: usize = 4;
+/// Clusters for the k-means kernel.
+const KM_K: usize = 6;
+
+/// Deterministic pseudo-random unit-interval value (no RNG state needed).
+fn hash01(i: usize) -> f64 {
+    let h = (i as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(31)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Grid (scaled M1) and spider-web synthetic networks with paper-style
+/// congestion densities. Both are larger than one `DEFAULT_CHUNK`, so the
+/// chunked kernels genuinely split.
+fn networks(args: &ExpArgs) -> roadpart::Result<Vec<(&'static str, RoadNetwork, Vec<f64>)>> {
+    use rand::SeedableRng;
+    let grid = roadpart_net::UrbanConfig::m1()
+        .scaled(args.scale)
+        .generate(args.seed)?;
+    let spider = {
+        let cfg = roadpart_net::synth::spider::SpiderConfig {
+            rings: 18,
+            spokes: 40,
+            ring_spacing_m: 150.0,
+            jitter_rad: 0.05,
+        };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(args.seed ^ 0x51de);
+        let plan = roadpart_net::synth::spider::spider_plan(&cfg, &mut rng);
+        roadpart_net::synth::realize(&plan, 0.2, &mut rng)?
+    };
+    let mut out = Vec::new();
+    for (name, net) in [("grid", grid), ("spider", spider)] {
+        let field = CongestionField::urban_default(&net, args.seed);
+        let densities = net_densities(&field, &net);
+        out.push((name, net, densities));
+    }
+    Ok(out)
+}
+
+fn net_densities(field: &CongestionField, net: &RoadNetwork) -> Vec<f64> {
+    field.densities(net, 0.4, &TemporalProfile::morning())
+}
+
+/// Times `f` `runs` times and returns the median milliseconds of the runs.
+fn time_ms<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    median(&mut samples)
+}
+
+/// Exact element count by which two float slices differ (bitwise).
+fn bit_diffs(a: &[f64], b: &[f64]) -> usize {
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| x.to_bits() != y.to_bits())
+        .count()
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    ms: Vec<f64>,
+    diffs: Vec<usize>,
+}
+
+/// Benchmarks one kernel at every pool size against the serial reference.
+///
+/// `run` computes the kernel at the given pool and returns a flat float
+/// image of its output (for the bitwise comparison).
+fn bench_kernel<F>(kernel: &'static str, pools: &[ThreadPool], runs: usize, mut run: F) -> KernelRow
+where
+    F: FnMut(&ThreadPool) -> Vec<f64>,
+{
+    let reference = run(&pools[0]);
+    let mut ms = Vec::with_capacity(pools.len());
+    let mut diffs = Vec::with_capacity(pools.len());
+    for pool in pools {
+        let out = run(pool);
+        diffs.push(bit_diffs(&reference, &out));
+        ms.push(time_ms(runs, || {
+            let _ = run(pool);
+        }));
+    }
+    KernelRow { kernel, ms, diffs }
+}
+
+fn main() -> roadpart::Result<()> {
+    let args = ExpArgs::parse(0.15, 5, 2);
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let thread_counts: Vec<usize> = {
+        let mut t = vec![1, 2, 4];
+        if !t.contains(&host_threads) {
+            t.push(host_threads);
+        }
+        t
+    };
+    let pools: Vec<ThreadPool> = thread_counts.iter().map(|&t| ThreadPool::new(t)).collect();
+    println!(
+        "BENCH_kernels: pool sizes {thread_counts:?} (host has {host_threads} threads), \
+         median of {} runs, scale {}\n",
+        args.runs, args.scale
+    );
+
+    let mut net_records = Vec::new();
+    let mut all_bit_identical = true;
+    let mut largest: Option<(usize, f64)> = None; // (segments, 4-thread pipeline speedup)
+    let mut pipeline_label_diffs_total = 0usize;
+
+    for (name, net, densities) in networks(&args)? {
+        let mut graph = RoadGraph::from_network(&net)?;
+        graph.set_features(densities.clone())?;
+        let n = graph.node_count();
+        let adj = graph.adjacency();
+        let affinity = gaussian_affinity_par(adj, graph.features(), &pools[0])?;
+        let x: Vec<f64> = (0..n).map(hash01).collect();
+
+        // α-Cut operator M = d dᵀ/(1ᵀD1) − A (embedding.rs construction).
+        let d = affinity.degrees();
+        let s: f64 = d.iter().sum();
+        let scale = if s > 0.0 { 1.0 / s } else { 0.0 };
+
+        // Synthetic supernode cover: contiguous ranges of segments.
+        let member_of: Vec<usize> = (0..n).map(|i| i * N_SUPER.min(n) / n.max(1)).collect();
+        let super_features: Vec<f64> = (0..N_SUPER.min(n)).map(|s| 0.1 + 0.8 * hash01(s)).collect();
+
+        // Embedding-like points for the k-means kernel.
+        let mut points = DenseMatrix::zeros(n, KM_DIM);
+        for (i, density) in densities.iter().enumerate() {
+            for j in 0..KM_DIM {
+                points.set(i, j, hash01(i * KM_DIM + j) + density);
+            }
+        }
+
+        println!(
+            "{name}: {n} segments, {} affinity non-zeros",
+            affinity.nnz()
+        );
+        let header: String = thread_counts
+            .iter()
+            .map(|t| format!("{:>10}", format!("{t}t ms")))
+            .collect();
+        println!("{:<12}{header}   diffs", "kernel");
+
+        let rows = vec![
+            bench_kernel("spmv", &pools, args.runs, |pool| {
+                let mut y = vec![0.0; n];
+                affinity.par_matvec(pool, &x, &mut y).expect("dims fixed");
+                y
+            }),
+            bench_kernel("alpha_apply", &pools, args.runs, |pool| {
+                let op = RankOneUpdate::new(&affinity, d.clone(), scale, -1.0).expect("dims fixed");
+                let mut y = vec![0.0; n];
+                op.apply_par(pool, &x, &mut y);
+                y
+            }),
+            bench_kernel("affinity", &pools, args.runs, |pool| {
+                let a = gaussian_affinity_par(adj, graph.features(), pool).expect("valid graph");
+                a.iter().map(|(_, _, w)| w).collect()
+            }),
+            bench_kernel("kmeans", &pools, args.runs, |pool| {
+                let cfg = KMeansConfig {
+                    restarts: 2,
+                    seed: args.seed,
+                    pool: *pool,
+                    ..KMeansConfig::default()
+                };
+                let km = kmeans(&points, KM_K, &cfg).expect("valid points");
+                let mut img: Vec<f64> = km.assignments.iter().map(|&a| a as f64).collect();
+                img.push(km.inertia);
+                img
+            }),
+            bench_kernel("superlinks", &pools, args.runs, |pool| {
+                let w = roadpart::build_superlinks_par(adj, &member_of, &super_features, pool)
+                    .expect("valid cover");
+                w.iter().map(|(_, _, v)| v).collect()
+            }),
+        ];
+        let mut kernel_records = Vec::new();
+        for row in &rows {
+            let identical = row.diffs.iter().all(|&d| d == 0);
+            all_bit_identical &= identical;
+            let cells: String = row.ms.iter().map(|m| format!("{m:>10.3}")).collect();
+            println!("{:<12}{cells}   {:?}", row.kernel, row.diffs);
+            kernel_records.push(json!({
+                "kernel": row.kernel,
+                "threads": thread_counts,
+                "ms": row.ms,
+                "speedup_vs_serial": row.ms.iter().map(|&m| row.ms[0] / m.max(1e-9)).collect::<Vec<f64>>(),
+                "bit_diffs_vs_serial": row.diffs,
+            }));
+        }
+
+        // End-to-end pipeline: serial vs 4 threads, label-for-label.
+        let k = 6;
+        let serial_cfg = PipelineConfig::asg(k).with_seed(args.seed).with_threads(1);
+        let par_cfg = PipelineConfig::asg(k).with_seed(args.seed).with_threads(4);
+        let serial_ms = time_ms(args.runs.min(3), || {
+            let _ = partition_network(&net, &densities, &serial_cfg);
+        });
+        let par_ms = time_ms(args.runs.min(3), || {
+            let _ = partition_network(&net, &densities, &par_cfg);
+        });
+        let serial_run = partition_network(&net, &densities, &serial_cfg)?;
+        let par_run = partition_network(&net, &densities, &par_cfg)?;
+        let label_diffs = serial_run
+            .partition
+            .labels()
+            .iter()
+            .zip(par_run.partition.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        pipeline_label_diffs_total += label_diffs;
+        let speedup = serial_ms / par_ms.max(1e-9);
+        println!(
+            "{:<12}serial {serial_ms:.1} ms, 4 threads {par_ms:.1} ms   label diffs: \
+             {label_diffs} (speedup {speedup:.2}x)\n",
+            "pipeline",
+        );
+        if largest.map_or(true, |(seg, _)| n > seg) {
+            largest = Some((n, speedup));
+        }
+
+        net_records.push(json!({
+            "network": name,
+            "segments": n,
+            "affinity_nnz": affinity.nnz(),
+            "kernels": kernel_records,
+            "pipeline": {
+                "k": k,
+                "serial_ms": serial_ms,
+                "par4_ms": par_ms,
+                "speedup_4t": speedup,
+                "label_diffs": label_diffs,
+            },
+        }));
+    }
+
+    let (largest_segments, largest_speedup) = largest.unwrap_or((0, 1.0));
+    println!(
+        "bit-identical across pool sizes: {all_bit_identical}; pipeline label diffs: \
+         {pipeline_label_diffs_total}; largest network ({largest_segments} segments) 4-thread \
+         speedup: {largest_speedup:.2}x"
+    );
+
+    write_json(
+        "BENCH_kernels",
+        &json!({
+            "scale": args.scale,
+            "seed": args.seed,
+            "runs": args.runs,
+            "host_threads": host_threads,
+            "thread_counts": thread_counts,
+            "all_bit_identical": all_bit_identical,
+            "pipeline_label_diffs": pipeline_label_diffs_total,
+            "largest_segments": largest_segments,
+            "largest_speedup_4t": largest_speedup,
+            "networks": net_records,
+        }),
+    );
+    Ok(())
+}

@@ -9,6 +9,7 @@
 use crate::error::{ClusterError, Result};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use roadpart_linalg::par::{ThreadPool, DEFAULT_CHUNK};
 use roadpart_linalg::{ord::max_by_f64_key, DenseMatrix};
 
 /// Configuration for [`kmeans`].
@@ -30,6 +31,11 @@ pub struct KMeansConfig {
     /// warm and cold configurations do the same number of runs; a stale or
     /// malformed hint is ignored.
     pub warm_start: Option<DenseMatrix>,
+    /// Thread pool for the assignment/update passes. Every reduction uses
+    /// fixed chunk boundaries with an ordered merge (see
+    /// `roadpart_linalg::par`), so results are bit-identical at any pool
+    /// size. Default: `ROADPART_THREADS` with a serial fallback.
+    pub pool: ThreadPool,
 }
 
 impl Default for KMeansConfig {
@@ -40,6 +46,7 @@ impl Default for KMeansConfig {
             seed: 0,
             tol: 1e-9,
             warm_start: None,
+            pool: ThreadPool::from_env(),
         }
     }
 }
@@ -129,13 +136,18 @@ fn single_run(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut ChaC
     let n = points.rows();
     let d = points.cols();
 
-    // k-means++ seeding.
+    // k-means++ seeding. The distance refreshes are elementwise, so the
+    // chunked parallel passes are bit-identical to the serial loops.
     let mut centers = DenseMatrix::zeros(k, d);
     let first = rng.gen_range(0..n);
     centers.row_mut(0).copy_from_slice(points.row(first));
-    let mut min_d2: Vec<f64> = (0..n)
-        .map(|i| sq_dist(points.row(i), centers.row(0)))
-        .collect();
+    let mut min_d2: Vec<f64> = vec![0.0; n];
+    cfg.pool
+        .for_each_chunk_mut(&mut min_d2, DEFAULT_CHUNK, |r, mc| {
+            for (m, i) in mc.iter_mut().zip(r) {
+                *m = sq_dist(points.row(i), centers.row(0));
+            }
+        });
     for c in 1..k {
         let total: f64 = min_d2.iter().sum();
         let chosen = if total <= 0.0 {
@@ -153,9 +165,13 @@ fn single_run(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut ChaC
             pick
         };
         centers.row_mut(c).copy_from_slice(points.row(chosen));
-        for i in 0..n {
-            min_d2[i] = min_d2[i].min(sq_dist(points.row(i), centers.row(c)));
-        }
+        let centers = &centers;
+        cfg.pool
+            .for_each_chunk_mut(&mut min_d2, DEFAULT_CHUNK, |r, mc| {
+                for (m, i) in mc.iter_mut().zip(r) {
+                    *m = m.min(sq_dist(points.row(i), centers.row(c)));
+                }
+            });
     }
 
     lloyd(points, centers, cfg)
@@ -171,30 +187,49 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
     let mut counts = vec![0usize; k];
     let mut inertia = f64::INFINITY;
     for _ in 0..cfg.max_iters.max(1) {
-        // Assignment.
-        let mut new_inertia = 0.0;
-        for i in 0..n {
-            let p = points.row(i);
-            let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
-            for c in 0..k {
-                let dist = sq_dist(p, centers.row(c));
-                if dist < best_d {
-                    best_d = dist;
-                    best_c = c;
+        // Fused assignment + partial centroid accumulation: every chunk
+        // assigns its points sequentially in index order and accumulates
+        // its own inertia / per-cluster sums and counts; partials are then
+        // merged in chunk order. With one chunk this is exactly the
+        // historical serial pass, and the output never depends on the pool
+        // size (ordered reduction — see `roadpart_linalg::par`).
+        let frozen = &centers;
+        let stats = cfg.pool.chunked_map(n, DEFAULT_CHUNK, |r| {
+            let start = r.start;
+            let mut assign = Vec::with_capacity(r.len());
+            let mut inertia = 0.0;
+            let mut sums = vec![0.0; k * d];
+            let mut counts = vec![0usize; k];
+            for i in r {
+                let p = points.row(i);
+                let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
+                for c in 0..k {
+                    let dist = sq_dist(p, frozen.row(c));
+                    if dist < best_d {
+                        best_d = dist;
+                        best_c = c;
+                    }
+                }
+                assign.push(best_c);
+                inertia += best_d;
+                counts[best_c] += 1;
+                for (s, &v) in sums[best_c * d..(best_c + 1) * d].iter_mut().zip(p) {
+                    *s += v;
                 }
             }
-            assignments[i] = best_c;
-            new_inertia += best_d;
-        }
-        // Update.
-        let mut sums = DenseMatrix::zeros(k, d);
+            (start, assign, inertia, sums, counts)
+        });
+        let mut new_inertia = 0.0;
+        let mut sums = vec![0.0; k * d];
         counts.iter_mut().for_each(|c| *c = 0);
-        for i in 0..n {
-            let c = assignments[i];
-            counts[c] += 1;
-            let row = sums.row_mut(c);
-            for (s, &v) in row.iter_mut().zip(points.row(i)) {
+        for (start, assign, chunk_inertia, chunk_sums, chunk_counts) in stats {
+            assignments[start..start + assign.len()].copy_from_slice(&assign);
+            new_inertia += chunk_inertia;
+            for (s, v) in sums.iter_mut().zip(chunk_sums) {
                 *s += v;
+            }
+            for (c, v) in counts.iter_mut().zip(chunk_counts) {
+                *c += v;
             }
         }
         let mut moved = 0.0f64;
@@ -216,7 +251,7 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
             let inv = 1.0 / counts[c] as f64;
             let mut delta = 0.0;
             for j in 0..d {
-                let new = sums.get(c, j) * inv;
+                let new = sums[c * d + j] * inv;
                 let old = centers.get(c, j);
                 delta += (new - old) * (new - old);
                 centers.set(c, j, new);

@@ -65,7 +65,7 @@ pub use schemes::{run_scheme, FrameworkConfig, Scheme, SchemeOutcome};
 pub use select::{select_k, KCandidate, KSelection};
 pub use stability::{stability, stability_check, StableSupernode};
 pub use supergraph::{Supergraph, Supernode};
-pub use superlink::build_superlinks;
+pub use superlink::{build_superlinks, build_superlinks_par};
 pub use supervisor::{
     error_chain, run_supervised, AttemptRecord, RunReport, SupervisedRun, SupervisorConfig,
 };

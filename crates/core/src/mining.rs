@@ -13,7 +13,7 @@
 use crate::error::{Result, RoadpartError};
 use crate::stability::stability_check;
 use crate::supergraph::{Supergraph, Supernode};
-use crate::superlink::build_superlinks;
+use crate::superlink::build_superlinks_par;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -41,6 +41,11 @@ pub struct MiningConfig {
     pub stability_threshold: f64,
     /// RNG seed (sampling only; k-means itself is deterministic).
     pub seed: u64,
+    /// Thread pool for the superlink weighting pass. Bit-identical at any
+    /// pool size (see `roadpart_linalg::par`), so it is excluded from the
+    /// serialized configuration and defaults to `ROADPART_THREADS`.
+    #[serde(skip)]
+    pub pool: roadpart_linalg::ThreadPool,
 }
 
 impl Default for MiningConfig {
@@ -52,6 +57,7 @@ impl Default for MiningConfig {
             sample_size: 2_000,
             stability_threshold: 0.0,
             seed: 0,
+            pool: roadpart_linalg::ThreadPool::from_env(),
         }
     }
 }
@@ -193,7 +199,7 @@ pub fn mine_supergraph(graph: &RoadGraph, cfg: &MiningConfig) -> Result<MiningOu
         }
     }
     let super_features: Vec<f64> = supernodes.iter().map(|s| s.feature).collect();
-    let superlinks = build_superlinks(adjacency, &member_of, &super_features)?;
+    let superlinks = build_superlinks_par(adjacency, &member_of, &super_features, &cfg.pool)?;
     let supergraph = Supergraph::new(supernodes, superlinks, n)?;
 
     Ok(MiningOutcome {

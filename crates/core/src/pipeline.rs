@@ -45,6 +45,19 @@ impl PipelineConfig {
         self.framework = self.framework.with_seed(seed);
         self
     }
+
+    /// Sets the thread pool for every parallel kernel the pipeline runs.
+    /// Purely a performance knob: results are bit-identical at any pool
+    /// size (see `roadpart_linalg::par`).
+    pub fn with_pool(mut self, pool: roadpart_linalg::ThreadPool) -> Self {
+        self.framework = self.framework.with_pool(pool);
+        self
+    }
+
+    /// Convenience for [`PipelineConfig::with_pool`] from a thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_pool(roadpart_linalg::ThreadPool::new(threads))
+    }
 }
 
 /// Wall-clock spent in each framework module (Table 3 rows).

@@ -15,7 +15,7 @@
 use crate::error::Result;
 use crate::mining::{mine_supergraph, MiningConfig, MiningOutcome};
 use roadpart_cut::{
-    gaussian_affinity, spectral_partition_recovering, CutKind, Partition, SpectralConfig,
+    gaussian_affinity_par, spectral_partition_recovering, CutKind, Partition, SpectralConfig,
 };
 use roadpart_linalg::RecoveryLog;
 use roadpart_net::RoadGraph;
@@ -92,6 +92,21 @@ impl FrameworkConfig {
         self.spectral = self.spectral.with_seed(seed);
         self
     }
+
+    /// Sets the thread pool for every parallel kernel the framework runs
+    /// (affinity weighting, superlink construction, eigensolver applies,
+    /// eigenspace k-means). Purely a performance knob: every kernel is
+    /// bit-identical at any pool size.
+    pub fn with_pool(mut self, pool: roadpart_linalg::ThreadPool) -> Self {
+        self.mining.pool = pool;
+        self.spectral = self.spectral.with_pool(pool);
+        self
+    }
+
+    /// Convenience for [`FrameworkConfig::with_pool`] from a thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_pool(roadpart_linalg::ThreadPool::new(threads))
+    }
 }
 
 /// Result of running one scheme.
@@ -141,7 +156,8 @@ pub fn run_scheme(
             recovery,
         })
     } else {
-        let affinity = gaussian_affinity(graph.adjacency(), graph.features())?;
+        let affinity =
+            gaussian_affinity_par(graph.adjacency(), graph.features(), &cfg.spectral.pool())?;
         let partition = spectral_partition_recovering(
             &affinity,
             k,

@@ -13,8 +13,9 @@
 //! note the algebraic reduction in DESIGN.md.
 
 use crate::error::Result;
+use roadpart_linalg::par::{ThreadPool, DEFAULT_CHUNK};
 use roadpart_linalg::CsrMatrix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Builds the weighted superlink matrix for a supernode cover of the road
 /// graph.
@@ -34,6 +35,26 @@ pub fn build_superlinks(
     member_of: &[usize],
     features: &[f64],
 ) -> Result<CsrMatrix> {
+    build_superlinks_par(road_adj, member_of, features, &ThreadPool::serial())
+}
+
+/// [`build_superlinks`] with the per-link similarity accumulation
+/// distributed over `pool`.
+///
+/// Each fixed row chunk accumulates its own ordered `(pair -> (Σ sim²,
+/// count))` map by scanning rows in index order; the chunk maps are then
+/// merged in chunk order. Chunk boundaries never depend on the thread
+/// count, so the result is bit-identical at any pool size.
+///
+/// # Errors
+/// Propagates matrix-construction failures (out-of-range `member_of`
+/// entries surface here).
+pub fn build_superlinks_par(
+    road_adj: &CsrMatrix,
+    member_of: &[usize],
+    features: &[f64],
+    pool: &ThreadPool,
+) -> Result<CsrMatrix> {
     let n_super = features.len();
     let mu = if n_super == 0 {
         0.0
@@ -46,26 +67,42 @@ pub fn build_superlinks(
         features.iter().map(|f| (f - mu) * (f - mu)).sum::<f64>() / n_super as f64
     };
 
-    // Accumulate squared similarities and link counts per supernode pair.
-    let mut acc: HashMap<(usize, usize), (f64, usize)> = HashMap::new();
-    for (u, v, _) in road_adj.iter() {
-        if u >= v {
-            continue; // each undirected link once
+    // Accumulate squared similarities and link counts per supernode pair,
+    // one ordered map per fixed row chunk.
+    let chunk_maps = pool.chunked_map(road_adj.dim(), DEFAULT_CHUNK, |rows| {
+        let mut acc: BTreeMap<(usize, usize), (f64, usize)> = BTreeMap::new();
+        for u in rows {
+            let (cols, _) = road_adj.row(u);
+            for &v in cols {
+                if u >= v {
+                    continue; // each undirected link once
+                }
+                let (p, q) = (member_of[u], member_of[v]);
+                if p == q {
+                    continue;
+                }
+                let key = (p.min(q), p.max(q));
+                let sim = if var > 0.0 {
+                    let d = features[key.0] - features[key.1];
+                    (-(d * d) / (2.0 * var)).exp()
+                } else {
+                    1.0
+                };
+                let e = acc.entry(key).or_insert((0.0, 0));
+                e.0 += sim * sim;
+                e.1 += 1;
+            }
         }
-        let (p, q) = (member_of[u], member_of[v]);
-        if p == q {
-            continue;
+        acc
+    });
+    // Ordered merge: chunk partials combine in chunk (= row) order.
+    let mut acc: BTreeMap<(usize, usize), (f64, usize)> = BTreeMap::new();
+    for chunk in chunk_maps {
+        for (key, (sum_sq, count)) in chunk {
+            let e = acc.entry(key).or_insert((0.0, 0));
+            e.0 += sum_sq;
+            e.1 += count;
         }
-        let key = (p.min(q), p.max(q));
-        let sim = if var > 0.0 {
-            let d = features[key.0] - features[key.1];
-            (-(d * d) / (2.0 * var)).exp()
-        } else {
-            1.0
-        };
-        let e = acc.entry(key).or_insert((0.0, 0));
-        e.0 += sim * sim;
-        e.1 += 1;
     }
     let triplets: Vec<(usize, usize, f64)> = acc
         .into_iter()

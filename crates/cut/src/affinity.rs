@@ -6,6 +6,7 @@
 //! node-level analogue of the superlink weight of Eq. 3 (with `|L_pq| = 1`).
 
 use crate::error::{CutError, Result};
+use roadpart_linalg::par::{ThreadPool, DEFAULT_CHUNK};
 use roadpart_linalg::CsrMatrix;
 
 /// Replaces each binary link `(i, j)` with the Gaussian similarity
@@ -29,6 +30,22 @@ use roadpart_linalg::CsrMatrix;
 /// Returns [`CutError::InvalidInput`] on length mismatch or non-finite
 /// features.
 pub fn gaussian_affinity(adj: &CsrMatrix, features: &[f64]) -> Result<CsrMatrix> {
+    gaussian_affinity_par(adj, features, &ThreadPool::serial())
+}
+
+/// [`gaussian_affinity`] with the per-link weighting distributed over
+/// `pool` in fixed row chunks. The weights are pure per-entry functions
+/// and the chunk triplet lists concatenate in chunk (= row) order, so the
+/// result is bit-identical to the serial construction at any pool size.
+///
+/// # Errors
+/// Returns [`CutError::InvalidInput`] on length mismatch or non-finite
+/// features.
+pub fn gaussian_affinity_par(
+    adj: &CsrMatrix,
+    features: &[f64],
+    pool: &ThreadPool,
+) -> Result<CsrMatrix> {
     let n = adj.dim();
     if features.len() != n {
         return Err(CutError::InvalidInput(format!(
@@ -48,18 +65,23 @@ pub fn gaussian_affinity(adj: &CsrMatrix, features: &[f64]) -> Result<CsrMatrix>
     // drops exact zeros, and the spatial-adjacency pattern must survive for
     // connectivity checks and partition-adjacency metrics).
     const MIN_WEIGHT: f64 = 1e-12;
-    let triplets: Vec<(usize, usize, f64)> = adj
-        .iter()
-        .map(|(i, j, _)| {
-            let w = if var > 0.0 {
-                let d = features[i] - features[j];
-                (-(d * d) / (2.0 * var)).exp().max(MIN_WEIGHT)
-            } else {
-                1.0
-            };
-            (i, j, w)
-        })
-        .collect();
+    let chunks = pool.chunked_map(n, DEFAULT_CHUNK, |rows| {
+        let mut part: Vec<(usize, usize, f64)> = Vec::new();
+        for i in rows {
+            let (cols, _) = adj.row(i);
+            for &j in cols {
+                let w = if var > 0.0 {
+                    let d = features[i] - features[j];
+                    (-(d * d) / (2.0 * var)).exp().max(MIN_WEIGHT)
+                } else {
+                    1.0
+                };
+                part.push((i, j, w));
+            }
+        }
+        part
+    });
+    let triplets: Vec<(usize, usize, f64)> = chunks.into_iter().flatten().collect();
     Ok(CsrMatrix::from_triplets(n, &triplets)?)
 }
 

@@ -70,6 +70,25 @@ impl SpectralConfig {
         self.eigen.seed = seed ^ 0x9e37_79b9_7f4a_7c15;
         self
     }
+
+    /// Sets the thread pool for every parallel kernel of the spectral
+    /// pipeline (eigensolver applies and eigenspace k-means). Purely a
+    /// performance knob: all kernels are bit-identical at any pool size.
+    pub fn with_pool(mut self, pool: roadpart_linalg::ThreadPool) -> Self {
+        self.eigen.pool = pool;
+        self.kmeans.pool = pool;
+        self
+    }
+
+    /// Convenience for [`SpectralConfig::with_pool`] from a thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_pool(roadpart_linalg::ThreadPool::new(threads))
+    }
+
+    /// The pool the spectral kernels run on.
+    pub fn pool(&self) -> roadpart_linalg::ThreadPool {
+        self.eigen.pool
+    }
 }
 
 /// Reusable spectral state captured from a completed partition run.

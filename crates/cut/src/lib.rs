@@ -28,7 +28,7 @@ pub mod ncut;
 pub mod partition;
 pub mod refine;
 
-pub use affinity::gaussian_affinity;
+pub use affinity::{gaussian_affinity, gaussian_affinity_par};
 pub use alpha::alpha_cut;
 pub use bipartition::bipartition;
 pub use embedding::{

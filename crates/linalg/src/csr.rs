@@ -189,15 +189,55 @@ impl CsrMatrix {
                 context: "CsrMatrix::matvec output",
             });
         }
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
+        self.rows_into(0, x, y);
+        Ok(())
+    }
+
+    /// `y = A x` computed with row chunks distributed over `pool`.
+    ///
+    /// Each `y[i]` is produced by the same sequential per-row accumulation
+    /// as [`CsrMatrix::matvec`], so the result is bit-identical to the
+    /// serial product at every pool size.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn par_matvec(
+        &self,
+        pool: &crate::par::ThreadPool,
+        x: &[f64],
+        y: &mut [f64],
+    ) -> Result<()> {
+        if x.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                found: x.len(),
+                context: "CsrMatrix::par_matvec input",
+            });
+        }
+        if y.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                found: y.len(),
+                context: "CsrMatrix::par_matvec output",
+            });
+        }
+        pool.for_each_chunk_mut(y, crate::par::DEFAULT_CHUNK, |r, yc| {
+            self.rows_into(r.start, x, yc);
+        });
+        Ok(())
+    }
+
+    /// Computes rows `row0 .. row0 + out.len()` of `A x` into `out`.
+    /// Shapes are the caller's responsibility.
+    pub(crate) fn rows_into(&self, row0: usize, x: &[f64], out: &mut [f64]) {
+        for (offset, yi) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(row0 + offset);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals) {
                 acc += v * x[*c];
             }
             *yi = acc;
         }
-        Ok(())
     }
 
     /// Row sums — the weighted degree vector `d` of a graph adjacency matrix.

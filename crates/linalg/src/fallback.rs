@@ -31,7 +31,7 @@
 use crate::dense::DenseMatrix;
 use crate::eigen_dense::eigh;
 use crate::error::{LinalgError, Result};
-use crate::lanczos::{densify, sym_eigs, EigenConfig, PartialEigen, Which};
+use crate::lanczos::{densify_with, sym_eigs, EigenConfig, PartialEigen, Which};
 use crate::operator::SymOp;
 use serde::{Deserialize, Serialize};
 
@@ -232,7 +232,7 @@ fn run_rung(
             c.seed ^= fallback.seed_perturbation;
             sym_eigs(op, nev, which, &c)
         }
-        FallbackRung::Dense => dense_solve(op, nev, which),
+        FallbackRung::Dense => dense_solve(op, nev, which, &cfg.pool),
     }
 }
 
@@ -244,14 +244,19 @@ fn relaxed(cfg: &EigenConfig, fallback: &FallbackConfig) -> EigenConfig {
 }
 
 /// The dense rung: densify and solve exactly, then slice the wanted end.
-fn dense_solve(op: &impl SymOp, nev: usize, which: Which) -> Result<PartialEigen> {
+fn dense_solve(
+    op: &impl SymOp,
+    nev: usize,
+    which: Which,
+    pool: &crate::par::ThreadPool,
+) -> Result<PartialEigen> {
     let n = op.dim();
     if nev > n {
         return Err(LinalgError::InvalidInput(format!(
             "requested {nev} eigenpairs of a dimension-{n} operator"
         )));
     }
-    let dec = eigh(&densify(op))?;
+    let dec = eigh(&densify_with(op, pool))?;
     if dec.values.iter().any(|v| !v.is_finite()) {
         return Err(LinalgError::NonFinite {
             context: "dense fallback eigendecomposition",

@@ -18,6 +18,7 @@ use crate::dense::DenseMatrix;
 use crate::eigen_dense::eigh;
 use crate::error::{LinalgError, Result};
 use crate::operator::SymOp;
+use crate::par::ThreadPool;
 use crate::tridiag::tql2;
 use crate::vecops;
 use rand::{Rng, SeedableRng};
@@ -55,6 +56,11 @@ pub struct EigenConfig {
     /// operator or its entries are non-finite, so a stale hint can never
     /// corrupt a solve — at worst it degrades to the cold start.
     pub start: Option<DenseMatrix>,
+    /// Thread pool for the operator applications. Results are bit-identical
+    /// at every pool size (see [`crate::par`]), so this is purely a
+    /// performance knob. Default: [`ThreadPool::from_env`]
+    /// (`ROADPART_THREADS`, serial fallback).
+    pub pool: ThreadPool,
 }
 
 impl Default for EigenConfig {
@@ -66,6 +72,7 @@ impl Default for EigenConfig {
             tol: 1e-8,
             seed: 0x5eed_1a27,
             start: None,
+            pool: ThreadPool::from_env(),
         }
     }
 }
@@ -119,7 +126,7 @@ pub fn sym_eigs(
         });
     }
     if n <= cfg.dense_cutoff {
-        let dense = densify(op);
+        let dense = densify_with(op, &cfg.pool);
         let dec = eigh(&dense)?;
         let idx: Vec<usize> = match which {
             Which::Smallest => (0..nev).collect(),
@@ -139,13 +146,18 @@ pub fn sym_eigs(
 /// Materializes a matrix-free operator by applying it to every unit vector.
 /// The result is symmetrized to wash out round-off asymmetry.
 pub fn densify(op: &impl SymOp) -> DenseMatrix {
+    densify_with(op, &ThreadPool::serial())
+}
+
+/// [`densify`] with the operator applications distributed over `pool`.
+pub fn densify_with(op: &impl SymOp, pool: &ThreadPool) -> DenseMatrix {
     let n = op.dim();
     let mut a = DenseMatrix::zeros(n, n);
     let mut e = vec![0.0; n];
     let mut col = vec![0.0; n];
     for j in 0..n {
         e[j] = 1.0;
-        op.apply(&e, &mut col);
+        op.apply_par(pool, &e, &mut col);
         for (i, &c) in col.iter().enumerate() {
             a.set(i, j, c);
         }
@@ -342,7 +354,7 @@ fn lanczos_run(
     let mut exhausted_complement = false;
 
     while basis.len() < m_max {
-        op.apply_checked(&q, &mut w)?;
+        op.apply_par_checked(&cfg.pool, &q, &mut w)?;
         let alpha = vecops::dot(&w, &q);
         vecops::axpy(-alpha, &q, &mut w);
         // Basis vectors and betas are pushed in lockstep, so both are

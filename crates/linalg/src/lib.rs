@@ -22,7 +22,10 @@
 //!   QL (the EISPACK `tred2`/`tql2` pair), exact for small/medium matrices;
 //! * [`lanczos::sym_eigs`] — matrix-free Lanczos with full
 //!   reorthogonalization for large instances, with automatic fallback to the
-//!   dense path below a configurable cutoff.
+//!   dense path below a configurable cutoff;
+//! * [`par::ThreadPool`] — a std-only chunked scoped-thread pool whose
+//!   fixed chunk boundaries and ordered reductions make every parallel
+//!   kernel bit-identical to its serial counterpart.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ pub mod fallback;
 pub mod lanczos;
 pub mod operator;
 pub mod ord;
+pub mod par;
 pub mod tridiag;
 pub mod vecops;
 
@@ -42,6 +46,7 @@ pub use dense::DenseMatrix;
 pub use eigen_dense::{eigh, EigenDecomposition};
 pub use error::{LinalgError, Result};
 pub use fallback::{sym_eigs_recovering, FallbackConfig, FallbackRung, RecoveryEvent, RecoveryLog};
-pub use lanczos::{densify, sym_eigs, EigenConfig, PartialEigen, Which};
+pub use lanczos::{densify, densify_with, sym_eigs, EigenConfig, PartialEigen, Which};
 pub use operator::{DiagScaledOp, RankOneUpdate, SymOp};
 pub use ord::{cmp_f64, max_by_f64_key, min_by_f64_key, sort_by_f64_key, sort_f64};
+pub use par::ThreadPool;

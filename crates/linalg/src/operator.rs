@@ -7,6 +7,7 @@
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::error::{LinalgError, Result};
+use crate::par::{self, ThreadPool};
 use crate::vecops;
 
 /// A symmetric linear operator `y = Op(x)` known only through its action.
@@ -40,6 +41,41 @@ pub trait SymOp {
         self.apply(x, y);
         Ok(())
     }
+
+    /// Computes `y = Op(x)` with work distributed over `pool`.
+    ///
+    /// The default implementation runs [`SymOp::apply`] serially; operator
+    /// types with parallelizable structure override it. Every override must
+    /// follow the determinism rule of [`crate::par`]: fixed chunk
+    /// boundaries and ordered reductions, so the result is bit-identical
+    /// at every pool size.
+    fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        let _ = pool;
+        self.apply(x, y);
+    }
+
+    /// Checked wrapper around [`SymOp::apply_par`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    fn apply_par_checked(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                found: x.len(),
+                context: "SymOp::apply_par input",
+            });
+        }
+        if y.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim(),
+                found: y.len(),
+                context: "SymOp::apply_par output",
+            });
+        }
+        self.apply_par(pool, x, y);
+        Ok(())
+    }
 }
 
 impl SymOp for CsrMatrix {
@@ -51,6 +87,13 @@ impl SymOp for CsrMatrix {
         // Shapes are validated by apply_checked; infallible here.
         self.matvec(x, y).expect("CSR matvec with validated shapes");
     }
+
+    fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), SymOp::dim(self));
+        pool.for_each_chunk_mut(y, par::DEFAULT_CHUNK, |r, yc| {
+            self.rows_into(r.start, x, yc);
+        });
+    }
 }
 
 impl SymOp for DenseMatrix {
@@ -61,6 +104,15 @@ impl SymOp for DenseMatrix {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.matvec(x, y)
             .expect("dense matvec with validated shapes");
+    }
+
+    fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols());
+        pool.for_each_chunk_mut(y, par::DEFAULT_CHUNK, |r, yc| {
+            for (yi, i) in yc.iter_mut().zip(r) {
+                *yi = vecops::dot(self.row(i), x);
+            }
+        });
     }
 }
 
@@ -105,7 +157,7 @@ impl<'a, B: SymOp> RankOneUpdate<'a, B> {
     }
 }
 
-impl<B: SymOp> SymOp for RankOneUpdate<'_, B> {
+impl<B: SymOp + Sync> SymOp for RankOneUpdate<'_, B> {
     fn dim(&self) -> usize {
         self.base.dim()
     }
@@ -117,6 +169,17 @@ impl<B: SymOp> SymOp for RankOneUpdate<'_, B> {
         }
         let coeff = self.scale * vecops::dot(&self.u, x);
         vecops::axpy(coeff, &self.u, y);
+    }
+
+    // The α-Cut apply: base matvec, rank-one correction via a chunked dot
+    // with ordered partial sums — bit-identical at every pool size.
+    fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        self.base.apply_par(pool, x, y);
+        if self.base_sign != 1.0 {
+            par::scale(pool, self.base_sign, y);
+        }
+        let coeff = self.scale * par::dot(pool, &self.u, x);
+        par::axpy(pool, coeff, &self.u, y);
     }
 }
 
@@ -155,7 +218,7 @@ impl<'a, B: SymOp> DiagScaledOp<'a, B> {
     }
 }
 
-impl<B: SymOp> SymOp for DiagScaledOp<'_, B> {
+impl<B: SymOp + Sync> SymOp for DiagScaledOp<'_, B> {
     fn dim(&self) -> usize {
         self.base.dim()
     }
@@ -170,6 +233,22 @@ impl<B: SymOp> SymOp for DiagScaledOp<'_, B> {
         for i in 0..n {
             y[i] = self.sign * self.s[i] * y[i] + self.shift * x[i];
         }
+    }
+
+    fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        let n = self.dim();
+        let mut sx = vec![0.0; n];
+        pool.for_each_chunk_mut(&mut sx, par::DEFAULT_CHUNK, |r, out| {
+            for (o, i) in out.iter_mut().zip(r) {
+                *o = self.s[i] * x[i];
+            }
+        });
+        self.base.apply_par(pool, &sx, y);
+        pool.for_each_chunk_mut(y, par::DEFAULT_CHUNK, |r, yc| {
+            for (yi, i) in yc.iter_mut().zip(r) {
+                *yi = self.sign * self.s[i] * *yi + self.shift * x[i];
+            }
+        });
     }
 }
 

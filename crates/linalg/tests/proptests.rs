@@ -170,3 +170,108 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `chunked_map` equals the sequential map over the same fixed chunk
+    /// ranges for every pool size — including empty inputs and fewer
+    /// elements than workers.
+    #[test]
+    fn chunked_map_matches_sequential(
+        len in 0usize..4000,
+        chunk in 1usize..2048,
+        threads in 1usize..9,
+    ) {
+        use roadpart_linalg::par::{chunk_ranges, ThreadPool};
+        let data: Vec<f64> = (0..len).map(|i| (i as f64).sin() + i as f64 * 1e-3).collect();
+        let expected: Vec<f64> = chunk_ranges(len, chunk)
+            .into_iter()
+            .map(|r| data[r].iter().sum::<f64>())
+            .collect();
+        let pool = ThreadPool::new(threads);
+        let slice = &data;
+        let got = pool.chunked_map(len, chunk, |r| slice[r].iter().sum::<f64>());
+        prop_assert_eq!(expected.len(), got.len());
+        for (e, g) in expected.iter().zip(&got) {
+            prop_assert!(e.to_bits() == g.to_bits(), "chunk partial differs");
+        }
+    }
+
+    /// `chunked_reduce` equals the sequential left fold of the per-chunk
+    /// partials *bitwise*, at every pool size.
+    #[test]
+    fn chunked_reduce_matches_sequential_fold(
+        len in 0usize..4000,
+        chunk in 1usize..2048,
+        threads in 1usize..9,
+    ) {
+        use roadpart_linalg::par::{chunk_ranges, ThreadPool};
+        let data: Vec<f64> = (0..len).map(|i| ((i * 37 + 11) % 97) as f64 * 0.013 - 0.5).collect();
+        let slice = &data;
+        let expected = chunk_ranges(len, chunk)
+            .into_iter()
+            .map(|r| slice[r].iter().sum::<f64>())
+            .fold(0.0f64, |acc, p| acc + p);
+        let pool = ThreadPool::new(threads);
+        let got = pool.chunked_reduce(
+            len,
+            chunk,
+            0.0f64,
+            |r| slice[r].iter().sum::<f64>(),
+            |acc, p| acc + p,
+        );
+        prop_assert!(
+            expected.to_bits() == got.to_bits(),
+            "ordered reduce differs from sequential fold: {} vs {}", expected, got
+        );
+    }
+
+    /// `for_each_chunk_mut` writes every output slot exactly as the serial
+    /// loop would, for arbitrary lengths, chunks, and pool sizes.
+    #[test]
+    fn for_each_chunk_mut_matches_serial_loop(
+        len in 0usize..4000,
+        chunk in 1usize..2048,
+        threads in 1usize..9,
+    ) {
+        use roadpart_linalg::par::ThreadPool;
+        let expected: Vec<f64> = (0..len).map(|i| (i as f64) * 1.5 - 3.0).collect();
+        let pool = ThreadPool::new(threads);
+        let mut out = vec![f64::NAN; len];
+        pool.for_each_chunk_mut(&mut out, chunk, |r, slots| {
+            for (offset, slot) in slots.iter_mut().enumerate() {
+                *slot = ((r.start + offset) as f64) * 1.5 - 3.0;
+            }
+        });
+        prop_assert_eq!(expected, out);
+    }
+
+    /// The parallel dot product is bit-identical across pool sizes.
+    #[test]
+    fn par_dot_bit_identical_across_pools(
+        a in proptest::collection::vec(-3.0f64..3.0, 0..3000),
+        threads in 2usize..9,
+    ) {
+        use roadpart_linalg::par::{dot, ThreadPool};
+        let b: Vec<f64> = a.iter().map(|x| x * 0.7 + 0.1).collect();
+        let serial = dot(&ThreadPool::serial(), &a, &b);
+        let parallel = dot(&ThreadPool::new(threads), &a, &b);
+        prop_assert!(serial.to_bits() == parallel.to_bits());
+    }
+
+    /// `map_tasks` preserves task order and loses nothing, even with more
+    /// workers than tasks.
+    #[test]
+    fn map_tasks_preserves_order(
+        n in 0usize..200,
+        threads in 1usize..9,
+    ) {
+        use roadpart_linalg::par::ThreadPool;
+        let pool = ThreadPool::new(threads);
+        let tasks: Vec<usize> = (0..n).collect();
+        let got = pool.map_tasks(tasks, |idx, t| idx * 1000 + t * 3 + 1);
+        let expected: Vec<usize> = (0..n).map(|i| i * 1000 + i * 3 + 1).collect();
+        prop_assert_eq!(expected, got);
+    }
+}

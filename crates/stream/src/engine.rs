@@ -27,7 +27,7 @@ use crate::snapshot::PartitionStore;
 use roadpart::pipeline::STRICT_INVARIANTS;
 use roadpart::{repartition_regions, DistributedConfig};
 use roadpart_cut::{
-    gaussian_affinity, spectral_partition_warm, CutKind, Partition, SpectralArtifacts,
+    gaussian_affinity_par, spectral_partition_warm, CutKind, Partition, SpectralArtifacts,
     SpectralConfig,
 };
 use roadpart_eval::PartitionDrift;
@@ -77,6 +77,20 @@ impl EngineConfig {
         self.spectral = self.spectral.with_seed(seed);
         self.regional.framework = self.regional.framework.clone().with_seed(seed ^ 0x5747);
         self
+    }
+
+    /// Sets the thread pool used by global rebuilds and regional
+    /// refreshes. Purely a performance knob: results are bit-identical at
+    /// any pool size (see `roadpart_linalg::par`).
+    pub fn with_pool(mut self, pool: roadpart_linalg::ThreadPool) -> Self {
+        self.spectral = self.spectral.with_pool(pool);
+        self.regional.framework = self.regional.framework.clone().with_pool(pool);
+        self
+    }
+
+    /// Convenience for [`EngineConfig::with_pool`] from a thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_pool(roadpart_linalg::ThreadPool::new(threads))
     }
 }
 
@@ -243,7 +257,11 @@ impl StreamEngine {
     /// warm start was actually applied.
     fn global_repartition(&mut self, densities: &[f64]) -> Result<(Partition, bool)> {
         self.graph.set_features(densities.to_vec())?;
-        let affinity = gaussian_affinity(self.graph.adjacency(), self.graph.features())?;
+        let affinity = gaussian_affinity_par(
+            self.graph.adjacency(),
+            self.graph.features(),
+            &self.cfg.spectral.pool(),
+        )?;
         let warm = if self.cfg.warm_start {
             self.artifacts.as_ref()
         } else {

@@ -25,10 +25,25 @@ step audit  cargo run -q -p roadpart-audit
 # target dir so the flag does not invalidate the main build cache).
 step loom   env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
   cargo test -q -p roadpart-stream --test loom_snapshot
+# Thread-pool join/panic-propagation model checking (same loom setup).
+step loom-pool env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+  cargo test -q -p roadpart-linalg --test loom_pool
+# Parallel-kernel determinism: the differential suite re-runs with a
+# multi-thread default pool, so every kernel also proves bit-identity when
+# ROADPART_THREADS (not an explicit pool) selects the parallelism.
+step parallel-diff env ROADPART_THREADS=4 \
+  cargo test -q -p roadpart --test integration_parallel
 # Online-engine gate: the warm-start path must build and produce
 # target/experiments/BENCH_stream.json (cold vs warm replay comparison).
 step stream-bench cargo run -q --release -p roadpart-bench --bin stream_bench -- --runs 3
 step stream-json  test -s target/experiments/BENCH_stream.json
+# Parallel-kernel gate: the bench must run and report zero bit diffs and
+# zero pipeline label diffs in target/experiments/BENCH_kernels.json.
+step kernels-bench cargo run -q --release -p roadpart-bench --bin kernels_bench -- --scale 0.08 --runs 2
+step kernels-json  test -s target/experiments/BENCH_kernels.json
+step kernels-deterministic sh -c \
+  "grep -q '\"all_bit_identical\": true' target/experiments/BENCH_kernels.json && \
+   grep -q '\"pipeline_label_diffs\": 0' target/experiments/BENCH_kernels.json"
 
 if [ "$fail" -ne 0 ]; then
   echo CHECKS_FAILED
