@@ -14,6 +14,19 @@ pub const CSR_RAW_INDEXING: &str = "csr-raw-indexing";
 pub const MISSING_ERRORS_DOC: &str = "missing-errors-doc";
 /// Identifier for the thread-spawn containment rule.
 pub const THREAD_SPAWN: &str = "thread-spawn";
+/// Identifier for the hot-loop allocation rule.
+pub const HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
+
+/// Workspace-relative files the hot-loop allocation rule covers: the solver
+/// and clustering hot paths that are expected to draw scratch buffers from
+/// a [`roadpart_linalg::workspace::Workspace`]-style pool instead of
+/// allocating per call. The counts are ratcheted via the baseline, so
+/// residual (intentional) allocation sites cannot silently multiply.
+const HOT_MODULES: &[&str] = &[
+    "crates/linalg/src/lanczos.rs",
+    "crates/linalg/src/tridiag.rs",
+    "crates/cluster/src/kmeans.rs",
+];
 
 /// `(id, requirement)` for every rule, in reporting order.
 pub const RULES: &[(&str, &str)] = &[
@@ -42,6 +55,12 @@ pub const RULES: &[(&str, &str)] = &[
          thread pool); other crates take a `ThreadPool` and stay \
          deterministic through its ordered reductions",
     ),
+    (
+        HOT_LOOP_ALLOC,
+        "solver/clustering hot modules (linalg::lanczos, linalg::tridiag, \
+         cluster::kmeans) must draw scratch buffers from a Workspace pool; \
+         Vec::new/vec!/to_vec()/clone() sites there are ratcheted",
+    ),
 ];
 
 /// One lint finding at a specific source location.
@@ -67,6 +86,9 @@ pub fn apply_all(krate: &str, file: &str, masked: &MaskedFile) -> Vec<Violation>
     if krate != "roadpart-linalg" {
         csr_raw_indexing(masked, &mut lines);
         thread_spawn(masked, &mut lines);
+    }
+    if HOT_MODULES.iter().any(|m| file.ends_with(m)) {
+        hot_loop_alloc(masked, &mut lines);
     }
     missing_errors_doc(masked, &mut lines);
     lines
@@ -124,6 +146,28 @@ fn thread_spawn(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
         let before = masked.masked[..off].trim_end();
         if before.ends_with("thread::") || before.ends_with("thread ::") {
             out.push((THREAD_SPAWN, masked.line_of(off)));
+        }
+    }
+}
+
+/// Flags per-call heap allocation in the solver/clustering hot modules:
+/// `Vec::new(...)`, `vec![...]`, `.to_vec()`, and `.clone()`. These modules
+/// are expected to recycle scratch buffers through the workspace pool;
+/// whatever allocation sites remain are pinned by the ratcheting baseline.
+fn hot_loop_alloc(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
+    for name in ["to_vec", "clone"] {
+        for off in method_calls(&masked.masked, name) {
+            out.push((HOT_LOOP_ALLOC, masked.line_of(off)));
+        }
+    }
+    for off in macro_calls(&masked.masked, "vec") {
+        out.push((HOT_LOOP_ALLOC, masked.line_of(off)));
+    }
+    for off in token_positions(&masked.masked, "new") {
+        let before = masked.masked[..off].trim_end();
+        let after = masked.masked[off + "new".len()..].trim_start();
+        if after.starts_with('(') && (before.ends_with("Vec::") || before.ends_with("Vec ::")) {
+            out.push((HOT_LOOP_ALLOC, masked.line_of(off)));
         }
     }
 }
@@ -376,6 +420,42 @@ pub fn long(
         let src = "fn f() {\n    let spawn_count = 1;\n    respawn(spawn_count);\n    let scope = 2;\n    let _ = (spawn_count, scope);\n}\n";
         let found = apply_all("roadpart-stream", "f.rs", &mask_source(src));
         assert!(found.iter().all(|v| v.rule != THREAD_SPAWN), "{found:?}");
+    }
+
+    #[test]
+    fn hot_loop_alloc_scoped_to_hot_modules() {
+        let src = "fn f(xs: &[f64]) {\n    let a = Vec::new();\n    let b = vec![0.0; 4];\n    let c = xs.to_vec();\n    let d = c.clone();\n    let _ = (a, b, d);\n}\n";
+        let hot = apply_all(
+            "roadpart-linalg",
+            "crates/linalg/src/lanczos.rs",
+            &mask_source(src),
+        );
+        let mut lines: Vec<usize> = hot
+            .iter()
+            .filter(|v| v.rule == HOT_LOOP_ALLOC)
+            .map(|v| v.line)
+            .collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![2, 3, 4, 5]);
+        let cold = apply_all(
+            "roadpart-linalg",
+            "crates/linalg/src/dense.rs",
+            &mask_source(src),
+        );
+        assert!(cold.iter().all(|v| v.rule != HOT_LOOP_ALLOC));
+    }
+
+    #[test]
+    fn hot_loop_alloc_ignores_lookalike_tokens() {
+        // Workspace::new, clone_from, and a to_vec identifier (not a call)
+        // must not fire.
+        let src = "fn f(ws: &mut W, xs: &[f64], mut out: Vec<f64>) {\n    let w = Workspace::new();\n    out.clone_from(&w.take_copy(xs));\n    let to_vec = 1;\n    let _ = (out, to_vec);\n}\n";
+        let found = apply_all(
+            "roadpart-linalg",
+            "crates/linalg/src/tridiag.rs",
+            &mask_source(src),
+        );
+        assert!(found.iter().all(|v| v.rule != HOT_LOOP_ALLOC), "{found:?}");
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub struct KMeansConfig {
     /// warm and cold configurations do the same number of runs; a stale or
     /// malformed hint is ignored.
     pub warm_start: Option<DenseMatrix>,
+    /// Skip full distance scans for points whose Hamerly-style upper/lower
+    /// bounds prove their assignment cannot have changed. The pruned pass
+    /// is **bitwise identical** to the unpruned one by construction — a
+    /// point is only skipped after its exact distance to its assigned
+    /// center has been computed (the same value the full scan would have
+    /// accumulated) and the strict bound comparison rules out every other
+    /// center, including ties the full scan would break toward lower
+    /// indices. Default: true; kept as a knob so differential tests can
+    /// compare both paths.
+    pub prune: bool,
     /// Thread pool for the assignment/update passes. Every reduction uses
     /// fixed chunk boundaries with an ordered merge (see
     /// `roadpart_linalg::par`), so results are bit-identical at any pool
@@ -46,6 +56,7 @@ impl Default for KMeansConfig {
             seed: 0,
             tol: 1e-9,
             warm_start: None,
+            prune: true,
             pool: ThreadPool::from_env(),
         }
     }
@@ -177,15 +188,50 @@ fn single_run(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut ChaC
     lloyd(points, centers, cfg)
 }
 
+/// Per-point state for the bound-pruned assignment pass.
+///
+/// `upper` bounds the distance (not squared) from the point to its assigned
+/// center from above; `lower` bounds the distance to the *second-closest*
+/// center from below. Both are maintained across iterations Hamerly-style:
+/// after the centers move, `upper` grows by the assigned center's movement
+/// and `lower` shrinks by the largest movement of any center.
+#[derive(Clone, Copy)]
+struct PointBound {
+    assign: usize,
+    upper: f64,
+    lower: f64,
+}
+
 /// Lloyd iterations from the given initial centers (`k x d`).
+///
+/// The assignment pass is bound-pruned (Hamerly 2010) yet **bitwise
+/// identical** to an exhaustive scan at every pool size: a point skips the
+/// k-center scan only when its tightened upper bound is *strictly* below
+/// its lower bound — which proves the exhaustive scan (with its
+/// lowest-index tie-breaking) would have kept the same assignment — and the
+/// inertia contribution it records is the exact squared distance to that
+/// center, computed the same way the scan would have. See the differential
+/// proptest in `tests/prune_differential.rs`.
 #[allow(clippy::needless_range_loop)] // index style keeps the math readable
 fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> KMeans {
     let n = points.rows();
     let d = points.cols();
     let k = centers.rows();
-    let mut assignments = vec![0usize; n];
+    // upper = ∞ / lower = 0 forces a full scan on the first pass.
+    let mut state = vec![
+        PointBound {
+            assign: 0,
+            upper: f64::INFINITY,
+            lower: 0.0,
+        };
+        n
+    ];
     let mut counts = vec![0usize; k];
+    let mut sums = vec![0.0; k * d];
+    let mut center_moves = vec![0.0; k];
+    let mut reseeded: Vec<usize> = Vec::new();
     let mut inertia = f64::INFINITY;
+    let prune = cfg.prune;
     for _ in 0..cfg.max_iters.max(1) {
         // Fused assignment + partial centroid accumulation: every chunk
         // assigns its points sequentially in index order and accumulates
@@ -194,36 +240,62 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
         // historical serial pass, and the output never depends on the pool
         // size (ordered reduction — see `roadpart_linalg::par`).
         let frozen = &centers;
-        let stats = cfg.pool.chunked_map(n, DEFAULT_CHUNK, |r| {
-            let start = r.start;
-            let mut assign = Vec::with_capacity(r.len());
-            let mut inertia = 0.0;
-            let mut sums = vec![0.0; k * d];
-            let mut counts = vec![0usize; k];
-            for i in r {
-                let p = points.row(i);
-                let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
-                for c in 0..k {
-                    let dist = sq_dist(p, frozen.row(c));
-                    if dist < best_d {
-                        best_d = dist;
-                        best_c = c;
+        let stats = cfg
+            .pool
+            .chunked_map_mut(&mut state, DEFAULT_CHUNK, |r, st| {
+                let mut chunk_inertia = 0.0;
+                let mut sums = vec![0.0; k * d];
+                let mut counts = vec![0usize; k];
+                for (s, i) in st.iter_mut().zip(r) {
+                    let p = points.row(i);
+                    if prune && s.lower > 0.0 {
+                        // Tighten the upper bound with the exact distance to
+                        // the assigned center — needed for inertia anyway.
+                        let exact = sq_dist(p, frozen.row(s.assign));
+                        let tight = exact.sqrt();
+                        s.upper = tight;
+                        if tight < s.lower {
+                            // Strictly closer than any other center can be:
+                            // the scan could not have changed the assignment.
+                            chunk_inertia += exact;
+                            counts[s.assign] += 1;
+                            for (acc, &v) in
+                                sums[s.assign * d..(s.assign + 1) * d].iter_mut().zip(p)
+                            {
+                                *acc += v;
+                            }
+                            continue;
+                        }
+                    }
+                    // Exhaustive scan, tracking the two smallest distances so
+                    // the bounds can be rebuilt exactly.
+                    let (mut best_c, mut best_d, mut second_d) =
+                        (0usize, f64::INFINITY, f64::INFINITY);
+                    for c in 0..k {
+                        let dist = sq_dist(p, frozen.row(c));
+                        if dist < best_d {
+                            second_d = best_d;
+                            best_d = dist;
+                            best_c = c;
+                        } else if dist < second_d {
+                            second_d = dist;
+                        }
+                    }
+                    s.assign = best_c;
+                    s.upper = best_d.sqrt();
+                    s.lower = second_d.sqrt();
+                    chunk_inertia += best_d;
+                    counts[best_c] += 1;
+                    for (acc, &v) in sums[best_c * d..(best_c + 1) * d].iter_mut().zip(p) {
+                        *acc += v;
                     }
                 }
-                assign.push(best_c);
-                inertia += best_d;
-                counts[best_c] += 1;
-                for (s, &v) in sums[best_c * d..(best_c + 1) * d].iter_mut().zip(p) {
-                    *s += v;
-                }
-            }
-            (start, assign, inertia, sums, counts)
-        });
+                (chunk_inertia, sums, counts)
+            });
         let mut new_inertia = 0.0;
-        let mut sums = vec![0.0; k * d];
+        sums.iter_mut().for_each(|s| *s = 0.0);
         counts.iter_mut().for_each(|c| *c = 0);
-        for (start, assign, chunk_inertia, chunk_sums, chunk_counts) in stats {
-            assignments[start..start + assign.len()].copy_from_slice(&assign);
+        for (chunk_inertia, chunk_sums, chunk_counts) in stats {
             new_inertia += chunk_inertia;
             for (s, v) in sums.iter_mut().zip(chunk_sums) {
                 *s += v;
@@ -233,19 +305,26 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
             }
         }
         let mut moved = 0.0f64;
+        let mut max_move = 0.0f64;
+        reseeded.clear();
         for c in 0..k {
             if counts[c] == 0 {
                 // Reseed an empty cluster at the point farthest from its
                 // assigned center (`n >= 1` always holds here, so the
                 // argmax exists).
                 let Some(far) = max_by_f64_key(0..n, |&i| {
-                    sq_dist(points.row(i), centers.row(assignments[i]))
+                    sq_dist(points.row(i), centers.row(state[i].assign))
                 }) else {
+                    center_moves[c] = 0.0;
                     continue;
                 };
-                moved += sq_dist(centers.row(c), points.row(far));
+                let tele = sq_dist(centers.row(c), points.row(far));
+                moved += tele;
+                center_moves[c] = tele.sqrt();
+                max_move = max_move.max(center_moves[c]);
                 centers.row_mut(c).copy_from_slice(points.row(far));
-                assignments[far] = c;
+                state[far].assign = c;
+                reseeded.push(far);
                 continue;
             }
             let inv = 1.0 / counts[c] as f64;
@@ -257,6 +336,22 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
                 centers.set(c, j, new);
             }
             moved += delta;
+            center_moves[c] = delta.sqrt();
+            max_move = max_move.max(center_moves[c]);
+        }
+        // Hamerly bound maintenance: each point's assigned center moved by
+        // center_moves[assign] at most, and no center moved more than
+        // max_move, so the bounds stay valid for the next pass. Reseeded
+        // points get degenerate bounds (lower = 0) forcing a full rescan.
+        if prune {
+            for s in state.iter_mut() {
+                s.upper += center_moves[s.assign];
+                s.lower = (s.lower - max_move).max(0.0);
+            }
+            for &i in &reseeded {
+                state[i].upper = 0.0;
+                state[i].lower = 0.0;
+            }
         }
         let converged = moved <= cfg.tol * (1.0 + inertia.min(new_inertia));
         inertia = new_inertia;
@@ -266,7 +361,7 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
     }
 
     KMeans {
-        assignments,
+        assignments: state.iter().map(|s| s.assign).collect(),
         centers,
         inertia,
     }

@@ -2,9 +2,11 @@
 
 use proptest::prelude::*;
 use roadpart_cluster::{
-    clustering_balance, clustering_gain, constrained_components, kmeans_1d, mcg, ClusterError,
+    clustering_balance, clustering_gain, constrained_components, kmeans, kmeans_1d, mcg,
+    ClusterError, KMeansConfig,
 };
-use roadpart_linalg::CsrMatrix;
+use roadpart_linalg::par::ThreadPool;
+use roadpart_linalg::{CsrMatrix, DenseMatrix};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -155,6 +157,64 @@ proptest! {
         match kmeans_1d(&values, kappa) {
             Err(ClusterError::InvalidInput(_)) => {}
             other => prop_assert!(false, "expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    /// Hamerly bound pruning is an optimization, not an approximation:
+    /// with `prune: true` the assignment/update pass must be **bitwise
+    /// identical** to the exhaustive scan (`prune: false`) — identical
+    /// assignments, bit-equal centroid coordinates, bit-equal inertia —
+    /// across point geometries, cluster counts, seeds, warm starts, and
+    /// thread-pool sizes.
+    #[test]
+    fn pruned_kmeans_is_bit_identical_to_unpruned(
+        data in proptest::collection::vec(-8.0f64..8.0, 12..240),
+        d in 1usize..5,
+        k_raw in 1usize..7,
+        seed in 0u64..1_000,
+        restarts in 1usize..4,
+        warm_sel in 0usize..2,
+    ) {
+        // `data.len() >= 12` and `d <= 4` guarantee `n >= 3`.
+        let n = data.len() / d;
+        let warm = warm_sel == 1;
+        let k = k_raw.min(n);
+        let points = DenseMatrix::from_vec(n, d, data[..n * d].to_vec()).unwrap();
+        let warm_start = if warm {
+            // A deliberately rough warm start: the first k rows. Exercises
+            // the warm-start Lloyd path under both pruning modes.
+            let rows: Vec<f64> = points.as_slice()[..k * d].to_vec();
+            Some(DenseMatrix::from_vec(k, d, rows).unwrap())
+        } else {
+            None
+        };
+        let mut reference: Option<roadpart_cluster::KMeans> = None;
+        for threads in [1usize, 2, 4] {
+            for prune in [false, true] {
+                let cfg = KMeansConfig {
+                    max_iters: 40,
+                    restarts,
+                    seed,
+                    tol: 1e-9,
+                    warm_start: warm_start.clone(),
+                    prune,
+                    pool: ThreadPool::new(threads),
+                };
+                let run = kmeans(&points, k, &cfg).unwrap();
+                match &reference {
+                    None => reference = Some(run),
+                    Some(base) => {
+                        prop_assert_eq!(&run.assignments, &base.assignments);
+                        prop_assert_eq!(run.inertia.to_bits(), base.inertia.to_bits());
+                        prop_assert_eq!(run.centers.rows(), base.centers.rows());
+                        for (a, b) in run.centers.as_slice().iter()
+                            .zip(base.centers.as_slice())
+                        {
+                            prop_assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                    }
+                }
+            }
         }
     }
 

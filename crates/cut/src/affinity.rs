@@ -88,24 +88,37 @@ pub fn gaussian_affinity_par(
 /// Robust scale: `1.4826 x median(|f - median(f)|)`, the Gaussian-consistent
 /// MAD estimator; falls back to the standard deviation for degenerate MAD
 /// (e.g. more than half the values identical), and `0.0` for constant data.
+///
+/// A single scratch buffer serves both medians: it is sorted once for the
+/// feature median, rewritten in place to `|f - med|`, and sorted again for
+/// the MAD. The deviations form the same multiset as the historical
+/// two-allocation version (absolute deviations of a permutation of the
+/// features), and [`roadpart_linalg::ord::sort_f64`] is a total order, so
+/// the resulting σ is bit-identical while one of the two temporary vectors
+/// — previously re-allocated on every affinity construction — disappears.
 fn robust_sigma(features: &[f64]) -> f64 {
     if features.is_empty() {
         return 0.0;
     }
-    let median_of = |xs: &mut Vec<f64>| -> f64 {
-        roadpart_linalg::ord::sort_f64(xs);
+    fn median_of_sorted(xs: &[f64]) -> f64 {
         let m = xs.len() / 2;
         if xs.len() % 2 == 1 {
             xs[m]
         } else {
             0.5 * (xs[m - 1] + xs[m])
         }
-    };
-    let med = median_of(&mut features.to_vec());
-    let mad = median_of(&mut features.iter().map(|f| (f - med).abs()).collect());
+    }
+    let mut scratch = features.to_vec();
+    roadpart_linalg::ord::sort_f64(&mut scratch);
+    let med = median_of_sorted(&scratch);
+    scratch.iter_mut().for_each(|v| *v = (*v - med).abs());
+    roadpart_linalg::ord::sort_f64(&mut scratch);
+    let mad = median_of_sorted(&scratch);
     if mad > 0.0 {
         1.4826 * mad
     } else {
+        // Streaming fallback over the original (unsorted) features, exactly
+        // as before, so the degenerate-MAD path keeps its summation order.
         let mean = features.iter().sum::<f64>() / features.len() as f64;
         (features
             .iter()
@@ -178,6 +191,46 @@ mod tests {
         );
         assert!(a.get(3, 4) < 1e-6, "outlier link should be near zero");
         assert!(a.get(3, 4) >= 1e-12, "but never structurally dropped");
+    }
+
+    #[test]
+    fn parallel_affinity_is_bit_identical_to_serial() {
+        // Pseudo-random ring + chords, heavy-tailed features: the parallel
+        // construction must agree with the serial one bit for bit (same σ,
+        // same per-link weights, same CSR layout).
+        let n = 700; // > DEFAULT_CHUNK so the pool actually splits rows
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n, 1.0));
+            if i % 7 == 0 {
+                edges.push((i, (i + n / 3) % n, 1.0));
+            }
+        }
+        let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+        let mut x = 0.42_f64;
+        let features: Vec<f64> = (0..n)
+            .map(|i| {
+                x = (x * 997.0 + 0.13).fract();
+                if i % 61 == 0 {
+                    5.0 + 40.0 * x
+                } else {
+                    0.01 + 0.05 * x
+                }
+            })
+            .collect();
+        let serial = gaussian_affinity(&adj, &features).unwrap();
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(threads);
+            let par = gaussian_affinity_par(&adj, &features, &pool).unwrap();
+            assert_eq!(serial.dim(), par.dim());
+            let a: Vec<_> = serial.iter().collect();
+            let b: Vec<_> = par.iter().collect();
+            assert_eq!(a.len(), b.len());
+            for ((ri, ci, wi), (rj, cj, wj)) in a.iter().zip(&b) {
+                assert_eq!((ri, ci), (rj, cj));
+                assert_eq!(wi.to_bits(), wj.to_bits(), "weight at ({ri},{ci})");
+            }
+        }
     }
 
     #[test]

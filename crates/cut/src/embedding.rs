@@ -8,8 +8,8 @@
 
 use crate::error::{CutError, Result};
 use roadpart_linalg::{
-    sym_eigs, sym_eigs_recovering, CsrMatrix, DenseMatrix, DiagScaledOp, EigenConfig,
-    FallbackConfig, RankOneUpdate, RecoveryLog, Which,
+    sym_eigs, sym_eigs_recovering_ws, CsrMatrix, DenseMatrix, DiagScaledOp, EigenConfig,
+    FallbackConfig, RankOneUpdate, RecoveryLog, Which, Workspace,
 };
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +110,27 @@ pub fn embedding_recovering(
     fallback: &FallbackConfig,
     log: &mut RecoveryLog,
 ) -> Result<DenseMatrix> {
+    embedding_recovering_ws(adj, k, kind, eig, fallback, log, &mut Workspace::new())
+}
+
+/// [`embedding_recovering`] drawing every solver scratch buffer from `ws`.
+///
+/// Passing the same workspace across calls (the warm-solve loop of the
+/// online engine) keeps the Lanczos restart loop allocation-free after the
+/// first solve; results are bit-identical to the fresh-workspace path.
+///
+/// # Errors
+/// Same as [`embedding_recovering`].
+#[allow(clippy::too_many_arguments)]
+pub fn embedding_recovering_ws(
+    adj: &CsrMatrix,
+    k: usize,
+    kind: CutKind,
+    eig: &EigenConfig,
+    fallback: &FallbackConfig,
+    log: &mut RecoveryLog,
+    ws: &mut Workspace,
+) -> Result<DenseMatrix> {
     validate(adj)?;
     let n = adj.dim();
     let nev = k.min(n);
@@ -119,7 +140,7 @@ pub fn embedding_recovering(
             let s: f64 = d.iter().sum();
             let scale = if s > 0.0 { 1.0 / s } else { 0.0 };
             let op = RankOneUpdate::new(adj, d, scale, -1.0)?;
-            let dec = sym_eigs_recovering(&op, nev, Which::Smallest, eig, fallback, log)?;
+            let dec = sym_eigs_recovering_ws(&op, nev, Which::Smallest, eig, fallback, log, ws)?;
             Ok(dec.vectors)
         }
         CutKind::Normalized => {
@@ -129,7 +150,7 @@ pub fn embedding_recovering(
                 .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
                 .collect();
             let op = DiagScaledOp::new(adj, d_inv_sqrt, -1.0, 1.0)?;
-            let dec = sym_eigs_recovering(&op, nev, Which::Smallest, eig, fallback, log)?;
+            let dec = sym_eigs_recovering_ws(&op, nev, Which::Smallest, eig, fallback, log, ws)?;
             Ok(dec.vectors)
         }
     }

@@ -10,12 +10,14 @@
 //!    condensed partition-connectivity graph for k′ > k (lines 12–24),
 //!    largest-first splitting for k′ < k.
 
-use crate::embedding::{embedding_recovering, row_normalize, CutKind};
+use crate::embedding::{embedding_recovering_ws, row_normalize, CutKind};
 use crate::error::{CutError, Result};
 use crate::partition::Partition;
 use crate::refine::{partition_connectivity, recursive_bipartition, split_to_k};
 use roadpart_cluster::{constrained_components, kmeans, KMeansConfig};
-use roadpart_linalg::{CsrMatrix, DenseMatrix, EigenConfig, FallbackConfig, RecoveryLog};
+use roadpart_linalg::{
+    CsrMatrix, DenseMatrix, EigenConfig, FallbackConfig, RecoveryLog, Workspace,
+};
 use serde::{Deserialize, Serialize};
 
 /// How k′ ≠ k is resolved.
@@ -171,6 +173,31 @@ pub fn spectral_partition_warm(
     warm: Option<&SpectralArtifacts>,
     log: &mut RecoveryLog,
 ) -> Result<(Partition, SpectralArtifacts)> {
+    let mut ws = Workspace::new();
+    spectral_partition_warm_ws(adj, k, kind, cfg, warm, log, &mut ws)
+}
+
+/// [`spectral_partition_warm`] drawing the eigensolver's scratch buffers
+/// from a caller-owned [`Workspace`].
+///
+/// The online repartitioning engine calls this every epoch with a retained
+/// workspace, so after the first (cold) solve the spectral stage of every
+/// subsequent epoch runs its hot loops allocation-free. Results are
+/// bit-identical to [`spectral_partition_warm`] — the workspace only
+/// recycles buffer *capacity*, never contents.
+///
+/// # Errors
+/// Same as [`spectral_partition`].
+#[allow(clippy::too_many_arguments)]
+pub fn spectral_partition_warm_ws(
+    adj: &CsrMatrix,
+    k: usize,
+    kind: CutKind,
+    cfg: &SpectralConfig,
+    warm: Option<&SpectralArtifacts>,
+    log: &mut RecoveryLog,
+    ws: &mut Workspace,
+) -> Result<(Partition, SpectralArtifacts)> {
     let n = adj.dim();
     if k == 0 || k > n {
         return Err(CutError::BadPartitionCount {
@@ -197,7 +224,7 @@ pub fn spectral_partition_warm(
     // Lines 1-8: embedding (behind the fallback ladder). Keep the raw
     // eigenvectors `Y` for the artifacts; the pipeline continues on the
     // row-normalized copy `Z` (Eq. 8).
-    let y = embedding_recovering(adj, k, kind, &eigen_cfg, &cfg.fallback, log)?;
+    let y = embedding_recovering_ws(adj, k, kind, &eigen_cfg, &cfg.fallback, log, ws)?;
     let mut z = y.clone();
     row_normalize(&mut z);
     // Lines 9-10: eigenspace k-means.

@@ -32,13 +32,13 @@ pub use affinity::{gaussian_affinity, gaussian_affinity_par};
 pub use alpha::alpha_cut;
 pub use bipartition::bipartition;
 pub use embedding::{
-    alpha_embedding, dense_alpha_matrix, embedding, embedding_recovering, ncut_embedding,
-    row_normalize, CutKind,
+    alpha_embedding, dense_alpha_matrix, embedding, embedding_recovering, embedding_recovering_ws,
+    ncut_embedding, row_normalize, CutKind,
 };
 pub use error::{CutError, Result};
 pub use kway::{
-    spectral_partition, spectral_partition_recovering, spectral_partition_warm, RefineStrategy,
-    SpectralArtifacts, SpectralConfig,
+    spectral_partition, spectral_partition_recovering, spectral_partition_warm,
+    spectral_partition_warm_ws, RefineStrategy, SpectralArtifacts, SpectralConfig,
 };
 pub use ncut::normalized_cut;
 pub use partition::Partition;

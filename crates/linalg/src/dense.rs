@@ -107,6 +107,14 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Consumes the matrix and returns its backing row-major buffer, so the
+    /// allocation can be recycled (see [`crate::workspace::Workspace`]).
+    #[inline]
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Matrix–vector product `y = A x`.
     ///
     /// # Errors

@@ -31,8 +31,9 @@
 use crate::dense::DenseMatrix;
 use crate::eigen_dense::eigh;
 use crate::error::{LinalgError, Result};
-use crate::lanczos::{densify_with, sym_eigs, EigenConfig, PartialEigen, Which};
+use crate::lanczos::{densify_with, sym_eigs_ws, EigenConfig, PartialEigen, ReorthPolicy, Which};
 use crate::operator::SymOp;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// Names one rung of the fallback ladder.
@@ -160,6 +161,25 @@ pub fn sym_eigs_recovering(
     fallback: &FallbackConfig,
     log: &mut RecoveryLog,
 ) -> Result<PartialEigen> {
+    let mut ws = Workspace::new();
+    sym_eigs_recovering_ws(op, nev, which, cfg, fallback, log, &mut ws)
+}
+
+/// [`sym_eigs_recovering`] drawing scratch buffers from `ws`, so repeated
+/// solves (one per repartitioning epoch) reuse the pool across calls.
+///
+/// # Errors
+/// Same contract as [`sym_eigs_recovering`].
+#[allow(clippy::too_many_arguments)]
+pub fn sym_eigs_recovering_ws(
+    op: &impl SymOp,
+    nev: usize,
+    which: Which,
+    cfg: &EigenConfig,
+    fallback: &FallbackConfig,
+    log: &mut RecoveryLog,
+    ws: &mut Workspace,
+) -> Result<PartialEigen> {
     let mut injections_left = fallback.inject_failures;
     let mut last_err: Option<LinalgError> = None;
 
@@ -179,7 +199,7 @@ pub fn sym_eigs_recovering(
                 context: "fault injection (forced failure)",
             })
         } else {
-            run_rung(op, nev, which, cfg, fallback, rung)
+            run_rung(op, nev, which, cfg, fallback, rung, ws)
         };
         match attempt {
             Ok(dec) => {
@@ -223,14 +243,15 @@ fn run_rung(
     cfg: &EigenConfig,
     fallback: &FallbackConfig,
     rung: FallbackRung,
+    ws: &mut Workspace,
 ) -> Result<PartialEigen> {
     match rung {
-        FallbackRung::Baseline => sym_eigs(op, nev, which, cfg),
-        FallbackRung::RelaxedTolerance => sym_eigs(op, nev, which, &relaxed(cfg, fallback)),
+        FallbackRung::Baseline => sym_eigs_ws(op, nev, which, cfg, ws),
+        FallbackRung::RelaxedTolerance => sym_eigs_ws(op, nev, which, &relaxed(cfg, fallback), ws),
         FallbackRung::PerturbedSeed => {
             let mut c = relaxed(cfg, fallback);
             c.seed ^= fallback.seed_perturbation;
-            sym_eigs(op, nev, which, &c)
+            sym_eigs_ws(op, nev, which, &c, ws)
         }
         FallbackRung::Dense => dense_solve(op, nev, which, &cfg.pool),
     }
@@ -240,6 +261,10 @@ fn relaxed(cfg: &EigenConfig, fallback: &FallbackConfig) -> EigenConfig {
     let mut c = cfg.clone();
     c.tol *= fallback.tol_relax;
     c.max_restarts = c.max_restarts.saturating_mul(fallback.restart_boost.max(1));
+    // If the baseline attempt failed under selective reorthogonalization,
+    // retry with the unconditional sweep: it is slower but numerically the
+    // most robust rung of the ladder.
+    c.reorth = ReorthPolicy::Full;
     c
 }
 

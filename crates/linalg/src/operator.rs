@@ -9,6 +9,7 @@ use crate::dense::DenseMatrix;
 use crate::error::{LinalgError, Result};
 use crate::par::{self, ThreadPool};
 use crate::vecops;
+use crate::workspace::Workspace;
 
 /// A symmetric linear operator `y = Op(x)` known only through its action.
 pub trait SymOp {
@@ -52,6 +53,20 @@ pub trait SymOp {
     fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
         let _ = pool;
         self.apply(x, y);
+    }
+
+    /// [`SymOp::apply_par`] drawing any internal scratch buffers from `ws`
+    /// instead of allocating.
+    ///
+    /// The default delegates to [`SymOp::apply_par`] (correct for operators
+    /// with no internal scratch, like CSR and dense matrices). Operators
+    /// that do allocate per apply — [`DiagScaledOp`]'s diagonal-scaled input
+    /// — override this so the Lanczos hot loop runs allocation-free. The
+    /// result must be bit-identical to [`SymOp::apply_par`]: a recycled
+    /// buffer holds exactly the values a fresh one would.
+    fn apply_par_ws(&self, pool: &ThreadPool, ws: &mut Workspace, x: &[f64], y: &mut [f64]) {
+        let _ = ws;
+        self.apply_par(pool, x, y);
     }
 
     /// Checked wrapper around [`SymOp::apply_par`].
@@ -181,6 +196,16 @@ impl<B: SymOp + Sync> SymOp for RankOneUpdate<'_, B> {
         let coeff = self.scale * par::dot(pool, &self.u, x);
         par::axpy(pool, coeff, &self.u, y);
     }
+
+    // Scratch-free itself, but the base may pool (e.g. a diag-scaled base).
+    fn apply_par_ws(&self, pool: &ThreadPool, ws: &mut Workspace, x: &[f64], y: &mut [f64]) {
+        self.base.apply_par_ws(pool, ws, x, y);
+        if self.base_sign != 1.0 {
+            par::scale(pool, self.base_sign, y);
+        }
+        let coeff = self.scale * par::dot(pool, &self.u, x);
+        par::axpy(pool, coeff, &self.u, y);
+    }
 }
 
 /// Operator scaled on both sides by a diagonal: `Op(x) = S · base(S · x) · sign + shift·x`,
@@ -236,19 +261,28 @@ impl<B: SymOp + Sync> SymOp for DiagScaledOp<'_, B> {
     }
 
     fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        let mut ws = Workspace::new();
+        self.apply_par_ws(pool, &mut ws, x, y);
+    }
+
+    // The one per-apply allocation in the normalized-Laplacian hot path:
+    // the diagonal-scaled input. Pooled here so Lanczos iterates without
+    // touching the allocator.
+    fn apply_par_ws(&self, pool: &ThreadPool, ws: &mut Workspace, x: &[f64], y: &mut [f64]) {
         let n = self.dim();
-        let mut sx = vec![0.0; n];
+        let mut sx = ws.take_zeroed(n);
         pool.for_each_chunk_mut(&mut sx, par::DEFAULT_CHUNK, |r, out| {
             for (o, i) in out.iter_mut().zip(r) {
                 *o = self.s[i] * x[i];
             }
         });
-        self.base.apply_par(pool, &sx, y);
+        self.base.apply_par_ws(pool, ws, &sx, y);
         pool.for_each_chunk_mut(y, par::DEFAULT_CHUNK, |r, yc| {
             for (yi, i) in yc.iter_mut().zip(r) {
                 *yi = self.sign * self.s[i] * *yi + self.shift * x[i];
             }
         });
+        ws.put(sx);
     }
 }
 

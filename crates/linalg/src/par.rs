@@ -178,6 +178,19 @@ impl ThreadPool {
         U: Send,
         F: Fn(Range<usize>) -> U + Sync,
     {
+        if self.threads == 1 {
+            // Serial fast path: walk the same fixed boundaries without
+            // materializing the range list.
+            let chunk = chunk.max(1);
+            let mut out = Vec::with_capacity(len.div_ceil(chunk));
+            let mut start = 0;
+            while start < len {
+                let end = (start + chunk).min(len);
+                out.push(f(start..end));
+                start = end;
+            }
+            return out;
+        }
         self.map_tasks(chunk_ranges(len, chunk), |_, r| f(r))
     }
 
@@ -190,12 +203,32 @@ impl ThreadPool {
     /// and sequential results are *exactly* equal (proptest-pinned),
     /// because merge order is chunk order regardless of which worker
     /// finished first.
-    pub fn chunked_reduce<A, F, M>(&self, len: usize, chunk: usize, init: A, f: F, merge: M) -> A
+    pub fn chunked_reduce<A, F, M>(
+        &self,
+        len: usize,
+        chunk: usize,
+        init: A,
+        f: F,
+        mut merge: M,
+    ) -> A
     where
         A: Send,
         F: Fn(Range<usize>) -> A + Sync,
         M: FnMut(A, A) -> A,
     {
+        if self.threads == 1 {
+            // Serial fast path: fold each chunk as it is produced — same
+            // boundaries, same left-to-right merge order, zero allocation.
+            let chunk = chunk.max(1);
+            let mut acc = init;
+            let mut start = 0;
+            while start < len {
+                let end = (start + chunk).min(len);
+                acc = merge(acc, f(start..end));
+                start = end;
+            }
+            return acc;
+        }
         self.chunked_map(len, chunk, f)
             .into_iter()
             .fold(init, merge)
@@ -213,10 +246,52 @@ impl ThreadPool {
         F: Fn(Range<usize>, &mut [T]) + Sync,
     {
         let chunk = chunk.max(1);
+        if self.threads == 1 {
+            // Serial fast path: iterate the chunks in place.
+            let mut start = 0;
+            for slice in out.chunks_mut(chunk) {
+                let end = start + slice.len();
+                f(start..end, slice);
+                start = end;
+            }
+            return;
+        }
         let ranges = chunk_ranges(out.len(), chunk);
         let tasks: Vec<(Range<usize>, &mut [T])> =
             ranges.into_iter().zip(out.chunks_mut(chunk)).collect();
         self.map_tasks(tasks, |_, (range, slice)| f(range, slice));
+    }
+
+    /// [`ThreadPool::for_each_chunk_mut`] that also gathers a per-chunk
+    /// result, returned in chunk order.
+    ///
+    /// The read-modify-reduce primitive behind the bound-pruned k-means
+    /// pass: each chunk owns a mutable slice of per-point state *and*
+    /// produces a partial (inertia, sums, counts) the caller merges in chunk
+    /// order. Same determinism contract as every other chunked kernel:
+    /// boundaries depend only on `(out.len(), chunk)` and results are
+    /// ordered by chunk index, never by completion.
+    pub fn chunked_map_mut<T, U, F>(&self, out: &mut [T], chunk: usize, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(Range<usize>, &mut [T]) -> U + Sync,
+    {
+        let chunk = chunk.max(1);
+        if self.threads == 1 {
+            let mut results = Vec::with_capacity(out.len().div_ceil(chunk));
+            let mut start = 0;
+            for slice in out.chunks_mut(chunk) {
+                let end = start + slice.len();
+                results.push(f(start..end, slice));
+                start = end;
+            }
+            return results;
+        }
+        let ranges = chunk_ranges(out.len(), chunk);
+        let tasks: Vec<(Range<usize>, &mut [T])> =
+            ranges.into_iter().zip(out.chunks_mut(chunk)).collect();
+        self.map_tasks(tasks, |_, (range, slice)| f(range, slice))
     }
 }
 
@@ -329,6 +404,37 @@ mod tests {
                 }
             });
             assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+        }
+    }
+
+    #[test]
+    fn chunked_map_mut_is_identical_across_pool_sizes() {
+        let reference = {
+            let pool = ThreadPool::serial();
+            let mut state = vec![0.0f64; 3000];
+            let partials = pool.chunked_map_mut(&mut state, 128, |r, s| {
+                let mut acc = 0.0;
+                for (v, i) in s.iter_mut().zip(r) {
+                    *v = (i as f64).sin();
+                    acc += *v;
+                }
+                acc
+            });
+            (state, partials)
+        };
+        for threads in [2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut state = vec![0.0f64; 3000];
+            let partials = pool.chunked_map_mut(&mut state, 128, |r, s| {
+                let mut acc = 0.0;
+                for (v, i) in s.iter_mut().zip(r) {
+                    *v = (i as f64).sin();
+                    acc += *v;
+                }
+                acc
+            });
+            assert_eq!(state, reference.0, "threads={threads}");
+            assert_eq!(partials, reference.1, "threads={threads}");
         }
     }
 

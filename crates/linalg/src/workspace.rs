@@ -1,0 +1,202 @@
+//! Reusable scratch-buffer pool for the solver hot paths.
+//!
+//! The Lanczos restart loop, Ritz-vector formation, and the operator
+//! applications all need length-`n` float buffers every iteration. Before
+//! this module each of those sites allocated a fresh `Vec` (27 allocation
+//! sites in `lanczos.rs` alone); with a [`Workspace`] threaded through the
+//! solver the buffers are recycled, so a warm solve — the steady state of
+//! the online repartitioning engine in `roadpart-stream` — runs the hot
+//! loops allocation-free.
+//!
+//! A workspace is deliberately *not* shared across threads: the solver hot
+//! paths are sequential at the orchestration level (parallelism lives inside
+//! the chunked kernels of [`crate::par`], which own their slices), so a
+//! plain `&mut Workspace` is enough and no locking exists to get wrong.
+//!
+//! Recycled buffers never change results: [`Workspace::take_zeroed`] returns
+//! a zero-filled buffer and [`Workspace::take_copy`] a copy of its source,
+//! exactly what the historical `vec![0.0; n]` / `to_vec()` sites produced —
+//! the bit-identity guarantees of PR 4 carry over unchanged.
+
+use crate::dense::DenseMatrix;
+
+/// A free-list pool of `Vec<f64>` scratch buffers.
+///
+/// `take_*` methods pop a pooled buffer (preferring one whose capacity
+/// already fits) and [`Workspace::put`] returns it. Steady-state counters
+/// ([`Workspace::takes`] / [`Workspace::fresh_allocations`]) let benches and
+/// tests assert that a warmed-up solve no longer allocates.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f64>>,
+    takes: u64,
+    fresh: u64,
+}
+
+impl Workspace {
+    /// An empty pool; the first solve warms it up.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero-filled buffer of length `n`, recycled when possible.
+    #[must_use]
+    pub fn take_zeroed(&mut self, n: usize) -> Vec<f64> {
+        let mut buf = self.take_raw(n);
+        buf.resize(n, 0.0);
+        buf
+    }
+
+    /// A buffer holding a copy of `src`, recycled when possible.
+    #[must_use]
+    pub fn take_copy(&mut self, src: &[f64]) -> Vec<f64> {
+        let mut buf = self.take_raw(src.len());
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// A zero-filled `rows x cols` matrix backed by a recycled buffer.
+    /// Return it with [`Workspace::put_matrix`].
+    #[must_use]
+    pub fn take_matrix_zeroed(&mut self, rows: usize, cols: usize) -> DenseMatrix {
+        match DenseMatrix::from_vec(rows, cols, self.take_zeroed(rows * cols)) {
+            Ok(m) => m,
+            // Unreachable: the buffer length matches rows * cols by
+            // construction. Kept total so the pool can never panic.
+            Err(_) => DenseMatrix::zeros(rows, cols),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Returns a matrix's backing buffer to the pool.
+    pub fn put_matrix(&mut self, m: DenseMatrix) {
+        self.put(m.into_vec());
+    }
+
+    /// Total `take_*` calls served over the workspace's lifetime.
+    #[must_use]
+    pub fn takes(&self) -> u64 {
+        self.takes
+    }
+
+    /// How many `take_*` calls could not be served from the pool and had to
+    /// allocate (or grow) a buffer. A warmed-up solve keeps this flat.
+    #[must_use]
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Number of buffers currently pooled.
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// An empty buffer with capacity for at least `n` elements.
+    fn take_raw(&mut self, n: usize) -> Vec<f64> {
+        self.takes += 1;
+        // Best fit: the smallest pooled buffer that already holds `n`
+        // (ties broken toward the most recently returned). First fit would
+        // let small requests steal big buffers and leave later big requests
+        // allocating again — best fit keeps a repeating take/put pattern
+        // (the warm-solve steady state) allocation-free.
+        let mut best: Option<(usize, usize)> = None;
+        for (pos, b) in self.free.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= n && best.map_or(true, |(_, c)| cap <= c) {
+                best = Some((pos, cap));
+            }
+        }
+        if let Some((pos, _)) = best {
+            let mut buf = self.free.swap_remove(pos);
+            buf.clear();
+            return buf;
+        }
+        self.fresh += 1;
+        // Recycle an undersized buffer's allocation if one exists; `resize`
+        // or `extend_from_slice` grows it once and it stays big thereafter.
+        if let Some(mut buf) = self.free.pop() {
+            buf.clear();
+            buf.reserve(n);
+            return buf;
+        }
+        Vec::with_capacity(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_is_zeroed_even_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take_zeroed(8);
+        a.iter_mut().for_each(|v| *v = 3.5);
+        ws.put(a);
+        let b = ws.take_zeroed(8);
+        assert!(b.iter().all(|&v| v == 0.0));
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut ws = Workspace::new();
+        let src = [1.0, -2.0, 0.5];
+        let got = ws.take_copy(&src);
+        assert_eq!(got, src);
+    }
+
+    #[test]
+    fn steady_state_stops_allocating() {
+        let mut ws = Workspace::new();
+        // Warm-up: three live buffers at once.
+        let bufs: Vec<_> = (0..3).map(|_| ws.take_zeroed(64)).collect();
+        let warm_fresh = ws.fresh_allocations();
+        assert_eq!(warm_fresh, 3);
+        bufs.into_iter().for_each(|b| ws.put(b));
+        // Steady state: the same working set recycles.
+        for _ in 0..10 {
+            let bufs: Vec<_> = (0..3).map(|_| ws.take_zeroed(64)).collect();
+            bufs.into_iter().for_each(|b| ws.put(b));
+        }
+        assert_eq!(ws.fresh_allocations(), warm_fresh);
+        assert_eq!(ws.takes(), 3 + 30);
+    }
+
+    #[test]
+    fn undersized_buffers_are_grown_not_leaked() {
+        let mut ws = Workspace::new();
+        ws.put(vec![1.0; 4]);
+        let big = ws.take_zeroed(128);
+        assert_eq!(big.len(), 128);
+        assert!(big.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.pooled(), 0, "small buffer was recycled, not dropped");
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take_matrix_zeroed(3, 3);
+        m.set(1, 1, 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        ws.put_matrix(m);
+        let again = ws.take_matrix_zeroed(3, 3);
+        assert_eq!(again.get(1, 1), 0.0, "recycled matrix is re-zeroed");
+        assert_eq!(ws.fresh_allocations(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let mut ws = Workspace::new();
+        ws.put(Vec::new());
+        assert_eq!(ws.pooled(), 0);
+    }
+}

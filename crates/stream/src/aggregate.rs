@@ -122,10 +122,28 @@ impl DensityAggregator {
     /// The current aggregate, one density per segment; `None` before the
     /// first update.
     pub fn current(&self) -> Option<Vec<f64>> {
+        let mut out = Vec::new();
+        self.current_into(&mut out).then_some(out)
+    }
+
+    /// [`Self::current`] writing into a caller-owned buffer, returning
+    /// `false` (with `out` cleared) before the first update. The engine
+    /// calls this once per epoch with a retained scratch buffer, so the
+    /// steady-state aggregate read allocates nothing.
+    pub fn current_into(&self, out: &mut Vec<f64>) -> bool {
         match self.kind {
-            AggregateKind::Latest => self.history.last().map(<[f64]>::to_vec),
-            AggregateKind::WindowMean(w) => self.history.window_mean(w),
-            AggregateKind::Ewma(alpha) => self.history.ewma(alpha),
+            AggregateKind::Latest => {
+                out.clear();
+                match self.history.last() {
+                    Some(s) => {
+                        out.extend_from_slice(s);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            AggregateKind::WindowMean(w) => self.history.window_mean_into(w, out),
+            AggregateKind::Ewma(alpha) => self.history.ewma_into(alpha, out),
         }
     }
 

@@ -27,11 +27,11 @@ use crate::snapshot::PartitionStore;
 use roadpart::pipeline::STRICT_INVARIANTS;
 use roadpart::{repartition_regions, DistributedConfig};
 use roadpart_cut::{
-    gaussian_affinity_par, spectral_partition_warm, CutKind, Partition, SpectralArtifacts,
+    gaussian_affinity_par, spectral_partition_warm_ws, CutKind, Partition, SpectralArtifacts,
     SpectralConfig,
 };
 use roadpart_eval::PartitionDrift;
-use roadpart_linalg::RecoveryLog;
+use roadpart_linalg::{RecoveryLog, Workspace};
 use roadpart_net::RoadGraph;
 use roadpart_traffic::DensityHistory;
 use std::sync::Arc;
@@ -106,6 +106,13 @@ pub struct StreamEngine {
     baseline: Vec<f64>,
     /// Spectral state of the last global rebuild, fed back as a warm start.
     artifacts: Option<SpectralArtifacts>,
+    /// Scratch-buffer pool threaded through every global rebuild's
+    /// eigensolve; warmed by the initial build, so steady-state epochs run
+    /// the spectral hot loops allocation-free.
+    workspace: Workspace,
+    /// Retained buffer the per-epoch aggregate is written into
+    /// (recycled against `baseline` at each refresh).
+    agg_scratch: Vec<f64>,
     epoch: u64,
 }
 
@@ -135,6 +142,8 @@ impl StreamEngine {
             store: Arc::new(PartitionStore::new(vec![0; n], 0)),
             baseline,
             artifacts: None,
+            workspace: Workspace::new(),
+            agg_scratch: Vec::new(),
             epoch: 0,
         };
         let densities = engine.baseline.clone();
@@ -183,9 +192,17 @@ impl StreamEngine {
     /// untouched on failure — the store only changes on success).
     pub fn run_epoch(&mut self) -> Result<EpochReport> {
         let t0 = Instant::now();
-        let current = self.aggregator.current().ok_or_else(|| {
-            StreamError::InvalidUpdate("epoch with no density updates ever ingested".into())
-        })?;
+        // The aggregate lands in the retained scratch buffer; on refresh it
+        // becomes the new baseline and the old baseline's allocation is
+        // recycled as the next epoch's scratch, so the steady state moves
+        // buffers instead of allocating them.
+        let mut current = std::mem::take(&mut self.agg_scratch);
+        if !self.aggregator.current_into(&mut current) {
+            self.agg_scratch = current;
+            return Err(StreamError::InvalidUpdate(
+                "epoch with no density updates ever ingested".into(),
+            ));
+        }
         self.epoch += 1;
         let live = self.store.read();
         let probe = DriftProbe::measure(live.labels(), &self.baseline, &current)?;
@@ -194,7 +211,9 @@ impl StreamEngine {
         let mut drift = None;
         let mut warm_started = false;
         match action {
-            EpochAction::NoOp => {}
+            EpochAction::NoOp => {
+                self.agg_scratch = current;
+            }
             EpochAction::Regional => {
                 self.graph.set_features(current.clone())?;
                 let prev = Partition::from_labels(live.labels());
@@ -203,7 +222,7 @@ impl StreamEngine {
                 self.store
                     .publish(out.partition.labels().to_vec(), self.epoch);
                 drift = Some(out.drift);
-                self.baseline = current;
+                self.agg_scratch = std::mem::replace(&mut self.baseline, current);
             }
             EpochAction::Global => {
                 let (partition, warm) = self.global_repartition(&current)?;
@@ -211,7 +230,7 @@ impl StreamEngine {
                 self.check_publishable(&partition)?;
                 drift = Some(PartitionDrift::between(live.labels(), partition.labels()));
                 self.store.publish(partition.labels().to_vec(), self.epoch);
-                self.baseline = current;
+                self.agg_scratch = std::mem::replace(&mut self.baseline, current);
             }
         }
 
@@ -269,13 +288,14 @@ impl StreamEngine {
         };
         let warm_used = warm.is_some();
         let mut log = RecoveryLog::new();
-        let (partition, artifacts) = spectral_partition_warm(
+        let (partition, artifacts) = spectral_partition_warm_ws(
             &affinity,
             self.cfg.k.min(self.graph.node_count()),
             self.cfg.cut,
             &self.cfg.spectral,
             warm,
             &mut log,
+            &mut self.workspace,
         )?;
         self.artifacts = Some(artifacts);
         Ok((partition, warm_used))
@@ -338,6 +358,32 @@ mod tests {
         assert!(report.warm_started, "artifacts from the initial build");
         assert_eq!(report.version, 2);
         assert!(report.drift.is_some());
+    }
+
+    #[test]
+    fn warm_global_rebuilds_recycle_the_workspace() {
+        let graph = plateau_graph(3);
+        let mut cfg = EngineConfig::new(3);
+        // Force the iterative solver (24 nodes is far below the default
+        // dense cutoff) so the workspace actually carries the hot loops.
+        cfg.spectral.eigen.dense_cutoff = 4;
+        let n = graph.node_count();
+        let mut engine = StreamEngine::new(graph, cfg).unwrap();
+        let flipped: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 0.05 } else { 0.9 })
+            .collect();
+        // Two warm solves on the same densities let the buffer working set
+        // stabilize; the third must then be served entirely from the pool.
+        let _ = engine.global_repartition(&flipped).unwrap();
+        let _ = engine.global_repartition(&flipped).unwrap();
+        let warm_fresh = engine.workspace.fresh_allocations();
+        let _ = engine.global_repartition(&flipped).unwrap();
+        assert_eq!(
+            engine.workspace.fresh_allocations(),
+            warm_fresh,
+            "steady-state global rebuild must not allocate workspace buffers"
+        );
+        assert!(engine.workspace.takes() > 0, "workspace is actually in use");
     }
 
     #[test]

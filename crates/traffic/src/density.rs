@@ -82,20 +82,31 @@ impl DensityHistory {
     /// repartitioning: smoother than a single snapshot, but bounded-memory
     /// and responsive to recent change.
     pub fn window_mean(&self, window: usize) -> Option<Vec<f64>> {
+        let mut out = Vec::new();
+        self.window_mean_into(window, &mut out).then_some(out)
+    }
+
+    /// [`Self::window_mean`] writing into a caller-owned buffer instead of
+    /// allocating, returning `false` (with `out` cleared) in the `None`
+    /// cases. Feeding the same buffer back every tick — as the streaming
+    /// engine does once per epoch — makes the aggregate allocation-free
+    /// after the first call.
+    pub fn window_mean_into(&self, window: usize, out: &mut Vec<f64>) -> bool {
+        out.clear();
         if self.is_empty() || window == 0 {
-            return None;
+            return false;
         }
         let take = window.min(self.len());
         let recent = &self.steps[self.len() - take..];
-        let mut mean = vec![0.0; self.n_segments];
+        out.resize(self.n_segments, 0.0);
         for snap in recent {
-            for (m, &v) in mean.iter_mut().zip(snap) {
+            for (m, &v) in out.iter_mut().zip(snap) {
                 *m += v;
             }
         }
         let inv = 1.0 / take as f64;
-        mean.iter_mut().for_each(|m| *m *= inv);
-        Some(mean)
+        out.iter_mut().for_each(|m| *m *= inv);
+        true
     }
 
     /// Per-segment exponentially weighted moving average over the whole
@@ -106,16 +117,25 @@ impl DensityHistory {
     /// Higher `alpha` tracks the feed more closely; lower `alpha` smooths
     /// harder. `alpha == 1` degenerates to [`Self::last`].
     pub fn ewma(&self, alpha: f64) -> Option<Vec<f64>> {
+        let mut out = Vec::new();
+        self.ewma_into(alpha, &mut out).then_some(out)
+    }
+
+    /// [`Self::ewma`] writing into a caller-owned buffer instead of
+    /// allocating, returning `false` (with `out` cleared) in the `None`
+    /// cases. See [`Self::window_mean_into`] for the reuse rationale.
+    pub fn ewma_into(&self, alpha: f64, out: &mut Vec<f64>) -> bool {
+        out.clear();
         if self.is_empty() || !(alpha > 0.0 && alpha <= 1.0) {
-            return None;
+            return false;
         }
-        let mut acc = self.steps[0].clone();
+        out.extend_from_slice(&self.steps[0]);
         for snap in &self.steps[1..] {
-            for (a, &v) in acc.iter_mut().zip(snap) {
+            for (a, &v) in out.iter_mut().zip(snap) {
                 *a += alpha * (v - *a);
             }
         }
-        Some(acc)
+        true
     }
 }
 
@@ -169,6 +189,27 @@ mod tests {
         // Degenerate inputs.
         assert!(h.window_mean(0).is_none());
         assert!(DensityHistory::new(2).window_mean(3).is_none());
+    }
+
+    #[test]
+    fn into_variants_reuse_buffer_and_match_allocating_api() {
+        let mut h = DensityHistory::new(2);
+        h.push(vec![1.0, 0.0]);
+        h.push(vec![2.0, 2.0]);
+        h.push(vec![4.0, 4.0]);
+        // A dirty, over-sized buffer must come back with exactly the result.
+        let mut buf = vec![9.0; 17];
+        assert!(h.window_mean_into(2, &mut buf));
+        assert_eq!(buf, h.window_mean(2).unwrap());
+        let cap = buf.capacity();
+        assert!(h.ewma_into(0.5, &mut buf));
+        assert_eq!(buf, h.ewma(0.5).unwrap());
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
+        // Failure cases clear the buffer instead of leaving stale data.
+        assert!(!h.window_mean_into(0, &mut buf));
+        assert!(buf.is_empty());
+        assert!(!h.ewma_into(0.0, &mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

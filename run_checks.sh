@@ -44,6 +44,10 @@ step kernels-json  test -s target/experiments/BENCH_kernels.json
 step kernels-deterministic sh -c \
   "grep -q '\"all_bit_identical\": true' target/experiments/BENCH_kernels.json && \
    grep -q '\"pipeline_label_diffs\": 0' target/experiments/BENCH_kernels.json"
+# Hot-path perf gate: the end-to-end pipeline bench on the smallest size
+# rung with its internal validity checks (finite timings, successful
+# baseline + optimized runs under both schemes); exit code is the gate.
+step perf-smoke cargo run -q --release -p roadpart-bench --bin pipeline_bench -- --smoke
 
 if [ "$fail" -ne 0 ]; then
   echo CHECKS_FAILED

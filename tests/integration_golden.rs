@@ -39,15 +39,22 @@ struct SchemeSnapshot {
 
 /// Runs one scheme on the fixture network and evaluates the paper metrics.
 fn snapshot(scheme: Scheme) -> SchemeSnapshot {
+    snapshot_with_reorth(scheme, roadpart_linalg::ReorthPolicy::default())
+}
+
+/// [`snapshot`] with an explicit reorthogonalization policy.
+fn snapshot_with_reorth(scheme: Scheme, reorth: roadpart_linalg::ReorthPolicy) -> SchemeSnapshot {
     let dataset = roadpart::datasets::d1(SCALE, SEED).unwrap();
     let mut graph = RoadGraph::from_network(&dataset.network).unwrap();
     graph
         .set_features(dataset.eval_densities().to_vec())
         .unwrap();
+    let mut framework = FrameworkConfig::default();
+    framework.spectral.eigen.reorth = reorth;
     let cfg = PipelineConfig {
         scheme,
         k: K,
-        framework: FrameworkConfig::default(),
+        framework,
     }
     .with_seed(SEED)
     .with_threads(4);
@@ -111,6 +118,28 @@ fn golden_partition_snapshot() {
     assert_eq!(fixture["k"].as_f64(), Some(K as f64));
     check_scheme(&fixture, "ag", &snapshot(Scheme::AG));
     check_scheme(&fixture, "asg", &snapshot(Scheme::ASG));
+}
+
+/// The fixture must pin the pipeline under **both** reorthogonalization
+/// policies. The D1 fixture network sits below `dense_cutoff`, so its
+/// eigensolve takes the exact dense path either way — the policy knob (PR
+/// 5's selective reorthogonalization) therefore cannot move a single
+/// label, and this test keeps that equivalence honest: if a future change
+/// routes small networks through Lanczos, any Full/Selective divergence
+/// shows up here as a fixture mismatch.
+#[test]
+fn golden_fixture_is_invariant_to_reorth_policy() {
+    let raw = std::fs::read_to_string(fixture_path())
+        .expect("golden fixture missing; run the ignored regenerate test");
+    let fixture: serde_json::Value = serde_json::from_str(&raw).expect("valid fixture JSON");
+    for policy in [
+        roadpart_linalg::ReorthPolicy::Full,
+        roadpart_linalg::ReorthPolicy::Selective,
+    ] {
+        for (name, scheme) in [("ag", Scheme::AG), ("asg", Scheme::ASG)] {
+            check_scheme(&fixture, name, &snapshot_with_reorth(scheme, policy));
+        }
+    }
 }
 
 #[test]
