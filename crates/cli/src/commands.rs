@@ -29,6 +29,8 @@ USAGE:
   roadpart stream    --preset <d1|m1|m2|m3> [--scale F] [--seed N] [--k N]
                      [--epochs N] [--aggregate <latest|window:N|ewma:A>]
                      [--warm <on|off>] [--log <out json>]
+                     [--scenario <capacity-drop|blockade|rush-hour|moving-hotspot>]
+                     [--budget-ms F] [--deadline <degrade|fail>] [--retries N]
 
 Files: networks use the roadpart text format; densities and labels are one
 value per line in segment order.
@@ -44,8 +46,16 @@ stream replays the preset's simulated density trace through the online
 repartitioning engine: each epoch it aggregates the feed, probes drift, and
 either serves on (no-op), refreshes regions, or rebuilds globally with a
 warm-started spectral solve. --log writes the per-epoch report log as JSON.
+--scenario overlays a named disruption (capacity drop, blockade, rush-hour
+surge, moving hotspot) on the trace before it reaches the engine.
+--budget-ms puts a wall-clock deadline on each epoch; when it is blown the
+engine degrades down the ladder global -> regional -> no-op (--deadline
+degrade, default) or fails the run (--deadline fail). --retries bounds the
+seed-rotating retries per ladder rung. Each epoch line carries the engine
+health (healthy / degraded / quarantining).
 
-Exit codes: 0 ok, 2 config/usage error, 3 data error, 4 numerical error.";
+Exit codes: 0 ok, 2 config/usage error, 3 data error, 4 numerical error,
+5 epoch deadline exceeded (--deadline fail), 6 quarantine overflow.";
 
 /// Builds the named preset dataset.
 fn build_dataset(preset: &str, scale: f64, seed: u64) -> CliResult<Dataset> {
@@ -291,7 +301,8 @@ fn parse_aggregate(raw: &str) -> CliResult<roadpart_stream::AggregateKind> {
 /// `roadpart stream`: replay a simulated density trace through the online
 /// repartitioning engine, one report line per epoch.
 pub fn stream(argv: &[String]) -> CliResult<()> {
-    use roadpart_stream::{EngineConfig, EpochAction, StreamEngine, StreamLog};
+    use roadpart_stream::{DeadlineMode, EngineConfig, EpochAction, StreamEngine, StreamLog};
+    use roadpart_traffic::Scenario;
 
     let args = Args::parse(argv)?;
     let preset = args.optional("preset").unwrap_or("d1");
@@ -313,7 +324,30 @@ pub fn stream(argv: &[String]) -> CliResult<()> {
     };
 
     let dataset = build_dataset(preset, scale, seed)?;
-    let steps = dataset.history.len();
+    // Overlay the requested disruption scenario on the simulated trace.
+    let history = match args.optional("scenario") {
+        None => dataset.history.clone(),
+        Some(name) => {
+            let suite = Scenario::standard_suite(&dataset.network);
+            let scenario = suite
+                .iter()
+                .find(|s| s.name == name.to_ascii_lowercase())
+                .ok_or_else(|| {
+                    let known: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+                    CliError::config(format!(
+                        "unknown scenario '{name}' (use {})",
+                        known.join("|")
+                    ))
+                })?;
+            println!(
+                "scenario: {} ({} events)",
+                scenario.name,
+                scenario.events.len()
+            );
+            scenario.apply_history(&dataset.network, &dataset.history)
+        }
+    };
+    let steps = history.len();
     println!(
         "{} at scale {scale}: {} segments, {} simulated steps -> {epochs} epochs",
         dataset.name,
@@ -322,12 +356,26 @@ pub fn stream(argv: &[String]) -> CliResult<()> {
     );
 
     let mut graph = RoadGraph::from_network(&dataset.network)?;
-    graph.set_features(dataset.history.at(0).to_vec())?;
+    graph.set_features(history.at(0).to_vec())?;
     let mut cfg = EngineConfig::new(k).with_seed(seed);
     cfg.warm_start = warm;
     if let Some(raw) = args.optional("aggregate") {
         cfg.aggregate = parse_aggregate(raw)?;
     }
+    if args.optional("budget-ms").is_some() {
+        let budget: f64 = args.get_or("budget-ms", 0.0)?;
+        cfg.resilience.epoch_budget_ms = Some(budget);
+    }
+    cfg.resilience.deadline_mode = match args.optional("deadline").unwrap_or("degrade") {
+        "degrade" => DeadlineMode::Degrade,
+        "fail" => DeadlineMode::Fail,
+        other => {
+            return Err(CliError::config(format!(
+                "bad --deadline '{other}' (use degrade|fail)"
+            )))
+        }
+    };
+    cfg.resilience.max_retries = args.get_or("retries", cfg.resilience.max_retries)?;
     let mut engine = StreamEngine::new(graph, cfg)?;
     let store = engine.store();
     println!(
@@ -346,7 +394,7 @@ pub fn stream(argv: &[String]) -> CliResult<()> {
         }
         let end = (t + steps_per_epoch).min(steps);
         for step in t..end {
-            engine.ingest(dataset.history.at(step))?;
+            engine.ingest(history.at(step))?;
         }
         t = end;
         let report = engine.run_epoch()?;
@@ -355,23 +403,40 @@ pub fn stream(argv: &[String]) -> CliResult<()> {
             EpochAction::Regional => "regional",
             EpochAction::Global => "global",
         };
+        let mut notes = String::new();
+        if report.warm_started {
+            notes.push_str(" (warm)");
+        }
+        if report.resilience.degraded {
+            let intended = match report.intended {
+                EpochAction::NoOp => "no-op",
+                EpochAction::Regional => "regional",
+                EpochAction::Global => "global",
+            };
+            notes.push_str(&format!(" (degraded from {intended})"));
+        }
+        if report.resilience.attempts.len() > 1 {
+            notes.push_str(&format!(" ({} attempts)", report.resilience.attempts.len()));
+        }
         println!(
-            "epoch {:>3}: {action:<8} | divergence {:.3} retention {:.2} | \
-             v{} k = {} | {:.1} ms{}",
+            "epoch {:>3}: {action:<8} {:<12} | divergence {:.3} retention {:.2} | \
+             v{} k = {} | {:.1} ms{notes}",
             report.epoch,
+            report.health.label(),
             report.probe.max_divergence,
             report.probe.retention(),
             report.version,
             report.k,
             report.elapsed_ms,
-            if report.warm_started { " (warm)" } else { "" }
         );
         log.push(report);
     }
 
     let (noop, regional, global) = log.action_counts();
+    let (healthy, degraded, quarantining) = log.health_counts();
     println!(
         "{} epochs: {noop} no-op, {regional} regional, {global} global | \
+         health: {healthy} healthy, {degraded} degraded, {quarantining} quarantining | \
          final version {} | {:.1} ms total",
         log.len(),
         store.read().version,

@@ -11,6 +11,10 @@ pub const EXIT_CONFIG: u8 = 2;
 pub const EXIT_DATA: u8 = 3;
 /// Exit code for numerical errors (eigensolver, clustering, cuts).
 pub const EXIT_NUMERICAL: u8 = 4;
+/// Exit code for a blown epoch deadline under `--deadline fail`.
+pub const EXIT_DEADLINE: u8 = 5;
+/// Exit code for quarantine overflow (every update of an epoch dropped).
+pub const EXIT_QUARANTINE: u8 = 6;
 /// The failure class of a CLI error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
@@ -20,6 +24,10 @@ pub enum ErrorKind {
     Data,
     /// The mathematics failed after every recovery attempt.
     Numerical,
+    /// A streaming epoch blew its wall-clock budget in fail mode.
+    Deadline,
+    /// Source quarantine dropped every update offered in an epoch.
+    Quarantine,
 }
 
 /// A classified CLI failure with its formatted cause chain.
@@ -54,6 +62,8 @@ impl CliError {
             ErrorKind::Config => EXIT_CONFIG,
             ErrorKind::Data => EXIT_DATA,
             ErrorKind::Numerical => EXIT_NUMERICAL,
+            ErrorKind::Deadline => EXIT_DEADLINE,
+            ErrorKind::Quarantine => EXIT_QUARANTINE,
         }
     }
 }
@@ -107,6 +117,8 @@ impl From<roadpart_stream::StreamError> for CliError {
         let kind = match &err {
             SE::InvalidConfig(_) => ErrorKind::Config,
             SE::InvalidUpdate(_) => ErrorKind::Data,
+            SE::DeadlineExceeded { .. } => ErrorKind::Deadline,
+            SE::QuarantineOverflow { .. } => ErrorKind::Quarantine,
             SE::Framework(inner) => return CliError::from_framework(inner),
         };
         Self {
@@ -158,6 +170,41 @@ mod tests {
         assert_eq!(numerical.exit_code(), EXIT_NUMERICAL);
         let usage: CliError = String::from("missing flag").into();
         assert_eq!(usage.exit_code(), EXIT_CONFIG);
+    }
+
+    #[test]
+    fn stream_failures_get_distinct_exit_codes() {
+        use roadpart_stream::StreamError as SE;
+        let deadline: CliError = SE::DeadlineExceeded {
+            budget_ms: 10.0,
+            elapsed_ms: 25.0,
+        }
+        .into();
+        assert_eq!(deadline.kind, ErrorKind::Deadline);
+        assert_eq!(deadline.exit_code(), EXIT_DEADLINE);
+        assert!(format!("{deadline}").contains("deadline exceeded"));
+
+        let quarantine: CliError = SE::QuarantineOverflow {
+            sources: 2,
+            dropped: 7,
+        }
+        .into();
+        assert_eq!(quarantine.kind, ErrorKind::Quarantine);
+        assert_eq!(quarantine.exit_code(), EXIT_QUARANTINE);
+        assert!(format!("{quarantine}").contains("quarantine overflow"));
+
+        let numerical: CliError = SE::Framework(RoadpartError::Linalg(
+            roadpart_linalg::LinalgError::NotConverged {
+                iterations: 3,
+                context: "Lanczos",
+            },
+        ))
+        .into();
+        assert_eq!(
+            numerical.exit_code(),
+            EXIT_NUMERICAL,
+            "wrapped solver errors keep code 4"
+        );
     }
 
     #[test]

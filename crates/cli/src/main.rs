@@ -14,7 +14,8 @@
 //! Exit codes distinguish the failure class so scripts can react:
 //! `0` success, `2` configuration/usage error, `3` data error (unreadable or
 //! unrepairable input), `4` numerical error (solver and clustering
-//! failures).
+//! failures), `5` epoch deadline exceeded (`stream --deadline fail`),
+//! `6` quarantine overflow (every update of a streaming epoch dropped).
 
 mod args;
 mod commands;

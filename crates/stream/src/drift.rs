@@ -28,9 +28,10 @@ use roadpart_eval::{max_group_divergence, similarity::nmi};
 use serde::{Deserialize, Serialize};
 
 /// What the engine does with an epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EpochAction {
     /// Drift below every threshold: keep serving the current partition.
+    #[default]
     NoOp,
     /// Moderate drift: re-partition each region independently on its own
     /// subgraph (`core::distributed`), keeping region boundaries.

@@ -9,6 +9,22 @@ pub enum StreamError {
     InvalidConfig(String),
     /// A density update is structurally unusable (wrong length, non-finite).
     InvalidUpdate(String),
+    /// The epoch wall-clock budget expired under
+    /// [`crate::health::DeadlineMode::Fail`] before the intended action ran.
+    DeadlineExceeded {
+        /// The configured budget, milliseconds.
+        budget_ms: f64,
+        /// Wall-clock actually consumed when the budget check fired.
+        elapsed_ms: f64,
+    },
+    /// Every update offered this epoch was dropped by source quarantine —
+    /// the engine has no trustworthy input left to aggregate.
+    QuarantineOverflow {
+        /// Number of quarantined sources.
+        sources: usize,
+        /// Updates dropped since the previous epoch.
+        dropped: usize,
+    },
     /// A failure in the underlying partitioning framework.
     Framework(roadpart::RoadpartError),
 }
@@ -21,6 +37,19 @@ impl fmt::Display for StreamError {
         match self {
             StreamError::InvalidConfig(msg) => write!(f, "invalid stream config: {msg}"),
             StreamError::InvalidUpdate(msg) => write!(f, "invalid density update: {msg}"),
+            StreamError::DeadlineExceeded {
+                budget_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "epoch deadline exceeded: {elapsed_ms:.1} ms elapsed against a \
+                 {budget_ms:.1} ms budget"
+            ),
+            StreamError::QuarantineOverflow { sources, dropped } => write!(
+                f,
+                "quarantine overflow: all {dropped} updates this epoch were dropped \
+                 ({sources} quarantined sources)"
+            ),
             StreamError::Framework(e) => write!(f, "framework error: {e}"),
         }
     }

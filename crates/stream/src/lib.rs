@@ -15,6 +15,11 @@
 //!   Global rebuilds are **warm-started** from the previous epoch's
 //!   eigenvectors and k-means centroids
 //!   (`roadpart_cut::spectral_partition_warm`);
+//! * [`health`] — the self-healing machinery: per-epoch deadline budgets
+//!   with a graceful-degradation ladder (Global → Regional → NoOp),
+//!   bounded retries with seed rotation and exponential backoff, per-source
+//!   quarantine of malformed feeds, and the
+//!   Healthy / Degraded / Quarantining [`health::HealthState`] signal;
 //! * [`snapshot::PartitionStore`] — double-buffered, versioned
 //!   `segment → partition` snapshots with O(1) non-blocking reads;
 //! * [`report::EpochReport`] / [`report::StreamLog`] — machine-readable
@@ -27,6 +32,7 @@ pub mod aggregate;
 pub mod drift;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod report;
 pub mod snapshot;
 
@@ -34,5 +40,9 @@ pub use aggregate::{AggregateKind, DensityAggregator};
 pub use drift::{DriftPolicy, DriftProbe, EpochAction};
 pub use engine::{EngineConfig, StreamEngine};
 pub use error::{Result, StreamError};
+pub use health::{
+    DeadlineMode, EpochAttempt, EpochResilience, HealthState, IngestVerdict, QuarantineTracker,
+    ResilienceConfig, SourceStats,
+};
 pub use report::{EpochReport, StreamLog};
 pub use snapshot::{PartitionSnapshot, PartitionStore};

@@ -2,6 +2,7 @@
 //! supervisor's `RunReport`).
 
 use crate::drift::{DriftProbe, EpochAction};
+use crate::health::{EpochResilience, HealthState};
 use roadpart_eval::PartitionDrift;
 use serde::{Deserialize, Serialize};
 
@@ -10,8 +11,12 @@ use serde::{Deserialize, Serialize};
 pub struct EpochReport {
     /// 1-based epoch counter.
     pub epoch: u64,
-    /// The decision the drift policy made.
+    /// The action actually executed (after any degradation).
     pub action: EpochAction,
+    /// The action the drift policy asked for. Differs from `action` only
+    /// when the self-healing ladder degraded the epoch.
+    #[serde(default)]
+    pub intended: EpochAction,
     /// The drift signals behind the decision.
     pub probe: DriftProbe,
     /// Snapshot-store version after the epoch (unchanged on no-op).
@@ -25,6 +30,13 @@ pub struct EpochReport {
     pub warm_started: bool,
     /// Wall-clock spent in the epoch.
     pub elapsed_ms: f64,
+    /// Engine health after the epoch.
+    #[serde(default)]
+    pub health: HealthState,
+    /// What the self-healing machinery did this epoch: solve attempts,
+    /// backoff, deadline state, ingest/quarantine accounting.
+    #[serde(default)]
+    pub resilience: EpochResilience,
 }
 
 /// An append-only log of epoch reports with summary accessors.
@@ -68,6 +80,27 @@ impl StreamLog {
         c
     }
 
+    /// `(healthy, degraded, quarantining)` epoch counts.
+    pub fn health_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in &self.reports {
+            match r.health {
+                HealthState::Healthy => c.0 += 1,
+                HealthState::Degraded => c.1 += 1,
+                HealthState::Quarantining => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Epochs where the executed action fell short of the intended one.
+    pub fn degraded_epochs(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.resilience.degraded)
+            .count()
+    }
+
     /// Total wall-clock across recorded epochs, in milliseconds.
     pub fn total_ms(&self) -> f64 {
         self.reports.iter().map(|r| r.elapsed_ms).sum()
@@ -82,6 +115,7 @@ mod tests {
         EpochReport {
             epoch,
             action,
+            intended: action,
             probe: DriftProbe {
                 max_divergence: 0.0,
                 trial_nmi: 1.0,
@@ -92,6 +126,8 @@ mod tests {
             drift: None,
             warm_started: false,
             elapsed_ms: 1.5,
+            health: HealthState::Healthy,
+            resilience: EpochResilience::default(),
         }
     }
 
@@ -104,6 +140,21 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(log.action_counts(), (2, 0, 1));
         assert!((log.total_ms() - 4.5).abs() < 1e-12);
+        assert_eq!(log.health_counts(), (3, 0, 0));
+        assert_eq!(log.degraded_epochs(), 0);
+    }
+
+    #[test]
+    fn degraded_epochs_are_counted() {
+        let mut log = StreamLog::new();
+        let mut r = report(1, EpochAction::NoOp);
+        r.intended = EpochAction::Global;
+        r.resilience.degraded = true;
+        r.health = HealthState::Degraded;
+        log.push(r);
+        log.push(report(2, EpochAction::Global));
+        assert_eq!(log.health_counts(), (1, 1, 0));
+        assert_eq!(log.degraded_epochs(), 1);
     }
 
     #[test]
@@ -113,10 +164,35 @@ mod tests {
             &[0, 0, 1],
             &[0, 1, 1],
         ));
+        r.health = HealthState::Quarantining;
+        r.resilience.dropped = 3;
         let json = serde_json::to_string(&r).unwrap();
         let back: EpochReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.epoch, 7);
         assert_eq!(back.action, EpochAction::Regional);
         assert!(back.drift.is_some());
+        assert_eq!(back.health, HealthState::Quarantining);
+        assert_eq!(back.resilience.dropped, 3);
+    }
+
+    #[test]
+    fn pre_resilience_reports_still_deserialize() {
+        // A report serialized before the health/resilience fields existed
+        // must load with healthy defaults.
+        let json = r#"{
+            "epoch": 2,
+            "action": "Global",
+            "probe": {"max_divergence": 0.5, "trial_nmi": 0.4, "reference_nmi": 0.9},
+            "version": 2,
+            "k": 4,
+            "drift": null,
+            "warm_started": true,
+            "elapsed_ms": 2.0
+        }"#;
+        let back: EpochReport = serde_json::from_str(json).unwrap();
+        assert_eq!(back.intended, EpochAction::NoOp);
+        assert_eq!(back.health, HealthState::Healthy);
+        assert!(!back.resilience.degraded);
+        assert!(back.resilience.attempts.is_empty());
     }
 }

@@ -14,7 +14,10 @@
 //!   pipeline;
 //! * [`field`] — analytic hotspot congestion fields for fast deterministic
 //!   workloads;
-//! * [`profile`] — temporal demand profiles (flat / single peak / commute).
+//! * [`profile`] — temporal demand profiles (flat / single peak / commute);
+//! * [`scenario`] — composable disruption timelines (capacity drops,
+//!   blockades, surges, moving hotspots) replayable over fields and
+//!   recorded histories for robustness testing.
 
 pub mod density;
 pub mod error;
@@ -23,13 +26,15 @@ pub mod microsim;
 pub mod mntg;
 pub mod profile;
 pub mod routing;
+pub mod scenario;
 pub mod trip;
 
-pub use density::DensityHistory;
+pub use density::{DensityHistory, StepAnomalies};
 pub use error::{Result, TrafficError};
 pub use field::{CongestionField, Hotspot};
 pub use microsim::{simulate, MicrosimConfig, MicrosimStats};
 pub use mntg::{generate_traffic, MntgConfig};
 pub use profile::TemporalProfile;
 pub use routing::Router;
+pub use scenario::{Disruption, DisruptionEvent, Scenario};
 pub use trip::{generate_trips, OdBias, Trip};

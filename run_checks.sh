@@ -48,6 +48,13 @@ step kernels-deterministic sh -c \
 # rung with its internal validity checks (finite timings, successful
 # baseline + optimized runs under both schemes); exit code is the gate.
 step perf-smoke cargo run -q --release -p roadpart-bench --bin pipeline_bench -- --smoke
+# Self-healing gate: fault-injection replay suite (corrupt feeds,
+# blockades, solver faults, blown deadlines) plus the drift bench smoke
+# run, whose internal validity checks (replays complete, metrics finite,
+# disruptions detected) gate the exit code.
+step disruption-replay cargo test -q -p roadpart-stream --test integration_disruption
+step drift-smoke cargo run -q --release -p roadpart-bench --bin drift_bench -- --smoke
+step drift-json  test -s target/experiments/BENCH_drift.json
 
 if [ "$fail" -ne 0 ]; then
   echo CHECKS_FAILED

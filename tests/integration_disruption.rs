@@ -1,0 +1,277 @@
+//! Integration: fault-injection replay through the self-healing engine.
+//!
+//! Replays disruption scenarios (`roadpart_traffic::Scenario`) and injected
+//! faults (corrupt feeds, solver failures, blown deadlines) through the
+//! online repartitioning engine, asserting the robustness contract:
+//!
+//! 1. the engine never panics and never publishes a torn or invalid
+//!    partition — failed epochs leave readers on the last good snapshot;
+//! 2. `HealthState` accurately reflects what happened each epoch;
+//! 3. after the disruption clears, the served partition recovers to within
+//!    a quality margin of a clean-rerun oracle built from scratch on the
+//!    post-disruption densities.
+
+use roadpart_eval::similarity::nmi;
+use roadpart_eval::QualityReport;
+use roadpart_linalg::CsrMatrix;
+use roadpart_net::RoadGraph;
+use roadpart_stream::{
+    DeadlineMode, EngineConfig, EpochAction, HealthState, IngestVerdict, StreamEngine, StreamError,
+};
+use roadpart_traffic::Scenario;
+
+const PLATEAUS: usize = 6;
+const PER_PLATEAU: usize = 8;
+const N: usize = PLATEAUS * PER_PLATEAU;
+
+/// Path network with 6 constant-density plateaus of 8 segments.
+fn plateau_graph() -> RoadGraph {
+    let edges: Vec<(usize, usize, f64)> = (0..N - 1).map(|i| (i, i + 1, 1.0)).collect();
+    let adj = CsrMatrix::from_undirected_edges(N, &edges).unwrap();
+    let feats: Vec<f64> = (0..N)
+        .map(|i| (i / PER_PLATEAU) as f64 * 0.3 + 0.05)
+        .collect();
+    RoadGraph::from_parts(adj, feats, vec![]).unwrap()
+}
+
+/// Fine stripes across the plateaus: forces a global rebuild.
+fn flipped() -> Vec<f64> {
+    (0..N)
+        .map(|i| if i % 2 == 0 { 0.05 } else { 0.95 })
+        .collect()
+}
+
+/// A corrupt feed routed through the guarded path must not move the served
+/// partition at all: the run with garbage on the wire ends on exactly the
+/// labels of an identical clean-only run.
+#[test]
+fn quarantined_garbage_does_not_poison_the_partition() {
+    let cfg = EngineConfig::new(4).with_seed(11);
+    let mut live = StreamEngine::new(plateau_graph(), cfg.clone()).unwrap();
+    let mut oracle = StreamEngine::new(plateau_graph(), cfg).unwrap();
+    let baseline = plateau_graph().features().to_vec();
+
+    // Unrepairable garbage (sanitization refuses an empty snapshot): it
+    // must be dropped at the door every time, first as strikes and then
+    // under quarantine, and never reach the aggregate.
+    let garbage: Vec<f64> = Vec::new();
+    for epoch in 0..6 {
+        // Both engines get the same clean feed...
+        live.ingest_guarded("loop-detector", &baseline).unwrap();
+        oracle.ingest(&baseline).unwrap();
+        // ...but the live one also gets garbage from a broken source.
+        let verdict = live.ingest_guarded("broken-sensor", &garbage).unwrap();
+        assert_eq!(verdict, IngestVerdict::Dropped, "epoch {epoch}");
+        let r_live = live.run_epoch().unwrap();
+        let r_oracle = oracle.run_epoch().unwrap();
+        assert_eq!(r_live.action, r_oracle.action, "epoch {epoch}");
+        assert_eq!(r_live.version, r_oracle.version, "epoch {epoch}");
+    }
+
+    assert!(
+        live.quarantine().any_quarantined(),
+        "source must quarantine"
+    );
+    assert_eq!(live.health(), HealthState::Quarantining);
+    assert_eq!(oracle.health(), HealthState::Healthy);
+    let served = live.store().read();
+    let clean = oracle.store().read();
+    assert!(
+        nmi(served.labels(), clean.labels()) > 1.0 - 1e-9,
+        "garbage leaked into the served partition"
+    );
+}
+
+/// Solver faults first exhaust the retry budget and degrade the epoch, then
+/// the engine recovers on its own once the faults clear — and the recovered
+/// partition matches the quality of a clean-rerun oracle.
+#[test]
+fn solver_faults_degrade_then_recover_to_oracle_quality() {
+    let mut cfg = EngineConfig::new(4).with_seed(7);
+    cfg.resilience.max_retries = 1;
+    let mut engine = StreamEngine::new(plateau_graph(), cfg).unwrap();
+    let store = engine.store();
+    let feed = flipped();
+
+    // Enough faults for every rung: Global (2 attempts) + Regional (2).
+    engine.arm_fault_injection(4);
+    for _ in 0..3 {
+        engine.ingest(&feed).unwrap();
+    }
+    let degraded = engine.run_epoch().unwrap();
+    assert_eq!(degraded.intended, EpochAction::Global);
+    assert_eq!(degraded.action, EpochAction::NoOp, "fully degraded");
+    assert_eq!(degraded.health, HealthState::Degraded);
+    assert_eq!(degraded.resilience.attempts.len(), 4);
+    assert!(degraded.resilience.attempts.iter().all(|a| !a.succeeded));
+    assert_eq!(
+        store.read().version,
+        1,
+        "degraded epoch must not touch the store"
+    );
+
+    // Faults exhausted: the next epoch heals without intervention.
+    for _ in 0..3 {
+        engine.ingest(&feed).unwrap();
+    }
+    let recovered = engine.run_epoch().unwrap();
+    assert_eq!(recovered.action, EpochAction::Global);
+    assert_eq!(recovered.health, HealthState::Healthy);
+    assert_eq!(store.read().version, 2);
+
+    // Clean-rerun oracle: a fresh engine whose graph starts on the same
+    // densities the live one recovered on.
+    let mut oracle_graph = plateau_graph();
+    oracle_graph.set_features(feed.clone()).unwrap();
+    let oracle = StreamEngine::new(oracle_graph, EngineConfig::new(4).with_seed(7)).unwrap();
+    let affinity = {
+        let graph = plateau_graph();
+        roadpart_cut::gaussian_affinity(graph.adjacency(), &feed).unwrap()
+    };
+    let served = QualityReport::compute(&affinity, &feed, store.read().labels());
+    let clean = QualityReport::compute(&affinity, &feed, oracle.store().read().labels());
+    // Sign-robust quality margin: alpha-cut is lower-better and can be
+    // negative, so the allowance is half the oracle's magnitude.
+    assert!(
+        served.alpha_cut <= clean.alpha_cut + 0.5 * clean.alpha_cut.abs() + 1e-9,
+        "recovered alpha-cut {} too far from oracle {}",
+        served.alpha_cut,
+        clean.alpha_cut
+    );
+}
+
+/// A mid-stream blockade on a simulated city: the engine reacts while the
+/// blockade holds, never violates the serving contract, and once the
+/// blockade lifts the served partition lands within a quality margin of an
+/// oracle rebuilt from scratch on the final densities.
+#[test]
+fn mid_stream_blockade_recovers_within_margin_of_oracle() {
+    let dataset = roadpart::datasets::d1(0.3, 21).unwrap();
+    let suite = Scenario::standard_suite(&dataset.network);
+    let blockade = suite.iter().find(|s| s.name == "blockade").unwrap();
+    let disrupted = blockade.apply_history(&dataset.network, &dataset.history);
+    let steps = disrupted.len();
+    assert!(steps >= 12, "need a real trace, got {steps} steps");
+
+    let mut graph = RoadGraph::from_network(&dataset.network).unwrap();
+    graph.set_features(disrupted.at(0).to_vec()).unwrap();
+    let cfg = EngineConfig::new(4).with_seed(21);
+    let mut engine = StreamEngine::new(graph, cfg).unwrap();
+    let store = engine.store();
+
+    let epochs = 10usize;
+    let per_epoch = (steps - 1).div_ceil(epochs).max(1);
+    let mut last_version = store.read().version;
+    let mut reacted = false;
+    let mut t = 1;
+    while t < steps {
+        let end = (t + per_epoch).min(steps);
+        for s in t..end {
+            engine.ingest(disrupted.at(s)).unwrap();
+        }
+        t = end;
+        let r = engine.run_epoch().unwrap();
+        // Serving contract under disruption: monotonic versions, complete
+        // snapshots, finite probes, accurate health.
+        assert!(r.version >= last_version, "version ran backwards");
+        last_version = r.version;
+        let snap = store.read();
+        assert_eq!(snap.len(), dataset.network.segment_count());
+        assert!(snap.labels().iter().all(|&l| l < snap.k));
+        assert!(r.probe.max_divergence.is_finite());
+        assert_eq!(r.health, HealthState::Healthy, "no faults were injected");
+        if r.action != EpochAction::NoOp {
+            reacted = true;
+        }
+    }
+    assert!(reacted, "a central blockade must trigger a repartition");
+
+    // Clean-rerun oracle on the post-disruption densities.
+    let final_densities = disrupted.at(steps - 1).to_vec();
+    let mut oracle_graph = RoadGraph::from_network(&dataset.network).unwrap();
+    oracle_graph.set_features(final_densities.clone()).unwrap();
+    let oracle = StreamEngine::new(oracle_graph, EngineConfig::new(4).with_seed(21)).unwrap();
+
+    let eval_graph = RoadGraph::from_network(&dataset.network).unwrap();
+    let affinity =
+        roadpart_cut::gaussian_affinity(eval_graph.adjacency(), &final_densities).unwrap();
+    let served = QualityReport::compute(&affinity, &final_densities, store.read().labels());
+    let clean = QualityReport::compute(&affinity, &final_densities, oracle.store().read().labels());
+    assert!(
+        served.alpha_cut <= clean.alpha_cut + 0.5 * clean.alpha_cut.abs() + 1e-9,
+        "served alpha-cut {} too far from clean-rerun oracle {}",
+        served.alpha_cut,
+        clean.alpha_cut
+    );
+}
+
+/// A blown epoch budget degrades (default) or fails (`DeadlineMode::Fail`)
+/// — and in both modes readers keep the pre-epoch snapshot.
+#[test]
+fn blown_deadlines_degrade_or_fail_without_touching_the_store() {
+    // Degrade mode: the epoch lands as a no-op and flags itself.
+    let mut cfg = EngineConfig::new(4).with_seed(5);
+    cfg.resilience.epoch_budget_ms = Some(0.0);
+    let mut engine = StreamEngine::new(plateau_graph(), cfg).unwrap();
+    for _ in 0..3 {
+        engine.ingest(&flipped()).unwrap();
+    }
+    let r = engine.run_epoch().unwrap();
+    assert_eq!(r.action, EpochAction::NoOp);
+    assert!(r.resilience.deadline_blown);
+    assert_eq!(r.health, HealthState::Degraded);
+    assert_eq!(engine.store().read().version, 1);
+
+    // Fail mode: the epoch errors out; the snapshot is still the old one.
+    let mut cfg = EngineConfig::new(4).with_seed(5);
+    cfg.resilience.epoch_budget_ms = Some(0.0);
+    cfg.resilience.deadline_mode = DeadlineMode::Fail;
+    let mut engine = StreamEngine::new(plateau_graph(), cfg).unwrap();
+    for _ in 0..3 {
+        engine.ingest(&flipped()).unwrap();
+    }
+    match engine.run_epoch() {
+        Err(StreamError::DeadlineExceeded { budget_ms, .. }) => assert_eq!(budget_ms, 0.0),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(engine.store().read().version, 1);
+}
+
+/// When quarantine swallows every update of an epoch the engine refuses to
+/// run on stale data — an error, not a panic, and recoverable.
+#[test]
+fn quarantine_overflow_is_an_error_not_a_panic() {
+    let graph = plateau_graph();
+    let baseline = graph.features().to_vec();
+    let mut engine = StreamEngine::new(graph, EngineConfig::new(4).with_seed(3)).unwrap();
+    let garbage = vec![f64::NEG_INFINITY; N];
+
+    // Strike out the only source (threshold 3), interleaving clean epochs
+    // so each epoch still has input until the quarantine engages.
+    for _ in 0..3 {
+        engine.ingest(&baseline).unwrap();
+        engine.ingest_guarded("only-source", &garbage).unwrap();
+        engine.run_epoch().unwrap();
+    }
+    assert!(engine.quarantine().any_quarantined());
+
+    // Now the quarantined source is the *only* input: overflow.
+    assert_eq!(
+        engine.ingest_guarded("only-source", &garbage).unwrap(),
+        IngestVerdict::Dropped
+    );
+    match engine.run_epoch() {
+        Err(StreamError::QuarantineOverflow { sources, dropped }) => {
+            assert_eq!(sources, 1);
+            assert_eq!(dropped, 1);
+        }
+        other => panic!("expected QuarantineOverflow, got {other:?}"),
+    }
+
+    // The engine keeps serving and the next clean epoch succeeds.
+    let before = engine.store().read().version;
+    engine.ingest(&baseline).unwrap();
+    let r = engine.run_epoch().unwrap();
+    assert_eq!(r.action, EpochAction::NoOp);
+    assert_eq!(engine.store().read().version, before);
+}

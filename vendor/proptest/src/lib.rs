@@ -110,6 +110,46 @@ pub mod strategy {
         }
     }
 
+    /// RNG handed to strategies; re-exported so [`crate::prop_oneof!`] can
+    /// name it from other crates.
+    pub type CaseRng = StdRng;
+
+    /// One weighted, type-erased arm of a [`Union`].
+    pub type UnionArm<T> = (u32, Box<dyn Fn(&mut CaseRng) -> T>);
+
+    /// Weighted union over same-valued strategies — the engine behind
+    /// [`crate::prop_oneof!`]. Arms are type-erased so syntactically
+    /// different strategies (ranges, `Just`, maps) can mix.
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+        total: u32,
+    }
+
+    /// Builds a [`Union`]; zero-weight arms are never drawn.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn union<T>(arms: Vec<UnionArm<T>>) -> Union<T> {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("pick < total by construction")
+        }
+    }
+
     macro_rules! tuple_strategy {
         ($(($($name:ident : $idx:tt),+))*) => {$(
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -256,7 +296,30 @@ pub mod test_runner {
 pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => 0.0f64..1.0, 1 => Just(f64::NAN)]`. Plain
+/// (weightless) arms get weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $({
+                let s = $strat;
+                (
+                    $weight as u32,
+                    ::std::boxed::Box::new(move |rng: &mut $crate::strategy::CaseRng| {
+                        $crate::strategy::Strategy::generate(&s, rng)
+                    }) as ::std::boxed::Box<dyn Fn(&mut $crate::strategy::CaseRng) -> _>,
+                )
+            }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Defines `#[test]` functions whose arguments are drawn from strategies.
@@ -382,6 +445,23 @@ mod tests {
         #[test]
         fn just_and_map(v in Just(41usize).prop_map(|x| x + 1)) {
             prop_assert_eq!(v, 42);
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(xs in crate::collection::vec(
+            prop_oneof![3 => 0.0f64..1.0, 1 => Just(-1.0f64)],
+            64,
+        )) {
+            prop_assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x) || x == -1.0));
+            // With 64 draws at 3:1 odds, both arms appear (deterministic
+            // seeds make this stable, not flaky).
+            prop_assert!(xs.iter().any(|&x| x == -1.0));
+            prop_assert!(xs.iter().any(|&x| x >= 0.0));
+        }
+
+        #[test]
+        fn unweighted_oneof_defaults_to_equal_weights(x in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(x == 1u8 || x == 2u8);
         }
     }
 }

@@ -183,6 +183,22 @@ impl Value {
         }
     }
 
+    /// The numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Convenience object lookup (`None` for non-objects).
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
@@ -258,6 +274,15 @@ pub fn field<T: Deserialize>(map: &Map, key: &str, ty: &str) -> Result<T, Error>
     match map.get(key) {
         Some(node) => T::from_node(node),
         None => Err(Error::missing(ty, key)),
+    }
+}
+
+/// Like [`field`], but a missing key yields `T::default()` — the runtime
+/// half of `#[serde(default)]`.
+pub fn field_or_default<T: Deserialize + Default>(map: &Map, key: &str) -> Result<T, Error> {
+    match map.get(key) {
+        Some(node) => T::from_node(node),
+        None => Ok(T::default()),
     }
 }
 

@@ -4,7 +4,8 @@
 //! Implemented with a hand-rolled token walk (no `syn`/`quote` in this
 //! offline environment). Supports exactly the shapes this workspace derives:
 //!
-//! * structs with named fields (honouring `#[serde(skip)]`);
+//! * structs with named fields (honouring `#[serde(skip)]` and
+//!   `#[serde(default)]`);
 //! * enums with unit, tuple, and struct variants (externally tagged).
 //!
 //! Anything else (tuple structs, generics, other serde attributes) produces
@@ -12,10 +13,18 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A named field and its `#[serde(skip)]` flag.
+/// A named field and its `#[serde(...)]` flags.
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
+}
+
+/// Per-field serde attribute flags this stub understands.
+#[derive(Clone, Copy, Default)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
 }
 
 /// One enum variant.
@@ -50,26 +59,32 @@ fn error(msg: &str) -> TokenStream {
     format!("compile_error!({msg:?});").parse().unwrap()
 }
 
-/// Scans an attribute group body for `serde(skip)`.
-fn attr_is_serde_skip(tokens: &[TokenTree]) -> bool {
+/// Scans an attribute group body for `serde(skip)` / `serde(default)`.
+fn attr_serde_flags(tokens: &[TokenTree]) -> SerdeFlags {
     // Attribute content looks like: serde ( skip ) — ident then group.
+    let mut flags = SerdeFlags::default();
     let mut iter = tokens.iter();
-    match (iter.next(), iter.next()) {
-        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
-            if name.to_string() == "serde" =>
-        {
-            args.stream()
-                .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+    if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) = (iter.next(), iter.next())
+    {
+        if name.to_string() == "serde" {
+            for t in args.stream() {
+                if let TokenTree::Ident(i) = &t {
+                    match i.to_string().as_str() {
+                        "skip" => flags.skip = true,
+                        "default" => flags.default = true,
+                        _ => {}
+                    }
+                }
+            }
         }
-        _ => false,
     }
+    flags
 }
 
 /// Consumes leading attributes (`# [ ... ]`) from `tokens[*pos..]`,
-/// returning whether any was `#[serde(skip)]`.
-fn eat_attributes(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
-    let mut skip = false;
+/// returning the union of any `#[serde(...)]` flags seen.
+fn eat_attributes(tokens: &[TokenTree], pos: &mut usize) -> Result<SerdeFlags, String> {
+    let mut flags = SerdeFlags::default();
     while *pos < tokens.len() {
         match &tokens[*pos] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -77,15 +92,15 @@ fn eat_attributes(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String>
                     return Err("malformed attribute".into());
                 };
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-                if attr_is_serde_skip(&inner) {
-                    skip = true;
-                }
+                let seen = attr_serde_flags(&inner);
+                flags.skip |= seen.skip;
+                flags.default |= seen.default;
                 *pos += 2;
             }
             _ => break,
         }
     }
-    Ok(skip)
+    Ok(flags)
 }
 
 /// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
@@ -118,7 +133,7 @@ fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        let skip = eat_attributes(&tokens, &mut pos)?;
+        let flags = eat_attributes(&tokens, &mut pos)?;
         if pos >= tokens.len() {
             break;
         }
@@ -128,7 +143,8 @@ fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
         };
         fields.push(Field {
             name: name.to_string(),
-            skip,
+            skip: flags.skip,
+            default: flags.default,
         });
         pos += 1;
         match tokens.get(pos) {
@@ -373,6 +389,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         "{}: ::std::default::Default::default(),\n",
                         f.name
                     ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::field_or_default(map, {f:?})?,\n",
+                        f = f.name,
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{f}: ::serde::field(map, {f:?}, {name:?})?,\n",
@@ -472,6 +493,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                                 inits.push_str(&format!(
                                     "{}: ::std::default::Default::default(),\n",
                                     f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{f}: ::serde::field_or_default(inner, {f:?})?,\n",
+                                    f = f.name,
                                 ));
                             } else {
                                 inits.push_str(&format!(
