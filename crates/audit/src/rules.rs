@@ -26,6 +26,7 @@ const HOT_MODULES: &[&str] = &[
     "crates/linalg/src/lanczos.rs",
     "crates/linalg/src/tridiag.rs",
     "crates/cluster/src/kmeans.rs",
+    "crates/serve/src/local.rs",
 ];
 
 /// `(id, requirement)` for every rule, in reporting order.
@@ -57,8 +58,9 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         HOT_LOOP_ALLOC,
-        "solver/clustering hot modules (linalg::lanczos, linalg::tridiag, \
-         cluster::kmeans) must draw scratch buffers from a Workspace pool; \
+        "solver/clustering/serving hot modules (linalg::lanczos, \
+         linalg::tridiag, cluster::kmeans, serve::local) must draw scratch \
+         buffers from a Workspace/DijkstraScratch pool; \
          Vec::new/vec!/to_vec()/clone() sites there are ratcheted",
     ),
 ];

@@ -164,12 +164,17 @@ fn real_workspace_is_clean_against_committed_baseline() {
         "workspace regressed against AUDIT_baseline.json:\n{}",
         String::from_utf8_lossy(&diagnostics)
     );
-    // The three ratcheted-to-zero crates must stay spotless: no findings
-    // at all, not even baselined ones. `hot-loop-alloc` is exempt — it is
+    // The ratcheted-to-zero crates must stay spotless: no findings at
+    // all, not even baselined ones. `hot-loop-alloc` is exempt — it is
     // a budget rule whose baseline deliberately pins the residual
     // allocation sites of the clustering hot path (the EXIT_CLEAN check
     // above still enforces its ratchet).
-    for krate in ["roadpart-cluster", "roadpart-cut", "roadpart-eval"] {
+    for krate in [
+        "roadpart-cluster",
+        "roadpart-cut",
+        "roadpart-eval",
+        "roadpart-serve",
+    ] {
         let findings: Vec<_> = outcome
             .violations
             .iter()
@@ -182,5 +187,19 @@ fn real_workspace_is_clean_against_committed_baseline() {
             findings.join("\n")
         );
     }
+    // The serving Dijkstra inner loop is pinned harder still: its hot
+    // module is designed allocation-free, so even the budget rule must
+    // report nothing there.
+    let serve_hot: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.krate == "roadpart-serve")
+        .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule, v.excerpt))
+        .collect();
+    assert!(
+        serve_hot.is_empty(),
+        "roadpart-serve must have zero findings of any rule:\n{}",
+        serve_hot.join("\n")
+    );
     std::fs::remove_file(&cfg.report_path).ok();
 }

@@ -1,0 +1,381 @@
+//! BENCH_serve — partition-aware query serving: throughput/latency vs
+//! thread count and network size, plus throughput during a live epoch swap.
+//!
+//! ```text
+//! cargo run -p roadpart-bench --release --bin serve_bench
+//! cargo run -p roadpart-bench --release --bin serve_bench -- --smoke
+//! ```
+//!
+//! For each network size the bench partitions the D1 preset with the
+//! paper pipeline, builds the boundary-node oracles, and replays a fixed
+//! deterministic batch of origin–destination queries through
+//! [`QueryEngine::run_batch`] at several pool widths, recording qps and
+//! p50/p99/max latency. A final arm hammers the engine from standing
+//! querier threads while the partition store publishes a new labeling and
+//! the oracles are rebuilt — measuring the throughput *during* the swap
+//! and checking that queries keep flowing (RCU serving never blocks).
+//!
+//! `--smoke` shrinks sizes/counts for CI and keeps the validity gate: the
+//! process exits non-zero if any batch fails, any statistic goes
+//! non-finite, multi-thread runs lose queries, or the live swap either
+//! fails to install the new version or serves zero queries while it runs.
+
+use roadpart::{run_scheme, FrameworkConfig, Scheme};
+use roadpart_bench::write_json;
+use roadpart_net::{RoadGraph, RoadNetwork, SegmentId};
+use roadpart_serve::{CostModel, QueryBatch, QueryContext, QueryEngine, SegmentGraph};
+use roadpart_stream::PartitionStore;
+use serde_json::json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const K: usize = 5;
+
+struct BenchArgs {
+    seed: u64,
+    queries: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> BenchArgs {
+    let mut out = BenchArgs {
+        seed: 42,
+        queries: 2000,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--smoke" => out.smoke = true,
+            "--seed" => {
+                if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                    out.seed = v;
+                }
+            }
+            "--queries" => {
+                if let Some(v) = args.next().and_then(|s| s.parse::<usize>().ok()) {
+                    out.queries = v.max(10);
+                }
+            }
+            other => eprintln!("warning: ignoring unknown flag {other}"),
+        }
+    }
+    if out.smoke {
+        out.queries = out.queries.min(300);
+    }
+    out
+}
+
+/// SplitMix64: deterministic OD sampling with no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn od_pairs(n: usize, count: usize, seed: u64) -> Vec<(SegmentId, SegmentId)> {
+    let mut state = seed ^ 0x5EED_0D0D_CAFE_F00D;
+    (0..count)
+        .map(|_| {
+            let s = (splitmix64(&mut state) % n as u64) as u32;
+            let t = (splitmix64(&mut state) % n as u64) as u32;
+            (SegmentId(s), SegmentId(t))
+        })
+        .collect()
+}
+
+/// Partition of the dataset's evaluation densities via the paper pipeline.
+fn pipeline_labels(
+    net: &RoadNetwork,
+    densities: &[f64],
+    k: usize,
+    seed: u64,
+) -> Option<Vec<usize>> {
+    let mut graph = RoadGraph::from_network(net).ok()?;
+    graph.set_features(densities.to_vec()).ok()?;
+    let cfg = FrameworkConfig::default().with_seed(seed);
+    let out = run_scheme(&graph, Scheme::AG, k, &cfg).ok()?;
+    Some(out.partition.labels().to_vec())
+}
+
+fn main() -> std::process::ExitCode {
+    let args = parse_args();
+    let sizes: &[(&str, f64)] = if args.smoke {
+        &[("small", 0.2), ("medium", 0.35)]
+    } else {
+        &[("small", 0.3), ("medium", 0.6), ("large", 1.0)]
+    };
+    let thread_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4] };
+    println!(
+        "BENCH_serve: D1 x {} sizes, k = {K}, {} queries/batch, threads {:?}{}\n",
+        sizes.len(),
+        args.queries,
+        thread_counts,
+        if args.smoke { " [smoke]" } else { "" }
+    );
+
+    let mut size_rows = Vec::new();
+    let mut valid = true;
+    let mut last_setup: Option<(RoadNetwork, Vec<f64>, SegmentGraph, Vec<usize>)> = None;
+
+    for &(name, scale) in sizes {
+        let dataset = match roadpart::datasets::d1(scale, args.seed) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot build dataset at scale {scale}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        let net = dataset.network.clone();
+        let densities = dataset.eval_densities().to_vec();
+        let Some(labels) = pipeline_labels(&net, &densities, K, args.seed) else {
+            eprintln!("partitioning failed at scale {scale}");
+            return std::process::ExitCode::FAILURE;
+        };
+        let graph = match SegmentGraph::from_network(&net, CostModel::FreeFlowTime) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("routing graph failed at scale {scale}: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        };
+        let pairs = od_pairs(net.segment_count(), args.queries, args.seed);
+
+        println!(
+            "{name} (scale {scale}): {} segments, {} partitions",
+            net.segment_count(),
+            labels.iter().copied().max().map_or(0, |m| m + 1),
+        );
+        println!(
+            "  {:>7} {:>10} {:>8} {:>9} {:>9} {:>9}",
+            "threads", "qps", "routed", "p50 us", "p99 us", "max us"
+        );
+
+        let mut thread_rows = Vec::new();
+        let mut first_meta: Option<(usize, usize, f64)> = None;
+        for &threads in thread_counts {
+            let store = Arc::new(PartitionStore::new(labels.clone(), 0));
+            let engine = match QueryEngine::new(
+                graph.clone(),
+                store,
+                roadpart_linalg::ThreadPool::new(threads),
+            ) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("engine build failed: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            };
+            let serving = engine.serving();
+            first_meta.get_or_insert((
+                serving.boundary_count(),
+                serving.overlay_edge_count(),
+                serving.build_ms,
+            ));
+            // Warm-up pass (page in, size scratches), then the measured one.
+            let batch = QueryBatch::new(pairs.clone());
+            if engine.run_batch(&batch).is_err() {
+                eprintln!("warm-up batch failed at {name}/{threads}");
+                return std::process::ExitCode::FAILURE;
+            }
+            let report = match engine.run_batch(&batch) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("batch failed at {name}/{threads}: {e}");
+                    return std::process::ExitCode::FAILURE;
+                }
+            };
+            valid &= report.queries == args.queries
+                && report.ok + report.no_route == report.queries
+                && report.ok > 0
+                && report.qps.is_finite()
+                && report.qps > 0.0
+                && report.p50_us.is_finite()
+                && report.p99_us.is_finite()
+                && report.total_cost.is_finite();
+            println!(
+                "  {:>7} {:>10.0} {:>8} {:>9.1} {:>9.1} {:>9.1}",
+                threads, report.qps, report.ok, report.p50_us, report.p99_us, report.max_us
+            );
+            thread_rows.push(json!({
+                "threads": threads,
+                "queries": report.queries,
+                "ok": report.ok,
+                "no_route": report.no_route,
+                "qps": report.qps,
+                "wall_ms": report.wall_ms,
+                "p50_us": report.p50_us,
+                "p99_us": report.p99_us,
+                "max_us": report.max_us,
+                "mean_settled": report.mean_settled,
+                "total_cost": report.total_cost,
+            }));
+        }
+        let (boundary_nodes, overlay_edges, build_ms) = first_meta.unwrap_or((0, 0, 0.0));
+        size_rows.push(json!({
+            "name": name,
+            "scale": scale,
+            "segments": net.segment_count(),
+            "partitions": labels.iter().copied().max().map_or(0, |m| m + 1),
+            "boundary_nodes": boundary_nodes,
+            "overlay_edges": overlay_edges,
+            "oracle_build_ms": build_ms,
+            "threads": thread_rows,
+        }));
+        last_setup = Some((net, densities, graph, labels));
+    }
+
+    // Live-swap arm: standing queriers hammer the engine on the largest
+    // network while a new labeling is published and the oracles rebuild.
+    let Some((net, densities, graph, labels)) = last_setup else {
+        eprintln!("no sizes ran");
+        return std::process::ExitCode::FAILURE;
+    };
+    let swap_row = match live_swap_arm(&net, &densities, graph, labels, &args) {
+        Some(row) => row,
+        None => {
+            eprintln!("live-swap arm failed");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let swap_ok = swap_row["queries_during_swap"].as_u64().unwrap_or(0) > 0
+        && swap_row["version_after"].as_u64() == Some(2)
+        && swap_row["qps_during_swap"].as_f64().unwrap_or(0.0) > 0.0;
+    valid &= swap_ok;
+
+    // Scaling is bounded by the host: on a single-core runner the multi-
+    // thread rows measure overhead, not speedup, so record the budget.
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    write_json(
+        "BENCH_serve",
+        &json!({
+            "dataset": "D1",
+            "seed": args.seed,
+            "k": K,
+            "smoke": args.smoke,
+            "host_threads": host_threads,
+            "cost_model": "free-flow time",
+            "queries_per_batch": args.queries,
+            "sizes": size_rows,
+            "live_swap": swap_row,
+        }),
+    );
+
+    if !valid {
+        eprintln!("VALIDITY GATE FAILED: batch stats or live swap inconsistent");
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("\nvalidity gate passed");
+    std::process::ExitCode::SUCCESS
+}
+
+/// Runs querier threads against the engine across a publish + refresh,
+/// returning the measurement row, or `None` on failure.
+fn live_swap_arm(
+    net: &RoadNetwork,
+    densities: &[f64],
+    graph: SegmentGraph,
+    labels: Vec<usize>,
+    args: &BenchArgs,
+) -> Option<serde_json::Value> {
+    let queriers = if args.smoke { 2 } else { 4 };
+    let store = Arc::new(PartitionStore::new(labels, 0));
+    let engine = Arc::new(
+        QueryEngine::new(
+            graph,
+            Arc::clone(&store),
+            roadpart_linalg::ThreadPool::new(queriers),
+        )
+        .ok()?,
+    );
+    let relabeled = pipeline_labels(net, densities, K + 1, args.seed ^ 0xBEEF)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let old_version = Arc::new(AtomicU64::new(0));
+    let new_version = Arc::new(AtomicU64::new(0));
+    let n = net.segment_count();
+    let handles: Vec<_> = (0..queriers)
+        .map(|worker| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            let old_version = Arc::clone(&old_version);
+            let new_version = Arc::clone(&new_version);
+            std::thread::spawn(move || {
+                let mut ctx = QueryContext::new();
+                let mut state = 0x51AB_u64 ^ (worker as u64) << 17;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = (splitmix64(&mut state) % n as u64) as u32;
+                    let t = (splitmix64(&mut state) % n as u64) as u32;
+                    match engine.query(SegmentId(s), SegmentId(t), &mut ctx) {
+                        Ok(resp) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            if resp.version == 1 {
+                                old_version.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                new_version.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(roadpart_serve::ServeError::NoRoute { .. }) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("query failed during swap: {e}");
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let the queriers spin up, then swap the epoch under them.
+    std::thread::sleep(std::time::Duration::from_millis(if args.smoke {
+        20
+    } else {
+        100
+    }));
+    let swap_started = Instant::now();
+    store.publish(relabeled, 1);
+    let outcome = engine.refresh().ok()?;
+    let rebuild_ms = swap_started.elapsed().as_secs_f64() * 1e3;
+    // Keep measuring on the new epoch for as long as the swap took, so
+    // "during" covers both sides of the install.
+    std::thread::sleep(std::time::Duration::from_millis(if args.smoke {
+        20
+    } else {
+        100
+    }));
+    let window_ms = swap_started.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().ok()?;
+    }
+
+    let total = served.load(Ordering::Relaxed);
+    let before = old_version.load(Ordering::Relaxed);
+    let after = new_version.load(Ordering::Relaxed);
+    let version_after = engine.serving().version();
+    println!(
+        "\nlive swap ({queriers} queriers): {total} queries served, \
+         {before} on v1 / {after} on v2, oracle rebuild {rebuild_ms:.1} ms, \
+         {:.0} qps across the window, outcome {outcome:?}",
+        total as f64 / (window_ms / 1e3).max(1e-9),
+    );
+    Some(json!({
+        "queriers": queriers,
+        "segments": n,
+        "window_ms": window_ms,
+        "rebuild_ms": rebuild_ms,
+        "queries_during_swap": total,
+        "qps_during_swap": total as f64 / (window_ms / 1e3).max(1e-9),
+        "served_on_old_version": before,
+        "served_on_new_version": after,
+        "refresh_outcome": format!("{outcome:?}"),
+        "version_after": version_after,
+    }))
+}

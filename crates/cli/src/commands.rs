@@ -1,4 +1,4 @@
-//! The CLI commands: generate, partition, metrics, select-k, stream.
+//! The CLI commands: generate, partition, metrics, select-k, stream, serve.
 
 use crate::args::Args;
 use crate::errors::{with_causes, CliError};
@@ -31,6 +31,9 @@ USAGE:
                      [--warm <on|off>] [--log <out json>]
                      [--scenario <capacity-drop|blockade|rush-hour|moving-hotspot>]
                      [--budget-ms F] [--deadline <degrade|fail>] [--retries N]
+  roadpart serve     --preset <d1|m1|m2|m3> [--scale F] [--seed N] [--k N]
+                     [--scheme <ag|asg|ng|nsg>] [--cost <time|distance|hops>]
+                     [--threads N] [--from SEG --to SEG | --queries N]
 
 Files: networks use the roadpart text format; densities and labels are one
 value per line in segment order.
@@ -54,8 +57,16 @@ degrade, default) or fails the run (--deadline fail). --retries bounds the
 seed-rotating retries per ladder rung. Each epoch line carries the engine
 health (healthy / degraded / quarantining).
 
+serve partitions the preset network, builds per-partition boundary-node
+distance oracles on a --threads pool, and answers shortest-path queries on
+the segment-transition graph. --from/--to answers one query and prints the
+exact route; otherwise --queries random origin-destination pairs run as a
+batch and the throughput/latency statistics are printed. An unreachable
+--from/--to pair exits with the dedicated no-route code, never a panic.
+
 Exit codes: 0 ok, 2 config/usage error, 3 data error, 4 numerical error,
-5 epoch deadline exceeded (--deadline fail), 6 quarantine overflow.";
+5 epoch deadline exceeded (--deadline fail), 6 quarantine overflow,
+7 no route between --from and --to.";
 
 /// Builds the named preset dataset.
 fn build_dataset(preset: &str, scale: f64, seed: u64) -> CliResult<Dataset> {
@@ -449,6 +460,141 @@ pub fn stream(argv: &[String]) -> CliResult<()> {
             .map_err(|e| CliError::data(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+/// SplitMix64 step: a deterministic stateless mixer for OD sampling, so
+/// `serve --queries` needs no RNG dependency and replays bit-identically.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn parse_cost_model(raw: &str) -> CliResult<roadpart_serve::CostModel> {
+    use roadpart_serve::CostModel;
+    match raw.to_ascii_lowercase().as_str() {
+        "time" => Ok(CostModel::FreeFlowTime),
+        "distance" => Ok(CostModel::Distance),
+        "hops" => Ok(CostModel::Hops),
+        other => Err(CliError::config(format!(
+            "unknown cost model '{other}' (use time|distance|hops)"
+        ))),
+    }
+}
+
+/// `roadpart serve`: partition the preset network, build boundary-node
+/// oracles, and answer shortest-path queries exactly.
+///
+/// # Errors
+/// Classified [`CliError`]s: usage problems exit 2, partitioning failures
+/// keep their data/numerical codes, and an unreachable `--from`/`--to`
+/// pair exits with the dedicated no-route code 7.
+pub fn serve(argv: &[String]) -> CliResult<()> {
+    use roadpart_net::SegmentId;
+    use roadpart_serve::{QueryBatch, QueryContext, QueryEngine, SegmentGraph};
+    use roadpart_stream::PartitionStore;
+    use std::sync::Arc;
+
+    let args = Args::parse(argv)?;
+    let preset = args.optional("preset").unwrap_or("d1");
+    let scale: f64 = args.get_or("scale", 0.35)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let k: usize = args.get_or("k", 4)?;
+    if k < 1 {
+        return Err(CliError::config("--k must be at least 1"));
+    }
+    let threads: usize = args.get_or("threads", 1)?;
+    if threads < 1 {
+        return Err(CliError::config("--threads must be at least 1"));
+    }
+    let scheme = parse_scheme(args.optional("scheme").unwrap_or("ag"))?;
+    let cost = parse_cost_model(args.optional("cost").unwrap_or("time"))?;
+
+    let dataset = build_dataset(preset, scale, seed)?;
+    let net = &dataset.network;
+    let mut graph = RoadGraph::from_network(net)?;
+    graph.set_features(dataset.eval_densities().to_vec())?;
+    let cfg = FrameworkConfig::default().with_seed(seed);
+    let out = roadpart::run_scheme(&graph, scheme, k, &cfg)?;
+    let labels = out.partition.labels().to_vec();
+
+    let routing = SegmentGraph::from_network(net, cost)?;
+    let store = Arc::new(PartitionStore::new(labels, 0));
+    let pool = roadpart_linalg::ThreadPool::new(threads);
+    let engine = QueryEngine::new(routing, store, pool)?;
+    let serving = engine.serving();
+    println!(
+        "{} at scale {scale}: {} segments in {} partitions, {} boundary nodes, \
+         {} overlay edges (oracles built in {:.2} ms on {threads} thread(s))",
+        dataset.name,
+        net.segment_count(),
+        serving.partition_count(),
+        serving.boundary_count(),
+        serving.overlay_edge_count(),
+        serving.build_ms,
+    );
+
+    if let (Some(from_raw), Some(to_raw)) = (args.optional("from"), args.optional("to")) {
+        let from: u32 = from_raw
+            .parse()
+            .map_err(|_| CliError::config(format!("bad --from segment '{from_raw}'")))?;
+        let to: u32 = to_raw
+            .parse()
+            .map_err(|_| CliError::config(format!("bad --to segment '{to_raw}'")))?;
+        let mut ctx = QueryContext::new();
+        let resp = engine.query(SegmentId(from), SegmentId(to), &mut ctx)?;
+        println!(
+            "route {from} -> {to}: cost {:.3}, {} segments, {} settled, \
+             {} boundary hop(s){} (snapshot v{})",
+            resp.cost,
+            resp.path.len(),
+            resp.settled,
+            resp.boundary_hops,
+            if resp.used_overlay {
+                " via boundary overlay"
+            } else {
+                " in-cell"
+            },
+            resp.version,
+        );
+        let shown = resp.path.len().min(16);
+        let ids: Vec<String> = resp.path[..shown].iter().map(|s| s.0.to_string()).collect();
+        let ellipsis = if resp.path.len() > shown { " ..." } else { "" };
+        println!("path: {}{ellipsis}", ids.join(" -> "));
+        return Ok(());
+    }
+
+    let queries: usize = args.get_or("queries", 200)?;
+    if queries == 0 {
+        return Err(CliError::config("--queries must be at least 1"));
+    }
+    let n = net.segment_count() as u64;
+    let mut state = seed ^ 0x5EED_0D0D_CAFE_F00D;
+    let pairs: Vec<(SegmentId, SegmentId)> = (0..queries)
+        .map(|_| {
+            let s = (splitmix64(&mut state) % n) as u32;
+            let t = (splitmix64(&mut state) % n) as u32;
+            (SegmentId(s), SegmentId(t))
+        })
+        .collect();
+    let report = engine.run_batch(&QueryBatch::new(pairs))?;
+    println!(
+        "{} queries on {threads} thread(s): {} routed, {} no-route | \
+         {:.0} qps | p50 {:.1} us, p99 {:.1} us, max {:.1} us | \
+         mean settled {:.0} | snapshot v{}",
+        report.queries,
+        report.ok,
+        report.no_route,
+        report.qps,
+        report.p50_us,
+        report.p99_us,
+        report.max_us,
+        report.mean_settled,
+        report.version_hi,
+    );
     Ok(())
 }
 

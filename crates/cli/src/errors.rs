@@ -15,6 +15,8 @@ pub const EXIT_NUMERICAL: u8 = 4;
 pub const EXIT_DEADLINE: u8 = 5;
 /// Exit code for quarantine overflow (every update of an epoch dropped).
 pub const EXIT_QUARANTINE: u8 = 6;
+/// Exit code for an unreachable origin–destination query (`serve`).
+pub const EXIT_NOROUTE: u8 = 7;
 /// The failure class of a CLI error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
@@ -28,6 +30,8 @@ pub enum ErrorKind {
     Deadline,
     /// Source quarantine dropped every update offered in an epoch.
     Quarantine,
+    /// A serve query's destination is unreachable from its origin.
+    NoRoute,
 }
 
 /// A classified CLI failure with its formatted cause chain.
@@ -64,6 +68,7 @@ impl CliError {
             ErrorKind::Numerical => EXIT_NUMERICAL,
             ErrorKind::Deadline => EXIT_DEADLINE,
             ErrorKind::Quarantine => EXIT_QUARANTINE,
+            ErrorKind::NoRoute => EXIT_NOROUTE,
         }
     }
 }
@@ -106,6 +111,27 @@ impl From<roadpart_net::NetError> for CliError {
     fn from(err: roadpart_net::NetError) -> Self {
         Self {
             kind: ErrorKind::Data,
+            message: with_causes(&err),
+        }
+    }
+}
+
+impl From<roadpart_serve::ServeError> for CliError {
+    fn from(err: roadpart_serve::ServeError) -> Self {
+        use roadpart_serve::ServeError as QE;
+        let kind = match &err {
+            // The typed no-route outcome gets its own exit code so
+            // scripted callers can distinguish "no path exists" from a
+            // broken invocation — it is never a panic or an infinite cost.
+            QE::NoRoute { .. } => ErrorKind::NoRoute,
+            QE::InvalidQuery { .. } => ErrorKind::Config,
+            QE::InvalidCost { .. } | QE::SnapshotMismatch { .. } | QE::TooLarge { .. } => {
+                ErrorKind::Data
+            }
+            QE::Internal(_) => ErrorKind::Numerical,
+        };
+        Self {
+            kind,
             message: with_causes(&err),
         }
     }
@@ -205,6 +231,30 @@ mod tests {
             EXIT_NUMERICAL,
             "wrapped solver errors keep code 4"
         );
+    }
+
+    #[test]
+    fn serve_failures_map_to_typed_exit_codes() {
+        use roadpart_net::SegmentId;
+        use roadpart_serve::ServeError as QE;
+        let no_route: CliError = QE::NoRoute {
+            from: SegmentId(3),
+            to: SegmentId(9),
+        }
+        .into();
+        assert_eq!(no_route.kind, ErrorKind::NoRoute);
+        assert_eq!(no_route.exit_code(), EXIT_NOROUTE);
+        assert!(format!("{no_route}").contains("no route"));
+
+        let invalid: CliError = QE::InvalidQuery {
+            segment: SegmentId(99),
+            segments: 10,
+        }
+        .into();
+        assert_eq!(invalid.exit_code(), EXIT_CONFIG);
+
+        let internal: CliError = QE::Internal("predecessor chain broken").into();
+        assert_eq!(internal.exit_code(), EXIT_NUMERICAL);
     }
 
     #[test]

@@ -9,13 +9,15 @@
 //! roadpart metrics   --net city.net --densities city.densities --labels out.labels
 //! roadpart select-k  --net city.net --densities city.densities --kmax 12 --scheme asg
 //! roadpart stream    --preset d1 --scale 0.35 --k 4 --epochs 10 --log stream-log.json
+//! roadpart serve     --preset d1 --scale 0.35 --k 4 --threads 4 --queries 500
 //! ```
 //!
 //! Exit codes distinguish the failure class so scripts can react:
 //! `0` success, `2` configuration/usage error, `3` data error (unreadable or
 //! unrepairable input), `4` numerical error (solver and clustering
 //! failures), `5` epoch deadline exceeded (`stream --deadline fail`),
-//! `6` quarantine overflow (every update of a streaming epoch dropped).
+//! `6` quarantine overflow (every update of a streaming epoch dropped),
+//! `7` no route between the requested `serve --from`/`--to` pair.
 
 mod args;
 mod commands;
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "metrics" => commands::metrics(rest),
         "select-k" => commands::select_k(rest),
         "stream" => commands::stream(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

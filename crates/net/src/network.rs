@@ -163,6 +163,15 @@ impl RoadNetwork {
         &self.incoming[id.index()]
     }
 
+    /// Segments a vehicle can continue onto after traversing `id`: the
+    /// outgoing segments of its downstream intersection. This is the edge
+    /// relation of the segment-transition graph the serving layer routes
+    /// over (`a -> b` iff `a.to == b.from`).
+    #[inline]
+    pub fn successor_segments(&self, id: SegmentId) -> &[SegmentId] {
+        self.outgoing(self.segment(id).to)
+    }
+
     /// All segments incident to an intersection (incoming then outgoing).
     pub fn incident(&self, id: IntersectionId) -> impl Iterator<Item = SegmentId> + '_ {
         self.incoming[id.index()]
@@ -325,6 +334,20 @@ mod tests {
         assert_eq!(net.incoming(IntersectionId(1)).len(), 1);
         let incident: Vec<_> = net.incident(IntersectionId(0)).collect();
         assert_eq!(incident.len(), 2); // s0 out, s2 in
+    }
+
+    #[test]
+    fn successor_segments_follow_downstream_intersection() {
+        let net = tiny();
+        // s0 ends at intersection 1, whose outgoing segments are s1 and s2.
+        assert_eq!(
+            net.successor_segments(SegmentId(0)),
+            &[SegmentId(1), SegmentId(2)]
+        );
+        // s1 ends at the terminal intersection 2: no continuation.
+        assert!(net.successor_segments(SegmentId(1)).is_empty());
+        // s2 loops back to intersection 0, whose only exit is s0.
+        assert_eq!(net.successor_segments(SegmentId(2)), &[SegmentId(0)]);
     }
 
     #[test]

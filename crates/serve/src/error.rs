@@ -1,0 +1,110 @@
+//! Typed failures of the serving layer.
+//!
+//! Every fallible entry point returns [`ServeError`]; in particular an
+//! unreachable origin–destination pair is the *typed* [`ServeError::NoRoute`]
+//! — never a panic, and never an infinite cost leaking into statistics.
+
+use roadpart_net::SegmentId;
+use std::fmt;
+
+/// Failures of graph construction, oracle builds, and query answering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No route exists between the requested origin and destination.
+    NoRoute {
+        /// Origin segment of the failed query.
+        from: SegmentId,
+        /// Destination segment of the failed query.
+        to: SegmentId,
+    },
+    /// A query referenced a segment outside the served network.
+    InvalidQuery {
+        /// The out-of-range segment id.
+        segment: SegmentId,
+        /// Number of segments in the served network.
+        segments: usize,
+    },
+    /// A segment carried a cost the router cannot order (non-finite or
+    /// non-positive).
+    InvalidCost {
+        /// Index of the offending segment.
+        segment: usize,
+        /// The rejected cost value.
+        value: f64,
+    },
+    /// The partition snapshot does not cover the served network.
+    SnapshotMismatch {
+        /// Segments in the served network.
+        graph_len: usize,
+        /// Segments covered by the snapshot.
+        snapshot_len: usize,
+    },
+    /// The network or its condensed boundary graph exceeds the `u32` id
+    /// space the compact routing structures use.
+    TooLarge {
+        /// What overflowed (`"segments"` or `"overlay edges"`).
+        what: &'static str,
+        /// The observed count.
+        count: usize,
+    },
+    /// An internal invariant broke (a predecessor chain that does not
+    /// reach its origin). Indicates a bug, reported instead of panicking.
+    Internal(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoRoute { from, to } => {
+                write!(f, "no route from segment {} to segment {}", from.0, to.0)
+            }
+            Self::InvalidQuery { segment, segments } => write!(
+                f,
+                "query segment {} out of range (network has {segments} segments)",
+                segment.0
+            ),
+            Self::InvalidCost { segment, value } => write!(
+                f,
+                "segment {segment} has unroutable cost {value} (must be finite and positive)"
+            ),
+            Self::SnapshotMismatch {
+                graph_len,
+                snapshot_len,
+            } => write!(
+                f,
+                "partition snapshot covers {snapshot_len} segments but the network has {graph_len}"
+            ),
+            Self::TooLarge { what, count } => {
+                write!(f, "{what} count {count} exceeds the u32 id space")
+            }
+            Self::Internal(what) => write!(f, "internal serving invariant broken: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::NoRoute {
+            from: SegmentId(3),
+            to: SegmentId(9),
+        };
+        assert_eq!(format!("{e}"), "no route from segment 3 to segment 9");
+        let e = ServeError::InvalidCost {
+            segment: 5,
+            value: f64::NAN,
+        };
+        assert!(format!("{e}").contains("segment 5"));
+        let e = ServeError::SnapshotMismatch {
+            graph_len: 10,
+            snapshot_len: 4,
+        };
+        assert!(format!("{e}").contains("4"), "{e}");
+        assert!(format!("{e}").contains("10"), "{e}");
+    }
+}

@@ -1,0 +1,48 @@
+//! `roadpart-serve` — partition-aware shortest-path query serving.
+//!
+//! The payoff workload for spatial partitioning (Anwar et al., EDBT
+//! 2014): once a large urban road network is cut into balanced,
+//! congestion-homogeneous districts, point-to-point routing can exploit
+//! that structure instead of searching the whole network per query. This
+//! crate serves *exact* shortest paths using only per-partition searches
+//! plus precomputed boundary structure:
+//!
+//! * [`SegmentGraph`] — a compact CSR view of the segment-transition
+//!   graph with per-segment traversal costs ([`CostModel`]);
+//! * [`local`] — the allocation-free Dijkstra kernels (forward, backward,
+//!   condensed-overlay) every phase runs on;
+//! * [`CellOracle`] / [`OracleSet`] — per-partition all-pairs boundary
+//!   distances (built in parallel on the workspace [`ThreadPool`]) plus
+//!   the condensed boundary graph over all partitions;
+//! * [`QueryEngine`] — non-blocking, epoch-consistent serving on top of
+//!   the streaming layer's RCU [`PartitionStore`]: queries pin one
+//!   `Arc<OracleSet>` (labels and oracle share a version by
+//!   construction) while [`QueryEngine::refresh`] rebuilds the next
+//!   oracle set off-lock on epoch swaps;
+//! * [`QueryBatch`] / [`BatchReport`] — batched execution on the thread
+//!   pool with per-query and per-batch statistics.
+//!
+//! Unreachable origin–destination pairs are a typed
+//! [`ServeError::NoRoute`] everywhere — never a panic, never an infinite
+//! cost leaking into statistics.
+//!
+//! [`ThreadPool`]: roadpart_linalg::ThreadPool
+//! [`PartitionStore`]: roadpart_stream::PartitionStore
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod graph;
+pub mod local;
+mod oracle;
+mod scratch;
+
+pub use engine::{
+    exact_route, BatchReport, QueryBatch, QueryContext, QueryEngine, QueryResponse, QueryStat,
+    RefreshOutcome,
+};
+pub use error::ServeError;
+pub use graph::{CostModel, SegmentGraph};
+pub use oracle::{CellOracle, EdgeKind, OracleSet};
+pub use scratch::DijkstraScratch;

@@ -1,0 +1,411 @@
+//! Boundary-node distance oracles and the condensed boundary graph.
+//!
+//! A segment is a *boundary node* of its partition when it has a
+//! transition edge from or to a differently-labeled segment. For each
+//! partition the oracle stores the all-pairs matrix of restricted shortest
+//! distances among that partition's boundary nodes — `D_P(b1, b2)`
+//! computed entirely inside the partition — built in parallel (one task
+//! per partition) on the deterministic [`ThreadPool`].
+//!
+//! On top of the per-cell matrices sits one *condensed boundary graph*
+//! over all boundary nodes of the network:
+//!
+//! * a **clique** edge `b1 -> b2` with weight `D_P(b1, b2)` for every
+//!   finite in-cell pair (partition `P = cell(b1) = cell(b2)`), and
+//! * a **cross** edge `u -> v` with weight `cost(v)` for every original
+//!   transition edge that changes partition.
+//!
+//! Any s-t path decomposes into maximal single-cell runs whose endpoints
+//! (except possibly `s` and `t` themselves) are boundary nodes, so a
+//! Dijkstra over this condensed graph — seeded from the origin's local
+//! search and joined with the destination's backward local search —
+//! reproduces exact whole-network distances (proof sketch in DESIGN.md).
+//!
+//! An [`OracleSet`] owns the [`PartitionSnapshot`] it was built from;
+//! version consistency between the labeling a query reads and the oracle
+//! it hops through holds by construction, not by locking discipline.
+
+use crate::error::ServeError;
+use crate::graph::SegmentGraph;
+use crate::local::{run_forward, NO_TARGET};
+use crate::scratch::{DijkstraScratch, NONE};
+use roadpart_linalg::ThreadPool;
+use roadpart_stream::PartitionSnapshot;
+use std::sync::Arc;
+
+/// How a condensed-graph edge arose; drives path re-expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Precomputed intra-partition shortcut `D_P(b1, b2)`.
+    Clique,
+    /// An original transition edge between partitions.
+    Cross,
+}
+
+/// All-pairs restricted shortest distances among one partition's
+/// boundary nodes.
+#[derive(Debug, Clone)]
+pub struct CellOracle {
+    cell: usize,
+    /// Boundary segments of this partition, ascending by id.
+    boundary: Vec<u32>,
+    /// Row-major `boundary.len()²` distance matrix; `INFINITY` marks
+    /// pairs unreachable inside the partition.
+    dist: Vec<f64>,
+}
+
+impl CellOracle {
+    /// The partition this oracle covers.
+    #[must_use]
+    pub fn cell(&self) -> usize {
+        self.cell
+    }
+
+    /// Boundary segments of the partition, ascending by id.
+    #[must_use]
+    pub fn boundary(&self) -> &[u32] {
+        &self.boundary
+    }
+
+    /// `D_P(boundary[i], boundary[j])`, or `INFINITY` when `j` cannot be
+    /// reached from `i` without leaving the partition (or an index is out
+    /// of range).
+    #[must_use]
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        let b = self.boundary.len();
+        if i < b && j < b {
+            self.dist[i * b + j]
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The full serving structure for one partition snapshot: per-cell
+/// oracles, the global boundary indexing, and the condensed graph.
+#[derive(Debug)]
+pub struct OracleSet {
+    snapshot: Arc<PartitionSnapshot>,
+    cells: Vec<CellOracle>,
+    /// All boundary nodes of the network, ascending by segment id.
+    boundary_nodes: Vec<u32>,
+    /// Segment id -> overlay node index (`NONE` for interior segments).
+    boundary_index: Vec<u32>,
+    cond_start: Vec<usize>,
+    cond_target: Vec<u32>,
+    cond_weight: Vec<f64>,
+    cond_kind: Vec<EdgeKind>,
+    /// Wall-clock milliseconds the build took (parallel phase included).
+    pub build_ms: f64,
+}
+
+impl OracleSet {
+    /// Builds the oracle set for `snapshot` over `graph`, computing the
+    /// per-partition boundary distance matrices in parallel on `pool`
+    /// (one task per partition; deterministic at any thread count).
+    ///
+    /// # Errors
+    /// [`ServeError::SnapshotMismatch`] when the snapshot does not cover
+    /// the graph; [`ServeError::TooLarge`] when the condensed graph
+    /// overflows the `u32` edge-index space.
+    pub fn build(
+        graph: &SegmentGraph,
+        snapshot: Arc<PartitionSnapshot>,
+        pool: &ThreadPool,
+    ) -> Result<Self, ServeError> {
+        let started = std::time::Instant::now();
+        let n = graph.len();
+        if snapshot.len() != n {
+            return Err(ServeError::SnapshotMismatch {
+                graph_len: n,
+                snapshot_len: snapshot.len(),
+            });
+        }
+        let labels = snapshot.labels();
+        let k = snapshot.k;
+
+        // Boundary detection: one sweep over the transition edges.
+        let mut is_boundary = vec![false; n];
+        for u in 0..n {
+            for &v in graph.successors(u as u32) {
+                if labels[u] != labels[v as usize] {
+                    is_boundary[u] = true;
+                    is_boundary[v as usize] = true;
+                }
+            }
+        }
+        let boundary_nodes: Vec<u32> = (0..n as u32).filter(|&u| is_boundary[u as usize]).collect();
+        let mut boundary_index = vec![NONE; n];
+        for (i, &b) in boundary_nodes.iter().enumerate() {
+            boundary_index[b as usize] = i as u32;
+        }
+
+        // Group boundary nodes by cell (each list stays ascending).
+        let mut cell_boundary: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut local_index = vec![NONE; n];
+        for &b in &boundary_nodes {
+            let cell = labels[b as usize];
+            local_index[b as usize] = cell_boundary[cell].len() as u32;
+            cell_boundary[cell].push(b);
+        }
+
+        // Per-cell all-pairs boundary distances: one task per cell, each
+        // running |boundary| restricted forward Dijkstras with its own
+        // scratch. Static task assignment + in-order merge keep the
+        // result bit-identical at any pool size.
+        let tasks: Vec<(usize, Vec<u32>)> = cell_boundary.into_iter().enumerate().collect();
+        let cells: Vec<CellOracle> = pool.map_tasks(tasks, |_, (cell, boundary)| {
+            let b = boundary.len();
+            let mut dist = vec![f64::INFINITY; b * b];
+            let mut scratch = DijkstraScratch::new();
+            scratch.ensure(n);
+            for (row, &src) in boundary.iter().enumerate() {
+                scratch.reset();
+                scratch.seed(src, 0.0);
+                run_forward(graph, labels, cell, NO_TARGET, &mut scratch);
+                for (col, &dst) in boundary.iter().enumerate() {
+                    dist[row * b + col] = scratch.distance(dst);
+                }
+            }
+            CellOracle {
+                cell,
+                boundary,
+                dist,
+            }
+        });
+
+        // Condensed boundary graph, CSR over overlay node indices.
+        // Sources are visited in ascending overlay order, so a flat push
+        // builds the CSR directly.
+        let mut cond_start = Vec::with_capacity(boundary_nodes.len() + 1);
+        let mut cond_target = Vec::new();
+        let mut cond_weight = Vec::new();
+        let mut cond_kind = Vec::new();
+        cond_start.push(0);
+        for &u in &boundary_nodes {
+            let cell = labels[u as usize];
+            let oracle = &cells[cell];
+            let row = local_index[u as usize] as usize;
+            for (col, &other) in oracle.boundary.iter().enumerate() {
+                if other == u {
+                    continue;
+                }
+                let d = oracle.distance(row, col);
+                if d.is_finite() {
+                    cond_target.push(boundary_index[other as usize]);
+                    cond_weight.push(d);
+                    cond_kind.push(EdgeKind::Clique);
+                }
+            }
+            for &v in graph.successors(u) {
+                if labels[v as usize] != cell {
+                    cond_target.push(boundary_index[v as usize]);
+                    cond_weight.push(graph.cost(v));
+                    cond_kind.push(EdgeKind::Cross);
+                }
+            }
+            cond_start.push(cond_target.len());
+        }
+        if cond_target.len() >= NONE as usize {
+            return Err(ServeError::TooLarge {
+                what: "overlay edges",
+                count: cond_target.len(),
+            });
+        }
+
+        Ok(Self {
+            snapshot,
+            cells,
+            boundary_nodes,
+            boundary_index,
+            cond_start,
+            cond_target,
+            cond_weight,
+            cond_kind,
+            build_ms: started.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// The partition snapshot this oracle set was built from.
+    #[must_use]
+    pub fn snapshot(&self) -> &Arc<PartitionSnapshot> {
+        &self.snapshot
+    }
+
+    /// Version of the underlying snapshot (oracle and labeling share it
+    /// by construction).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.snapshot.version
+    }
+
+    /// Epoch of the underlying snapshot.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch
+    }
+
+    /// Number of partitions covered.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total boundary nodes across all partitions (the overlay order).
+    #[must_use]
+    pub fn boundary_count(&self) -> usize {
+        self.boundary_nodes.len()
+    }
+
+    /// Number of condensed-graph edges (cliques + crossings).
+    #[must_use]
+    pub fn overlay_edge_count(&self) -> usize {
+        self.cond_target.len()
+    }
+
+    /// The oracle of partition `cell`, if it exists.
+    #[must_use]
+    pub fn cell(&self, cell: usize) -> Option<&CellOracle> {
+        self.cells.get(cell)
+    }
+
+    /// Overlay node index of segment `u` (`None` for interior segments).
+    #[must_use]
+    pub fn overlay_index(&self, u: u32) -> Option<u32> {
+        match self.boundary_index.get(u as usize) {
+            Some(&i) if i != NONE => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Segment id of overlay node `i`.
+    #[must_use]
+    pub fn overlay_node(&self, i: u32) -> u32 {
+        self.boundary_nodes[i as usize]
+    }
+
+    /// The condensed graph as flat CSR slices for [`run_overlay`]
+    /// (`start`, `target`, `weight`).
+    ///
+    /// [`run_overlay`]: crate::local::run_overlay
+    #[must_use]
+    pub fn overlay_edges(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.cond_start, &self.cond_target, &self.cond_weight)
+    }
+
+    /// Kind of condensed edge `e` (index into the CSR edge arrays).
+    #[must_use]
+    pub fn overlay_edge_kind(&self, e: u32) -> EdgeKind {
+        self.cond_kind[e as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CostModel;
+    use roadpart_net::{Intersection, IntersectionId, RoadNetwork, RoadSegment};
+
+    /// Two-way chain of 4 intersections: 8 segments (4 per direction).
+    fn chain_net() -> RoadNetwork {
+        let ints = (0..5)
+            .map(|i| Intersection {
+                x: f64::from(i) * 100.0,
+                y: 0.0,
+            })
+            .collect();
+        let seg = |from: u32, to: u32| RoadSegment {
+            from: IntersectionId(from),
+            to: IntersectionId(to),
+            length_m: 100.0,
+            free_speed_mps: 10.0,
+            density: 0.0,
+        };
+        let mut segs = Vec::new();
+        for i in 0..4u32 {
+            segs.push(seg(i, i + 1));
+            segs.push(seg(i + 1, i));
+        }
+        RoadNetwork::new(ints, segs).unwrap()
+    }
+
+    #[test]
+    fn boundary_detection_and_condensed_graph() {
+        let net = chain_net();
+        let g = SegmentGraph::from_network(&net, CostModel::Hops).unwrap();
+        // Segments 0..4 (intersections 0-1-2) in cell 0; rest cell 1.
+        // Forward chain: s0 (0->1), s2 (1->2), s4 (2->3), s6 (3->4);
+        // backward: s1 (1->0), s3 (2->1), s5 (3->2), s7 (4->3).
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let snap = Arc::new(PartitionStoreHelper::snapshot(labels.clone()));
+        let pool = ThreadPool::serial();
+        let set = OracleSet::build(&g, snap, &pool).unwrap();
+
+        assert_eq!(set.partition_count(), 2);
+        // Crossing edges: s2 -> s4 (cell 0 to 1) and s5 -> s3 (1 to 0);
+        // boundary = {s2, s3} in cell 0 and {s4, s5} in cell 1.
+        assert_eq!(set.boundary_count(), 4);
+        let cell0 = set.cell(0).unwrap();
+        assert_eq!(cell0.boundary(), &[2, 3]);
+        let cell1 = set.cell(1).unwrap();
+        assert_eq!(cell1.boundary(), &[4, 5]);
+        // In-cell boundary distance: s4 -> s5 needs s6 then s5? No:
+        // s4 = 2->3, successors at 3 inside cell 1: s6 (3->4), s5 (3->2).
+        // One hop: D(s4, s5) = cost(s5) = 1.
+        let (r, c) = (0, 1); // s4 row, s5 col
+        assert_eq!(cell1.distance(r, c), 1.0);
+        // Every edge of the condensed graph is finite.
+        let (_, _, weights) = set.overlay_edges();
+        assert!(weights.iter().all(|w| w.is_finite()));
+        assert!(set.overlay_edge_count() > 0);
+        // Version travels with the snapshot.
+        assert_eq!(set.version(), 1);
+        assert_eq!(set.overlay_index(0), None, "interior segment");
+        let b = set.overlay_index(2).unwrap();
+        assert_eq!(set.overlay_node(b), 2);
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_rejected() {
+        let net = chain_net();
+        let g = SegmentGraph::from_network(&net, CostModel::Hops).unwrap();
+        let snap = Arc::new(PartitionStoreHelper::snapshot(vec![0, 1]));
+        let err = OracleSet::build(&g, snap, &ThreadPool::serial()).unwrap_err();
+        assert!(matches!(err, ServeError::SnapshotMismatch { .. }));
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let net = chain_net();
+        let g = SegmentGraph::from_network(&net, CostModel::FreeFlowTime).unwrap();
+        let labels = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let serial = OracleSet::build(
+            &g,
+            Arc::new(PartitionStoreHelper::snapshot(labels.clone())),
+            &ThreadPool::serial(),
+        )
+        .unwrap();
+        let parallel = OracleSet::build(
+            &g,
+            Arc::new(PartitionStoreHelper::snapshot(labels)),
+            &ThreadPool::new(4),
+        )
+        .unwrap();
+        assert_eq!(serial.boundary_nodes, parallel.boundary_nodes);
+        assert_eq!(serial.cond_start, parallel.cond_start);
+        assert_eq!(serial.cond_target, parallel.cond_target);
+        for (a, b) in serial.cond_weight.iter().zip(&parallel.cond_weight) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Test helper: builds a snapshot through the public store API.
+    struct PartitionStoreHelper;
+    impl PartitionStoreHelper {
+        fn snapshot(labels: Vec<usize>) -> PartitionSnapshot {
+            let store = roadpart_stream::PartitionStore::new(labels, 0);
+            let arc = store.read();
+            (*arc).clone()
+        }
+    }
+}

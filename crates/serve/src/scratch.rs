@@ -1,0 +1,145 @@
+//! Reusable Dijkstra state: distance/predecessor arrays, a touched list
+//! for O(touched) resets, and the binary heap.
+//!
+//! Queries run at high rate, so the inner loops in [`crate::local`] must
+//! not allocate (that file is pinned by the audit `hot-loop-alloc` rule).
+//! All buffers are therefore owned here: the engine sizes a scratch once
+//! per context via [`DijkstraScratch::ensure`] and the hot loops only ever
+//! read, write, push, and pop borrowed storage.
+
+use std::collections::BinaryHeap;
+
+/// Sentinel for "no predecessor" / "not a node" in `u32` id arrays.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// A priority-queue entry ordered as a min-heap over `cost` (ties broken
+/// on the node id so the settle order — and with it every predecessor
+/// tree — is fully deterministic).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeapEntry {
+    pub cost: f64,
+    pub node: u32,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, routing wants cheapest-first.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+/// Reusable single-source shortest-path state sized for one node space.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    /// Tentative distances; `INFINITY` = untouched.
+    pub(crate) dist: Vec<f64>,
+    /// Predecessor node of each touched node (`NONE` for seeds).
+    pub(crate) prev: Vec<u32>,
+    /// Edge index that set `prev` (overlay search only; `NONE` elsewhere).
+    pub(crate) prev_edge: Vec<u32>,
+    /// Nodes whose entries differ from the reset state.
+    pub(crate) touched: Vec<u32>,
+    /// The frontier.
+    pub(crate) heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; call [`Self::ensure`] before use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the arrays to cover `n` nodes (never shrinks). New entries
+    /// start in the reset state, so growing preserves the invariant that
+    /// everything off the touched list is pristine.
+    pub fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, NONE);
+            self.prev_edge.resize(n, NONE);
+        }
+    }
+
+    /// Restores the reset state in O(touched + heap).
+    pub(crate) fn reset(&mut self) {
+        for &node in &self.touched {
+            let i = node as usize;
+            self.dist[i] = f64::INFINITY;
+            self.prev[i] = NONE;
+            self.prev_edge[i] = NONE;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+
+    /// Adds a search source at tentative distance `cost` (keeps the
+    /// minimum over repeated seeds of one node).
+    pub(crate) fn seed(&mut self, node: u32, cost: f64) {
+        let i = node as usize;
+        if cost < self.dist[i] {
+            if self.dist[i] == f64::INFINITY {
+                self.touched.push(node);
+            }
+            self.dist[i] = cost;
+            self.heap.push(HeapEntry { cost, node });
+        }
+    }
+
+    /// Settled/tentative distance of `node` (`INFINITY` = unreached).
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, node: u32) -> f64 {
+        self.dist[node as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_is_min_order_with_node_tiebreak() {
+        let mut heap = BinaryHeap::new();
+        for (cost, node) in [(2.0, 7), (1.0, 9), (1.0, 3), (5.0, 0)] {
+            heap.push(HeapEntry { cost, node });
+        }
+        let order: Vec<(f64, u32)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.cost, e.node))
+            .collect();
+        assert_eq!(order, vec![(1.0, 3), (1.0, 9), (2.0, 7), (5.0, 0)]);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut s = DijkstraScratch::new();
+        s.ensure(4);
+        s.seed(2, 1.5);
+        s.seed(2, 0.5); // repeated seed keeps the minimum
+        assert_eq!(s.distance(2), 0.5);
+        assert_eq!(s.touched, vec![2]);
+        s.reset();
+        assert_eq!(s.distance(2), f64::INFINITY);
+        assert!(s.touched.is_empty());
+        assert!(s.heap.is_empty());
+        s.ensure(2); // never shrinks
+        assert_eq!(s.dist.len(), 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Loom model checking of the query-engine serving-swap protocol.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, which also switches the
+//! engine's serving lock and rebuild guard onto loom's sync types. Each
+//! test wraps a scenario in `loom::model`, which explores interleavings
+//! and fails if any assertion fails in any schedule.
+//!
+//! The properties proved here back the epoch-consistency contract:
+//!
+//! 1. **No torn serving state** — a querier always works against one
+//!    `Arc<OracleSet>` whose labels and oracle share a version by
+//!    construction; concurrent refreshes never expose a partition/oracle
+//!    version mismatch, and every racing query still returns the exact
+//!    route cost (a partition-invariant).
+//! 2. **Per-querier monotonicity** — successive `serving()` grabs never
+//!    go back to an older version.
+//! 3. **Refresh safety** — concurrent refreshers deduplicate via the
+//!    rebuild guard (`Busy`), never install backwards, and the engine
+//!    converges on the store's latest snapshot.
+//!
+//! Run: `RUSTFLAGS="--cfg loom" cargo test -p roadpart-serve --test loom_oracle`
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+use roadpart_linalg::ThreadPool;
+use roadpart_net::{Intersection, IntersectionId, RoadNetwork, RoadSegment, SegmentId};
+use roadpart_serve::{CostModel, QueryContext, QueryEngine, RefreshOutcome, SegmentGraph};
+use roadpart_stream::PartitionStore;
+
+/// One-way ring of 4 segments with unit (hop) costs: every pair is
+/// routable and the exact cost of `0 -> 2` is 3 hops under *any*
+/// partition — the invariant racing queries are checked against.
+fn ring_engine(initial: Vec<usize>) -> QueryEngine {
+    let ints = (0..4)
+        .map(|i| Intersection {
+            x: f64::from(i),
+            y: 0.0,
+        })
+        .collect();
+    let seg = |from: u32, to: u32| RoadSegment {
+        from: IntersectionId(from),
+        to: IntersectionId(to),
+        length_m: 10.0,
+        free_speed_mps: 10.0,
+        density: 0.0,
+    };
+    let segs = vec![seg(0, 1), seg(1, 2), seg(2, 3), seg(3, 0)];
+    let net = RoadNetwork::new(ints, segs).expect("valid ring network");
+    let graph = SegmentGraph::from_network(&net, CostModel::Hops).expect("valid graph");
+    let store = std::sync::Arc::new(PartitionStore::new(initial, 0));
+    QueryEngine::new(graph, store, ThreadPool::serial()).expect("engine builds")
+}
+
+/// A consistency probe: grab the serving state once, then check that
+/// everything read through it is internally consistent and exact.
+fn probe(engine: &QueryEngine, ctx: &mut QueryContext, max_version: u64) -> u64 {
+    let serving = engine.serving();
+    // Labels and oracle travel in one Arc: their versions agree by
+    // construction — a mismatch here means the swap published torn state.
+    assert_eq!(
+        serving.version(),
+        serving.snapshot().version,
+        "partition/oracle version mismatch"
+    );
+    assert_eq!(serving.snapshot().len(), 4, "labels must be complete");
+    assert!(
+        serving.version() >= 1 && serving.version() <= max_version,
+        "impossible version {}",
+        serving.version()
+    );
+    let resp = engine
+        .query_with(&serving, SegmentId(0), SegmentId(2), ctx)
+        .expect("ring pair is always routable");
+    assert_eq!(resp.cost, 3.0, "exact hop cost is partition-invariant");
+    assert_eq!(
+        resp.version,
+        serving.version(),
+        "answer stamped with a different version than the pinned state"
+    );
+    serving.version()
+}
+
+#[test]
+fn queriers_never_observe_torn_or_mismatched_serving_state() {
+    loom::model(|| {
+        let engine = Arc::new(ring_engine(vec![0, 0, 1, 1]));
+
+        // The epoch loop: publish a new labeling, then refresh the
+        // serving oracles (rebuild happens off-lock).
+        let swapper = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                engine.store().publish(vec![0, 1, 1, 0], 1);
+                engine.refresh().expect("rebuild succeeds");
+            })
+        };
+        // Queriers race the swap; each must stay exact and monotonic.
+        let queriers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                thread::spawn(move || {
+                    let mut ctx = QueryContext::new();
+                    let mut last = 0u64;
+                    for _ in 0..2 {
+                        let v = probe(&engine, &mut ctx, 2);
+                        assert!(v >= last, "serving version went backwards");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+
+        swapper.join().expect("swapper panicked");
+        for q in queriers {
+            q.join().expect("querier panicked");
+        }
+        // Converged: the engine serves the store's latest snapshot.
+        assert_eq!(engine.serving().version(), 2);
+        assert_eq!(engine.serving().version(), engine.store().version());
+    });
+}
+
+#[test]
+fn concurrent_refreshers_are_safe_and_converge() {
+    loom::model(|| {
+        let engine = Arc::new(ring_engine(vec![0; 4]));
+        engine.store().publish(vec![0, 1, 0, 1], 1);
+
+        let refreshers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                thread::spawn(move || engine.refresh().expect("refresh never fails here"))
+            })
+            .collect();
+        let outcomes: Vec<RefreshOutcome> = refreshers
+            .into_iter()
+            .map(|r| r.join().expect("refresher panicked"))
+            .collect();
+
+        // Every outcome is one of the safe three; at least one caller
+        // either did the rebuild or found it already current, and nobody
+        // can have installed version 1 again.
+        for o in &outcomes {
+            assert!(
+                matches!(
+                    o,
+                    RefreshOutcome::Rebuilt { version: 2 }
+                        | RefreshOutcome::Busy
+                        | RefreshOutcome::Current
+                ),
+                "unexpected outcome {o:?}"
+            );
+        }
+        assert!(
+            outcomes.iter().any(|o| !matches!(o, RefreshOutcome::Busy)),
+            "both refreshers claimed the other was rebuilding"
+        );
+
+        // A final sequential refresh always converges on the store.
+        engine.refresh().expect("final refresh");
+        assert_eq!(engine.serving().version(), 2);
+        let mut ctx = QueryContext::new();
+        let serving = engine.serving();
+        let resp = engine
+            .query_with(&serving, SegmentId(1), SegmentId(0), &mut ctx)
+            .expect("routable");
+        assert_eq!(resp.cost, 4.0, "1 -> 2 -> 3 -> 0 is 4 hops");
+    });
+}
+
+#[test]
+fn held_serving_state_is_immutable_across_swaps() {
+    loom::model(|| {
+        let engine = Arc::new(ring_engine(vec![0, 0, 1, 1]));
+        let held = engine.serving();
+        assert_eq!(held.version(), 1);
+
+        let swapper = {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                engine.store().publish(vec![1, 0, 0, 1], 1);
+                engine.refresh().expect("rebuild succeeds");
+            })
+        };
+        // The held set keeps answering under its own (old) version while
+        // the swap lands — epoch consistency per query, not per engine.
+        let mut ctx = QueryContext::new();
+        let resp = engine
+            .query_with(&held, SegmentId(0), SegmentId(2), &mut ctx)
+            .expect("routable");
+        assert_eq!(resp.version, 1, "pinned state must not change mid-query");
+        assert_eq!(resp.cost, 3.0);
+        swapper.join().expect("swapper panicked");
+
+        assert_eq!(held.version(), 1, "held Arc mutated by the swap");
+        assert_eq!(engine.serving().version(), 2);
+    });
+}

@@ -124,6 +124,20 @@ impl PartitionStore {
         self.version.load(Ordering::Acquire)
     }
 
+    /// The live snapshot only if it is newer than version `than`, else
+    /// `None`. The cheap path for epoch-swap followers (the serving
+    /// layer's oracle rebuilds): a stale-or-equal store costs one atomic
+    /// load and no lock. The version check is re-applied to the snapshot
+    /// actually read, so a `Some` result is never stale-or-equal even
+    /// when publishes race the read.
+    pub fn read_if_newer(&self, than: u64) -> Option<Arc<PartitionSnapshot>> {
+        if self.version.load(Ordering::Acquire) <= than {
+            return None;
+        }
+        let snap = self.read();
+        (snap.version > than).then_some(snap)
+    }
+
     /// Publishes a new labeling produced at `epoch`, returning its version.
     /// The snapshot is constructed before the write lock is taken; readers
     /// block only for the pointer swap.
@@ -173,6 +187,20 @@ mod tests {
         let new = store.read();
         assert_eq!(new.version, 2);
         assert_eq!(new.epoch, 1);
+    }
+
+    #[test]
+    fn read_if_newer_filters_stale_versions() {
+        let store = PartitionStore::new(vec![0, 1], 0);
+        assert!(store.read_if_newer(1).is_none(), "equal version is stale");
+        assert!(store.read_if_newer(7).is_none());
+        let snap = store.read_if_newer(0).expect("version 1 > 0");
+        assert_eq!(snap.version, 1);
+        store.publish(vec![1, 0], 3);
+        let snap = store.read_if_newer(1).expect("version 2 > 1");
+        assert_eq!(snap.version, 2);
+        assert_eq!(snap.epoch, 3);
+        assert!(store.read_if_newer(2).is_none());
     }
 
     #[test]

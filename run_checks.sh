@@ -55,6 +55,15 @@ step perf-smoke cargo run -q --release -p roadpart-bench --bin pipeline_bench --
 step disruption-replay cargo test -q -p roadpart-stream --test integration_disruption
 step drift-smoke cargo run -q --release -p roadpart-bench --bin drift_bench -- --smoke
 step drift-json  test -s target/experiments/BENCH_drift.json
+# Serving-layer gates: the differential suite pins partition-aware routes
+# cost-exact against a whole-network Dijkstra; the loom suite model-checks
+# the oracle/epoch swap; the bench smoke run validity-gates qps/latency
+# stats and the live-swap throughput into BENCH_serve.json.
+step serve-diff cargo test -q -p roadpart-serve --test integration_serve
+step serve-loom env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+  cargo test -q -p roadpart-serve --test loom_oracle
+step serve-smoke cargo run -q --release -p roadpart-bench --bin serve_bench -- --smoke
+step serve-json  test -s target/experiments/BENCH_serve.json
 
 if [ "$fail" -ne 0 ]; then
   echo CHECKS_FAILED

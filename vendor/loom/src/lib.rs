@@ -229,6 +229,14 @@ pub mod sync {
                 crate::schedule_point();
                 self.0.store(v, order);
             }
+
+            /// Returns the previous value after an atomic swap.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::schedule_point();
+                let prev = self.0.swap(v, order);
+                crate::schedule_point();
+                prev
+            }
         }
     }
 }
