@@ -4,21 +4,56 @@
 //! tightened (`--update-baseline`). The file lives at the workspace root
 //! as `AUDIT_baseline.json` and is committed, so the allowed debt only
 //! ever moves down under review.
+//!
+//! Format v2 requires every allowance to carry a written justification:
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "allowances": {
+//!     "roadpart-linalg": {
+//!       "hot-loop-alloc": {
+//!         "count": 7,
+//!         "justification": "one-time workspace warm-up, not per-iteration"
+//!       }
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! The loader also accepts the legacy v1 shape (bare counts) and migrates
+//! its rule names in memory — `no-panic` entries load as
+//! `panic-reachability` allowances — so a pre-migration checkout still
+//! audits; `--update-baseline` rewrites the file as v2. Entries without a
+//! justification are surfaced through [`unjustified`] and pinned to zero
+//! by the audit self-test.
 
 use crate::{AuditError, Delta, Result};
 use serde_json::{Map, Number, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// One tolerated `(crate, rule)` debt entry.
+#[derive(Debug, Clone, Default)]
+pub struct Allowance {
+    /// Violations tolerated.
+    pub count: usize,
+    /// Why this debt is intentional (required in format v2).
+    pub justification: Option<String>,
+}
+
 /// Allowed violation counts keyed by `(crate, rule)`.
-pub type Allowances = BTreeMap<(String, String), usize>;
+pub type Allowances = BTreeMap<(String, String), Allowance>;
+
+/// Legacy v1 rule ids and their current names.
+const RENAMED_RULES: &[(&str, &str)] = &[("no-panic", "panic-reachability")];
 
 /// Loads the baseline; a missing file means "no allowances" (every
 /// violation is new), so fresh checkouts fail closed rather than open.
 ///
 /// # Errors
 /// Returns [`AuditError`] when the file exists but cannot be read or is
-/// not the expected JSON shape.
+/// not the expected JSON shape (v1 bare counts or v2 justified objects).
 pub fn load(path: &Path) -> Result<Allowances> {
     if !path.exists() {
         return Ok(Allowances::new());
@@ -40,17 +75,56 @@ pub fn load(path: &Path) -> Result<Allowances> {
                 path.display()
             )));
         };
-        for (rule, count) in rules.iter() {
-            let Some(count) = count.as_f64().map(|f| f as usize) else {
-                return Err(AuditError::Parse(format!(
-                    "{}: allowance {krate}/{rule} must be a number",
+        for (rule, entry) in rules.iter() {
+            let allowance = parse_allowance(entry).ok_or_else(|| {
+                AuditError::Parse(format!(
+                    "{}: allowance {krate}/{rule} must be a number (v1) or a \
+                     {{count, justification}} object (v2)",
                     path.display()
-                )));
-            };
-            out.insert((krate.clone(), rule.clone()), count);
+                ))
+            })?;
+            let rule = RENAMED_RULES
+                .iter()
+                .find(|(old, _)| old == rule)
+                .map_or(rule.as_str(), |(_, new)| new);
+            out.insert((krate.clone(), rule.to_string()), allowance);
         }
     }
     Ok(out)
+}
+
+fn parse_allowance(entry: &Value) -> Option<Allowance> {
+    if let Some(count) = entry.as_f64() {
+        // v1: a bare count, no justification recorded.
+        return Some(Allowance {
+            count: count as usize,
+            justification: None,
+        });
+    }
+    let obj = entry.as_object()?;
+    let count = obj.get("count").and_then(Value::as_f64)? as usize;
+    let justification = obj
+        .get("justification")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .filter(|s| !s.trim().is_empty());
+    Some(Allowance {
+        count,
+        justification,
+    })
+}
+
+/// `(crate, rule)` keys whose allowance lacks a written justification
+/// (absent, or still carrying the `TODO` marker [`write`] emits).
+pub fn unjustified(allowances: &Allowances) -> Vec<(String, String)> {
+    allowances
+        .iter()
+        .filter(|(_, a)| match a.justification.as_deref() {
+            None => true,
+            Some(j) => j.trim_start().starts_with("TODO"),
+        })
+        .map(|(k, _)| k.clone())
+        .collect()
 }
 
 /// Splits the run's counts against the allowances into regressions
@@ -67,7 +141,7 @@ pub fn compare(
     keys.dedup();
     for key in keys {
         let found = counts.get(key).copied().unwrap_or(0);
-        let allowed = allowances.get(key).copied().unwrap_or(0);
+        let allowed = allowances.get(key).map(|a| a.count).unwrap_or(0);
         let delta = Delta {
             krate: key.0.clone(),
             rule: key.1.clone(),
@@ -83,33 +157,49 @@ pub fn compare(
     (regressions, ratchet)
 }
 
-/// Rewrites the baseline to exactly the current counts (zero-count pairs
-/// are dropped). Used by `--update-baseline` after reviewed cleanups.
+/// Rewrites the baseline as format v2 to exactly the current counts
+/// (zero-count pairs are dropped). Justifications carry over from `old`
+/// for surviving keys; a key without one gets an explicit `TODO` marker,
+/// which [`unjustified`] (and the audit self-test) keeps visible until a
+/// reviewer replaces it. Used by `--update-baseline` after reviewed
+/// cleanups.
 ///
 /// # Errors
 /// Returns [`AuditError`] when the file cannot be written.
-pub fn write(path: &Path, counts: &BTreeMap<(String, String), usize>) -> Result<()> {
+pub fn write(
+    path: &Path,
+    counts: &BTreeMap<(String, String), usize>,
+    old: &Allowances,
+) -> Result<()> {
     let mut by_crate: BTreeMap<&str, Map> = BTreeMap::new();
     for ((krate, rule), &count) in counts {
         if count == 0 {
             continue;
         }
+        let justification = old
+            .get(&(krate.clone(), rule.clone()))
+            .and_then(|a| a.justification.clone())
+            .unwrap_or_else(|| "TODO: justify this allowance".to_string());
+        let mut entry = Map::new();
+        entry.insert("count".into(), Value::Number(Number::PosInt(count as u64)));
+        entry.insert("justification".into(), Value::String(justification));
         by_crate
             .entry(krate)
             .or_default()
-            .insert(rule.clone(), Value::Number(Number::PosInt(count as u64)));
+            .insert(rule.clone(), Value::Object(entry));
     }
     let mut allowances = Map::new();
     for (krate, rules) in by_crate {
         allowances.insert(krate.to_string(), Value::Object(rules));
     }
     let mut root = Map::new();
+    root.insert("version".to_string(), Value::Number(Number::PosInt(2)));
     root.insert(
         "comment".to_string(),
         Value::String(
             "Ratcheting allowances for pre-existing roadpart-audit violations; \
-             counts may only decrease. Regenerate with \
-             `cargo run -p roadpart-audit -- --update-baseline`."
+             counts may only decrease and every entry carries a justification. \
+             Regenerate with `cargo run -p roadpart-audit -- --update-baseline`."
                 .to_string(),
         ),
     );
@@ -127,16 +217,23 @@ mod tests {
         (k.to_string(), r.to_string())
     }
 
+    fn allow(count: usize, justification: Option<&str>) -> Allowance {
+        Allowance {
+            count,
+            justification: justification.map(str::to_string),
+        }
+    }
+
     #[test]
     fn compare_splits_regressions_and_ratchet() {
         let mut counts = BTreeMap::new();
-        counts.insert(key("a", "no-panic"), 3usize);
-        counts.insert(key("b", "no-panic"), 1usize);
-        let mut allow = Allowances::new();
-        allow.insert(key("a", "no-panic"), 1);
-        allow.insert(key("b", "no-panic"), 1);
-        allow.insert(key("c", "total-order"), 4);
-        let (regressions, ratchet) = compare(&counts, &allow);
+        counts.insert(key("a", "panic-reachability"), 3usize);
+        counts.insert(key("b", "panic-reachability"), 1usize);
+        let mut allowances = Allowances::new();
+        allowances.insert(key("a", "panic-reachability"), allow(1, None));
+        allowances.insert(key("b", "panic-reachability"), allow(1, None));
+        allowances.insert(key("c", "total-order"), allow(4, None));
+        let (regressions, ratchet) = compare(&counts, &allowances);
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].krate, "a");
         assert_eq!((regressions[0].found, regressions[0].allowed), (3, 1));
@@ -146,22 +243,55 @@ mod tests {
     }
 
     #[test]
-    fn write_then_load_round_trips() {
+    fn write_then_load_round_trips_with_justifications() {
         let dir = std::env::temp_dir().join(format!("audit-baseline-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("AUDIT_baseline.json");
         let mut counts = BTreeMap::new();
-        counts.insert(key("roadpart-net", "no-panic"), 5usize);
+        counts.insert(key("roadpart-net", "hot-loop-alloc"), 5usize);
         counts.insert(key("roadpart-net", "missing-errors-doc"), 2usize);
-        counts.insert(key("roadpart-eval", "no-panic"), 0usize);
-        write(&path, &counts).unwrap();
-        let loaded = load(&path).unwrap();
-        assert_eq!(loaded.get(&key("roadpart-net", "no-panic")), Some(&5));
-        assert_eq!(
-            loaded.get(&key("roadpart-net", "missing-errors-doc")),
-            Some(&2)
+        counts.insert(key("roadpart-eval", "panic-reachability"), 0usize);
+        let mut old = Allowances::new();
+        old.insert(
+            key("roadpart-net", "hot-loop-alloc"),
+            allow(9, Some("arena warm-up")),
         );
-        assert!(!loaded.contains_key(&key("roadpart-eval", "no-panic")));
+        write(&path, &counts, &old).unwrap();
+        let loaded = load(&path).unwrap();
+        let survived = loaded.get(&key("roadpart-net", "hot-loop-alloc")).unwrap();
+        assert_eq!(survived.count, 5);
+        assert_eq!(survived.justification.as_deref(), Some("arena warm-up"));
+        let fresh = loaded
+            .get(&key("roadpart-net", "missing-errors-doc"))
+            .unwrap();
+        assert_eq!(fresh.count, 2);
+        assert!(fresh.justification.as_deref().unwrap().starts_with("TODO"));
+        assert!(!loaded.contains_key(&key("roadpart-eval", "panic-reachability")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_counts_load_with_rule_renames() {
+        let dir = std::env::temp_dir().join(format!("audit-v1-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("AUDIT_baseline.json");
+        std::fs::write(
+            &path,
+            "{\"allowances\": {\"roadpart-linalg\": {\"no-panic\": 2, \"hot-loop-alloc\": 7}}}",
+        )
+        .unwrap();
+        let loaded = load(&path).unwrap();
+        let migrated = loaded
+            .get(&key("roadpart-linalg", "panic-reachability"))
+            .unwrap();
+        assert_eq!(migrated.count, 2, "no-panic key migrates in memory");
+        assert!(migrated.justification.is_none());
+        assert!(loaded.contains_key(&key("roadpart-linalg", "hot-loop-alloc")));
+        assert_eq!(
+            unjustified(&loaded).len(),
+            2,
+            "v1 entries are all unjustified"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

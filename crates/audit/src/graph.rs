@@ -1,0 +1,621 @@
+//! The workspace call graph: name-resolved call edges between extracted
+//! `fn` items, reachability with recoverable call chains, and the
+//! `CALLGRAPH.json` serialization.
+//!
+//! Resolution is *conservative over-approximation*: a method call
+//! `.name(...)` gains an edge to every non-test workspace function named
+//! `name` (trait dispatch cannot be narrowed without type information),
+//! and a path-qualified call whose qualifier is workspace-known but does
+//! not narrow the candidate set falls back to all candidates. The graph
+//! therefore never misses a real edge among extracted functions; it only
+//! adds spurious ones, which is the safe direction for panic-reachability
+//! and hot-set inference.
+//!
+//! The resolution-rate statistic guards the opposite failure: a qualified
+//! call whose qualifier names a workspace type/module/crate but matches
+//! *no* extracted function is an extraction gap (`internal_unresolved`),
+//! and the self-test in `tests/audit_tool.rs` pins the rate on the real
+//! workspace.
+
+use crate::items::{self, Call, FileItems, Receiver, Site, SiteKind};
+use crate::scan::MaskedFile;
+use serde_json::{Map, Number, Value};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One file prepared for graph construction.
+pub struct PreparedFile {
+    /// Package name of the owning crate.
+    pub krate: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// Masked source.
+    pub masked: MaskedFile,
+    /// Extracted items.
+    pub items: FileItems,
+}
+
+impl PreparedFile {
+    /// Masks `src` and extracts items in one step.
+    pub fn new(krate: &str, file: &str, src: &str) -> Self {
+        let masked = crate::scan::mask_source(src);
+        let items = items::extract(&masked);
+        Self {
+            krate: krate.to_string(),
+            file: file.to_string(),
+            masked,
+            items,
+        }
+    }
+}
+
+/// One function node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Package name.
+    pub krate: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Module path within the crate (`""` for the crate root).
+    pub module: String,
+    /// Enclosing `impl` base type, when inside one.
+    pub impl_type: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// True inside `#[cfg(test)]` / `#[test]` regions.
+    pub exempt: bool,
+    /// Slice-index expression count in the body (inventory; see DESIGN.md).
+    pub index_sites: usize,
+}
+
+impl Node {
+    /// `crate::module::Type::name` — the stable human label used in call
+    /// chains and the JSON dump.
+    pub fn label(&self) -> String {
+        let mut out = self.krate.replace('-', "_");
+        if !self.module.is_empty() {
+            out.push_str("::");
+            out.push_str(&self.module);
+        }
+        if let Some(t) = &self.impl_type {
+            out.push_str("::");
+            out.push_str(t);
+        }
+        out.push_str("::");
+        out.push_str(&self.name);
+        out
+    }
+}
+
+/// One evidence site, globally located and excerpted.
+#[derive(Debug, Clone)]
+pub struct SiteRef {
+    /// Enclosing function node, when inside one.
+    pub node: Option<usize>,
+    /// Package name.
+    pub krate: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Site category.
+    pub kind: SiteKind,
+    /// Matched construct for diagnostics.
+    pub what: &'static str,
+    /// Trimmed source line.
+    pub excerpt: String,
+    /// True inside `#[cfg(test)]` / `#[test]` regions.
+    pub exempt: bool,
+}
+
+/// Call-site resolution accounting over non-test library code.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResolutionStats {
+    /// All call sites considered.
+    pub call_sites: usize,
+    /// Sites classified workspace-internal (candidates exist, or the path
+    /// qualifier names a workspace type/module/crate).
+    pub internal_sites: usize,
+    /// Internal sites that gained at least one edge.
+    pub resolved_sites: usize,
+}
+
+impl ResolutionStats {
+    /// `resolved / internal`, or 1.0 when there is nothing internal.
+    pub fn rate(&self) -> f64 {
+        if self.internal_sites == 0 {
+            1.0
+        } else {
+            self.resolved_sites as f64 / self.internal_sites as f64
+        }
+    }
+}
+
+/// The assembled workspace call graph.
+pub struct CallGraph {
+    /// Function nodes, in crate/file/source order.
+    pub nodes: Vec<Node>,
+    /// Adjacency: `edges[caller]` lists callee node ids, sorted, deduped.
+    pub edges: Vec<Vec<usize>>,
+    /// All evidence sites across the workspace.
+    pub sites: Vec<SiteRef>,
+    /// Resolution accounting.
+    pub stats: ResolutionStats,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from prepared files.
+    pub fn build(files: &[PreparedFile]) -> Self {
+        let mut nodes = Vec::new();
+        let mut base = Vec::with_capacity(files.len());
+        for pf in files {
+            base.push(nodes.len());
+            let module = items::module_path_of(&pf.file);
+            for f in &pf.items.fns {
+                nodes.push(Node {
+                    krate: pf.krate.clone(),
+                    file: pf.file.clone(),
+                    module: module.clone(),
+                    impl_type: f.impl_type.clone(),
+                    name: f.name.clone(),
+                    line: f.line,
+                    exempt: f.exempt,
+                    index_sites: f.index_sites,
+                });
+            }
+        }
+
+        // Candidate index over non-test functions only: test helpers must
+        // neither receive edges nor count as resolution targets.
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            if !n.exempt {
+                by_name.entry(n.name.clone()).or_default().push(id);
+            }
+        }
+
+        let known = KnownQualifiers::collect(files, &nodes);
+
+        let mut edge_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        let mut stats = ResolutionStats::default();
+        for (fi, pf) in files.iter().enumerate() {
+            for call in &pf.items.calls {
+                let Some(local) = call.fn_idx else {
+                    continue; // module-level position (const/static init)
+                };
+                let caller = base[fi] + local;
+                if nodes[caller].exempt || pf.masked.is_exempt(call.line) {
+                    continue; // test code is out of scope for the graph
+                }
+                stats.call_sites += 1;
+                match resolve(call, &nodes[caller], &nodes, &by_name, &known) {
+                    Resolution::External => {}
+                    Resolution::InternalUnresolved => stats.internal_sites += 1,
+                    Resolution::Resolved(targets) => {
+                        stats.internal_sites += 1;
+                        stats.resolved_sites += 1;
+                        edge_sets[caller].extend(targets);
+                    }
+                }
+            }
+        }
+        let edges = edge_sets
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+
+        let mut sites = Vec::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for s in &pf.items.sites {
+                sites.push(site_ref(pf, s, base[fi]));
+            }
+        }
+
+        CallGraph {
+            nodes,
+            edges,
+            sites,
+            stats,
+            by_name,
+        }
+    }
+
+    /// Non-test nodes named `name` inside crate `krate`.
+    pub fn find_fns(&self, krate: &str, name: &str) -> Vec<usize> {
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&id| self.nodes[id].krate == krate)
+            .collect()
+    }
+
+    /// BFS closure from `roots`; the map sends each reachable node to its
+    /// BFS parent (roots map to themselves). Deterministic: roots are
+    /// visited in the given order and edges are sorted.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+                e.insert(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(v) {
+                    e.insert(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Root-to-`target` node chain under a `reachable` parent map; empty
+    /// when `target` is not reachable.
+    pub fn chain(&self, target: usize, parent: &BTreeMap<usize, usize>) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = target;
+        loop {
+            let Some(&p) = parent.get(&cur) else {
+                return Vec::new();
+            };
+            out.push(cur);
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Renders a node chain as `a -> b -> c` with `crate::path::fn` labels
+    /// and a trailing `(file:line)` on each hop.
+    pub fn render_chain(&self, chain: &[usize]) -> String {
+        chain
+            .iter()
+            .map(|&id| {
+                let n = &self.nodes[id];
+                format!("{} ({}:{})", n.label(), n.file, n.line)
+            })
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Serializes the graph, the declared roots, and resolution stats as
+    /// the `CALLGRAPH.json` document.
+    pub fn to_json(&self, entry_points: &[usize], hot_set: &BTreeSet<usize>) -> Value {
+        let mut panic_counts = vec![0usize; self.nodes.len()];
+        let mut alloc_counts = vec![0usize; self.nodes.len()];
+        for s in &self.sites {
+            if let (Some(id), false) = (s.node, s.exempt) {
+                match s.kind {
+                    SiteKind::Panic => panic_counts[id] += 1,
+                    SiteKind::Alloc => alloc_counts[id] += 1,
+                    _ => {}
+                }
+            }
+        }
+        let functions = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                let mut m = Map::new();
+                m.insert("id".into(), num(id));
+                m.insert("label".into(), Value::String(n.label()));
+                m.insert("crate".into(), Value::String(n.krate.clone()));
+                m.insert("file".into(), Value::String(n.file.clone()));
+                m.insert("line".into(), num(n.line));
+                m.insert("exempt".into(), Value::Bool(n.exempt));
+                m.insert(
+                    "calls".into(),
+                    Value::Array(self.edges[id].iter().map(|&t| num(t)).collect()),
+                );
+                m.insert("panic_sites".into(), num(panic_counts[id]));
+                m.insert("alloc_sites".into(), num(alloc_counts[id]));
+                m.insert("index_sites".into(), num(n.index_sites));
+                Value::Object(m)
+            })
+            .collect();
+
+        let mut stats = Map::new();
+        stats.insert("call_sites".into(), num(self.stats.call_sites));
+        stats.insert("internal_sites".into(), num(self.stats.internal_sites));
+        stats.insert("resolved_sites".into(), num(self.stats.resolved_sites));
+        stats.insert(
+            "internal_resolution_rate".into(),
+            Value::Number(Number::Float(self.stats.rate())),
+        );
+
+        let mut root = Map::new();
+        root.insert("tool".into(), Value::String("roadpart-audit".into()));
+        root.insert("functions".into(), Value::Array(functions));
+        root.insert(
+            "entry_points".into(),
+            Value::Array(entry_points.iter().map(|&id| num(id)).collect()),
+        );
+        root.insert(
+            "hot_set".into(),
+            Value::Array(hot_set.iter().map(|&id| num(id)).collect()),
+        );
+        root.insert("resolution".into(), Value::Object(stats));
+        Value::Object(root)
+    }
+}
+
+fn site_ref(pf: &PreparedFile, s: &Site, base: usize) -> SiteRef {
+    SiteRef {
+        node: s.fn_idx.map(|i| base + i),
+        krate: pf.krate.clone(),
+        file: pf.file.clone(),
+        line: s.line,
+        kind: s.kind,
+        what: s.what,
+        excerpt: pf.masked.excerpt(s.line),
+        exempt: pf.masked.is_exempt(s.line),
+    }
+}
+
+/// Identifiers that mark a path qualifier as workspace-internal: crate
+/// names (underscore form), module path segments, `impl` base types, and
+/// the path keywords `crate` / `self` / `super`.
+struct KnownQualifiers {
+    names: BTreeSet<String>,
+}
+
+impl KnownQualifiers {
+    fn collect(files: &[PreparedFile], nodes: &[Node]) -> Self {
+        let mut names = BTreeSet::new();
+        for kw in ["crate", "self", "super"] {
+            names.insert(kw.to_string());
+        }
+        for pf in files {
+            names.insert(pf.krate.replace('-', "_"));
+            for seg in items::module_path_of(&pf.file).split("::") {
+                if !seg.is_empty() {
+                    names.insert(seg.to_string());
+                }
+            }
+        }
+        for n in nodes {
+            if let Some(t) = &n.impl_type {
+                names.insert(t.clone());
+            }
+        }
+        KnownQualifiers { names }
+    }
+
+    fn contains(&self, q: &str) -> bool {
+        self.names.contains(q)
+    }
+}
+
+enum Resolution {
+    /// Not a workspace call (std, vendored, closure, constructor).
+    External,
+    /// Workspace-internal by qualifier, but no extracted function matches
+    /// — an extraction gap the resolution-rate self-test watches.
+    InternalUnresolved,
+    /// Edges to these nodes.
+    Resolved(Vec<usize>),
+}
+
+fn resolve(
+    call: &Call,
+    caller: &Node,
+    nodes: &[Node],
+    by_name: &BTreeMap<String, Vec<usize>>,
+    known: &KnownQualifiers,
+) -> Resolution {
+    let candidates = by_name.get(&call.name).map(Vec::as_slice).unwrap_or(&[]);
+    match &call.receiver {
+        Receiver::Method => {
+            if candidates.is_empty() {
+                // A method with no workspace fn of that name is a std /
+                // vendored method.
+                Resolution::External
+            } else {
+                // Trait dispatch cannot be narrowed: edge to everything.
+                Resolution::Resolved(candidates.to_vec())
+            }
+        }
+        Receiver::Bare => {
+            if candidates.is_empty() {
+                // Imported std free fn or a local closure.
+                Resolution::External
+            } else {
+                Resolution::Resolved(candidates.to_vec())
+            }
+        }
+        Receiver::QualifiedUnknown => Resolution::External,
+        Receiver::Qualified(q) => {
+            if !known.contains(q) {
+                return Resolution::External; // `Vec::`, `f64::`, `std::`…
+            }
+            if candidates.is_empty() {
+                return Resolution::InternalUnresolved;
+            }
+            Resolution::Resolved(narrow(q, caller, candidates, nodes))
+        }
+    }
+}
+
+/// Narrows `candidates` by the qualifier when it names the callee's `impl`
+/// type, module segment, or crate; falls back to the full candidate set
+/// (conservative over-approximation) when the filter matches nothing.
+fn narrow(q: &str, caller: &Node, candidates: &[usize], nodes: &[Node]) -> Vec<usize> {
+    let keep: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let n = &nodes[id];
+            match q {
+                // `crate::…` / `self::…` / `super::…` paths stay inside
+                // the caller's crate.
+                "crate" | "self" | "super" => n.krate == caller.krate,
+                // `Self::helper()` — the caller's own impl block.
+                "Self" => n.impl_type == caller.impl_type,
+                _ => {
+                    n.impl_type.as_deref() == Some(q)
+                        || n.module.split("::").any(|seg| seg == q)
+                        || n.krate.replace('-', "_") == q
+                }
+            }
+        })
+        .collect();
+    if keep.is_empty() {
+        candidates.to_vec()
+    } else {
+        keep
+    }
+}
+
+fn num(n: usize) -> Value {
+    Value::Number(Number::PosInt(n as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prepared(krate: &str, file: &str, src: &str) -> PreparedFile {
+        PreparedFile::new(krate, file, src)
+    }
+
+    #[test]
+    fn edges_follow_bare_and_qualified_calls() {
+        let files = vec![
+            prepared(
+                "demo",
+                "crates/demo/src/lib.rs",
+                "pub fn entry() { helper(); aux::deep(); }\npub fn helper() {}\n",
+            ),
+            prepared(
+                "demo",
+                "crates/demo/src/aux.rs",
+                "pub fn deep() { std::hint::black_box(0); }\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        let entry = g.find_fns("demo", "entry")[0];
+        let helper = g.find_fns("demo", "helper")[0];
+        let deep = g.find_fns("demo", "deep")[0];
+        assert_eq!(g.edges[entry], vec![helper, deep]);
+        assert!(g.edges[deep].is_empty(), "std call resolves external");
+    }
+
+    #[test]
+    fn method_calls_over_approximate() {
+        let files = vec![prepared(
+            "demo",
+            "crates/demo/src/lib.rs",
+            "\
+pub struct A;
+impl A { pub fn go(&self) {} }
+pub struct B;
+impl B { pub fn go(&self) {} }
+pub fn entry(a: &A) { a.go(); }
+",
+        )];
+        let g = CallGraph::build(&files);
+        let entry = g.find_fns("demo", "entry")[0];
+        assert_eq!(g.edges[entry].len(), 2, "both `go` impls get edges");
+    }
+
+    #[test]
+    fn reachability_produces_chains() {
+        let files = vec![prepared(
+            "demo",
+            "crates/demo/src/lib.rs",
+            "\
+pub fn entry() { mid(); }
+fn mid() { leaf(); }
+fn leaf() {}
+fn orphan() {}
+",
+        )];
+        let g = CallGraph::build(&files);
+        let entry = g.find_fns("demo", "entry")[0];
+        let leaf = g.find_fns("demo", "leaf")[0];
+        let orphan = g.find_fns("demo", "orphan")[0];
+        let parents = g.reachable(&[entry]);
+        assert!(parents.contains_key(&leaf));
+        assert!(!parents.contains_key(&orphan));
+        let chain = g.chain(leaf, &parents);
+        let rendered = g.render_chain(&chain);
+        assert!(
+            rendered.contains("demo::entry") && rendered.ends_with("(crates/demo/src/lib.rs:3)"),
+            "chain: {rendered}"
+        );
+    }
+
+    #[test]
+    fn unresolved_known_qualifier_counts_against_rate() {
+        let files = vec![prepared(
+            "demo",
+            "crates/demo/src/lib.rs",
+            "\
+pub struct Thing;
+impl Thing { pub fn real(&self) {} }
+pub fn entry(t: &Thing) {
+    t.real();
+    Thing::phantom();
+    Vec::with_capacity(4);
+}
+",
+        )];
+        let g = CallGraph::build(&files);
+        assert_eq!(g.stats.internal_sites, 2, "real + phantom");
+        assert_eq!(g.stats.resolved_sites, 1, "phantom is an extraction gap");
+        assert!(g.stats.rate() < 1.0);
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_resolution() {
+        let files = vec![prepared(
+            "demo",
+            "crates/demo/src/lib.rs",
+            "\
+pub fn entry() { helper(); }
+pub fn helper() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() { super::entry(); }
+}
+",
+        )];
+        let g = CallGraph::build(&files);
+        let entry = g.find_fns("demo", "entry")[0];
+        assert_eq!(g.find_fns("demo", "helper").len(), 1, "test helper hidden");
+        assert_eq!(g.edges[entry].len(), 1);
+        assert_eq!(g.stats.call_sites, 1, "test-mod calls not counted");
+    }
+
+    #[test]
+    fn json_dump_has_functions_and_stats() {
+        let files = vec![prepared(
+            "demo",
+            "crates/demo/src/lib.rs",
+            "pub fn entry(x: Option<usize>) -> usize { x.unwrap() }\n",
+        )];
+        let g = CallGraph::build(&files);
+        let entry = g.find_fns("demo", "entry");
+        let json = g.to_json(&entry, &BTreeSet::new());
+        let funcs = json.get("functions").and_then(Value::as_array).unwrap();
+        assert_eq!(funcs.len(), 1);
+        assert_eq!(
+            funcs[0].get("panic_sites").and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert!(json.get("resolution").is_some());
+    }
+}

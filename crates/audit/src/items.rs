@@ -1,0 +1,648 @@
+//! Workspace item extraction: `fn` items, call sites, and the rule-site
+//! inventory (panic, allocation, float-reduction, unordered-collection,
+//! slice-index), all recovered from masked source text with a token
+//! scanner — deliberately *not* a Rust parser.
+//!
+//! The extractor is the foundation of the interprocedural rules in
+//! [`crate::graph`] / [`crate::rules`], so its failure mode matters: it
+//! over-approximates. Every identifier in call position becomes a call
+//! site; method calls carry no receiver type and later resolve to *every*
+//! workspace function of that name. A function the extractor cannot place
+//! inside an `impl` block still participates in name resolution. The one
+//! systematic under-approximation — macro-generated functions — does not
+//! occur in this workspace (no function-defining macros in library code),
+//! and the call-graph self-test pins the resolution rate on the real repo
+//! so silent extraction regressions fail CI.
+
+use crate::scan::MaskedFile;
+use crate::tokens;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `name(...)` with no path or receiver.
+    Bare,
+    /// `.name(...)` — a method call; the receiver type is unknown.
+    Method,
+    /// `Qual::name(...)` with `Qual` the final path segment before the call.
+    Qualified(String),
+    /// `<T as Trait>::name(...)`-style paths whose qualifier is not a
+    /// single identifier.
+    QualifiedUnknown,
+}
+
+/// What a non-call site is evidence of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` — a potential panic.
+    Panic,
+    /// `Vec::new()` / `vec![...]` / `.to_vec()` / `.clone()` — a heap
+    /// allocation (the hot-loop budget inventory).
+    Alloc,
+    /// `.sum()` / `.product()` / arithmetic `.fold(...)` — an iterator
+    /// reduction whose order is an implementation detail.
+    FloatReduce,
+    /// `.max_by(...)` / `.min_by(...)` without `total_cmp` / `cmp_f64` in
+    /// the comparator.
+    UntotaledOrd,
+    /// A `HashMap` / `HashSet` token — an unordered collection whose
+    /// iteration order varies per process.
+    HashCollection,
+}
+
+/// One evidence site inside a file.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Index into [`FileItems::fns`] of the innermost enclosing function;
+    /// `None` for module-level code.
+    pub fn_idx: Option<usize>,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Site category.
+    pub kind: SiteKind,
+    /// The matched construct, for diagnostics (e.g. `unwrap`, `vec!`).
+    pub what: &'static str,
+}
+
+/// One call site inside a file.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Index into [`FileItems::fns`] of the innermost enclosing function;
+    /// `None` for module-level code (never resolves into the graph).
+    pub fn_idx: Option<usize>,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Callee name (always snake_case — uppercase idents in call position
+    /// are tuple-struct/variant constructors and are skipped).
+    pub name: String,
+    /// How the callee was named.
+    pub receiver: Receiver,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Base type name of the enclosing `impl` block, when inside one.
+    pub impl_type: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// 1-indexed last line of the body (`line` itself for bodyless items).
+    pub end_line: usize,
+    /// Byte span of the body braces in the masked text; empty for
+    /// bodyless (trait-declaration) items.
+    pub body: (usize, usize),
+    /// True inside `#[cfg(test)]` / `#[test]` regions.
+    pub exempt: bool,
+    /// Number of slice-index expressions (`ident[...]`, `)[...]`,
+    /// `][...]`) in the body — the hot-kernel indexing inventory
+    /// (informational; see DESIGN.md on why these are counted, not
+    /// flagged).
+    pub index_sites: usize,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+    /// Evidence sites (panic/alloc/float/...).
+    pub sites: Vec<Site>,
+    /// Call sites.
+    pub calls: Vec<Call>,
+}
+
+/// Module path derived from a workspace-relative file path:
+/// `crates/x/src/lib.rs` → ``""``, `crates/x/src/a.rs` → `"a"`,
+/// `crates/x/src/a/mod.rs` → `"a"`, `crates/x/src/a/b.rs` → `"a::b"`.
+pub fn module_path_of(rel_file: &str) -> String {
+    let Some((_, tail)) = rel_file.split_once("src/") else {
+        return String::new();
+    };
+    let tail = tail.strip_suffix(".rs").unwrap_or(tail);
+    let mut parts: Vec<&str> = tail.split('/').collect();
+    match parts.last().copied() {
+        Some("lib") | Some("mod") => {
+            parts.pop();
+        }
+        _ => {}
+    }
+    parts.join("::")
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "as", "in", "move", "else", "unsafe", "ref",
+    "mut", "await", "dyn", "where", "impl", "fn", "pub", "let", "const", "static", "use", "mod",
+    "enum", "struct", "trait", "type", "break", "continue", "self",
+];
+
+/// Names recorded as dedicated [`Site`]s instead of call sites: std
+/// iterator/option/slice methods that no workspace function shadows.
+const SPECIAL_METHODS: &[&str] = &[
+    "unwrap", "expect", "to_vec", "clone", "sum", "product", "fold", "max_by", "min_by",
+];
+
+/// Extracts every item from one prepared file.
+pub fn extract(masked: &MaskedFile) -> FileItems {
+    let text = &masked.masked;
+    let impls = impl_spans(text);
+    let mut fns = fn_items(masked, &impls);
+    let mut out = FileItems::default();
+
+    let mut sites = Vec::new();
+    // Panic sites.
+    for name in ["unwrap", "expect"] {
+        for off in tokens::method_calls(text, name) {
+            sites.push((off, SiteKind::Panic, name));
+        }
+    }
+    for (mac, what) in [
+        ("panic", "panic!"),
+        ("unreachable", "unreachable!"),
+        ("todo", "todo!"),
+        ("unimplemented", "unimplemented!"),
+    ] {
+        for off in tokens::macro_calls(text, mac) {
+            sites.push((off, SiteKind::Panic, what));
+        }
+    }
+    // Allocation sites (the four budgeted kinds; counts feed the ratchet).
+    for (name, what) in [("to_vec", "to_vec"), ("clone", "clone")] {
+        for off in tokens::method_calls(text, name) {
+            sites.push((off, SiteKind::Alloc, what));
+        }
+    }
+    for off in tokens::macro_calls(text, "vec") {
+        sites.push((off, SiteKind::Alloc, "vec!"));
+    }
+    for off in tokens::token_positions(text, "new") {
+        let before = text[..off].trim_end();
+        if tokens::called_at(text, off + "new".len())
+            && (before.ends_with("Vec::") || before.ends_with("Vec ::"))
+        {
+            sites.push((off, SiteKind::Alloc, "Vec::new"));
+        }
+    }
+    // Float reductions: sum/product always, fold only when the body does
+    // arithmetic (max/min folds are order-insensitive).
+    for (name, what) in [("sum", "sum"), ("product", "product")] {
+        for off in tokens::method_calls(text, name) {
+            sites.push((off, SiteKind::FloatReduce, what));
+        }
+    }
+    for off in tokens::method_calls(text, "fold") {
+        let span = tokens::call_arg_span(text, off + "fold".len());
+        if span.contains('+') || span.contains('*') {
+            sites.push((off, SiteKind::FloatReduce, "fold"));
+        }
+    }
+    // Untotaled float ordering.
+    for name in ["max_by", "min_by"] {
+        for off in tokens::method_calls(text, name) {
+            let span = tokens::call_arg_span(text, off + name.len());
+            if !span.contains("total_cmp") && !span.contains("cmp_f64") {
+                sites.push((off, SiteKind::UntotaledOrd, name));
+            }
+        }
+    }
+    // Unordered collections.
+    for name in ["HashMap", "HashSet"] {
+        for off in tokens::token_positions(text, name) {
+            sites.push((
+                off,
+                SiteKind::HashCollection,
+                if name == "HashMap" {
+                    "HashMap"
+                } else {
+                    "HashSet"
+                },
+            ));
+        }
+    }
+
+    for (off, kind, what) in sites {
+        out.sites.push(Site {
+            fn_idx: innermost(&fns, off),
+            line: masked.line_of(off),
+            kind,
+            what,
+        });
+    }
+
+    // Slice-index inventory per function body.
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let before = text[..i].trim_end();
+        let Some(last) = before.bytes().last() else {
+            continue;
+        };
+        if tokens::is_ident_byte(last) || last == b')' || last == b']' {
+            // `r#"..."` openers keep their delimiter in masked text; the
+            // preceding `r`/`#` forms are not index expressions.
+            if let Some(idx) = innermost(&fns, i) {
+                fns[idx].index_sites += 1;
+            }
+        }
+    }
+
+    out.calls = call_sites(text, masked, &fns);
+    out.fns = fns;
+    out
+}
+
+/// Innermost function whose body span contains `off`.
+fn innermost(fns: &[FnItem], off: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, f) in fns.iter().enumerate() {
+        let (s, e) = f.body;
+        if s < off && off < e {
+            match best {
+                Some(b) if fns[b].body.0 >= s => {}
+                _ => best = Some(i),
+            }
+        }
+    }
+    best
+}
+
+/// `(span, base type name)` of every `impl` block in item position.
+fn impl_spans(text: &str) -> Vec<((usize, usize), String)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for pos in tokens::token_positions(text, "impl") {
+        let before = text[..pos].trim_end();
+        // `impl` in type position (`-> impl Trait`, `x: impl Trait`,
+        // `(impl ...`) is preceded by punctuation; item-position `impl`
+        // follows `}`, `;`, `]` (an attribute), `{`, `unsafe`, or the
+        // start of the file.
+        let item_position = match before.bytes().last() {
+            None => true,
+            Some(b'}') | Some(b';') | Some(b']') | Some(b'{') => true,
+            Some(b) if tokens::is_ident_byte(b) => before.ends_with("unsafe"),
+            _ => false,
+        };
+        if !item_position {
+            continue;
+        }
+        // Header runs to the opening brace.
+        let Some(open_rel) = text[pos..].find('{') else {
+            continue;
+        };
+        let open = pos + open_rel;
+        let Some(close) = tokens::matching_brace(bytes, open) else {
+            continue;
+        };
+        let header = &text[pos + "impl".len()..open];
+        if let Some(name) = impl_base_type(header) {
+            out.push(((open, close), name));
+        }
+    }
+    out
+}
+
+/// Base type name from an `impl` header (between `impl` and `{`):
+/// generics stripped, the `for` target preferred, last path segment kept.
+fn impl_base_type(header: &str) -> Option<String> {
+    let mut rest = header.trim_start();
+    // Strip the generic parameter list of the impl itself.
+    if let Some(stripped) = rest.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut cut = None;
+        for (i, b) in stripped.bytes().enumerate() {
+            match b {
+                b'<' => depth += 1,
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &stripped[cut?..];
+    }
+    // `Trait for Type` → the type; plain `Type` otherwise. The `where`
+    // clause (if any) trails the type.
+    let target = match rest.find(" for ") {
+        Some(i) => &rest[i + " for ".len()..],
+        None => rest,
+    };
+    let target = target.trim_start().trim_start_matches(['&', ' ']);
+    let target = target.strip_prefix("mut ").unwrap_or(target);
+    let base = target
+        .split(['<', '(', ' '])
+        .next()?
+        .rsplit("::")
+        .next()?
+        .trim();
+    if base.is_empty() || !base.bytes().all(tokens::is_ident_byte) {
+        return None;
+    }
+    Some(base.to_string())
+}
+
+/// All `fn` items with name, body span, and `impl` attribution.
+fn fn_items(masked: &MaskedFile, impls: &[((usize, usize), String)]) -> Vec<FnItem> {
+    let text = &masked.masked;
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    for pos in tokens::token_positions(text, "fn") {
+        let mut i = pos + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        // `fn(usize) -> T` pointer types have no name; skip them.
+        let name_start = i;
+        while i < bytes.len() && tokens::is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start || bytes[name_start].is_ascii_digit() {
+            continue;
+        }
+        let name = text[name_start..i].to_string();
+        // Signature runs to `{` (body) or `;` (trait declaration) at zero
+        // paren/bracket depth — `;` occurs inside array types otherwise.
+        let mut depth = 0i32;
+        let mut body = (0usize, 0usize);
+        let mut end_line_off = pos;
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    if let Some(close) = tokens::matching_brace(bytes, j) {
+                        body = (j, close);
+                        end_line_off = close;
+                    }
+                    break;
+                }
+                b';' if depth == 0 => {
+                    end_line_off = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let line = masked.line_of(pos);
+        let impl_type = impls
+            .iter()
+            .filter(|((s, e), _)| *s < pos && pos < *e)
+            .min_by_key(|((s, e), _)| e - s)
+            .map(|(_, name)| name.clone());
+        out.push(FnItem {
+            name,
+            impl_type,
+            line,
+            end_line: masked.line_of(end_line_off),
+            body,
+            exempt: masked.is_exempt(line),
+            index_sites: 0,
+        });
+    }
+    out
+}
+
+/// Every snake_case identifier in call position, with its receiver shape.
+fn call_sites(text: &str, masked: &MaskedFile, fns: &[FnItem]) -> Vec<Call> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let starts_ident = (b.is_ascii_alphabetic() || b == b'_')
+            && (i == 0 || !tokens::is_ident_byte(bytes[i - 1]));
+        if !starts_ident {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && tokens::is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let name = &text[start..i];
+        if name.as_bytes()[0].is_ascii_uppercase() {
+            continue; // tuple-struct / variant constructor, not a fn call
+        }
+        if KEYWORDS.contains(&name) || SPECIAL_METHODS.contains(&name) {
+            continue;
+        }
+        if !tokens::called_at(text, i) {
+            continue;
+        }
+        let before = text[..start].trim_end();
+        if let Some(pre_fn) = before.strip_suffix("fn") {
+            if !matches!(pre_fn.bytes().last(), Some(b) if tokens::is_ident_byte(b)) {
+                continue; // a definition, not a call
+            }
+        }
+        let receiver = if before.ends_with('.') {
+            Receiver::Method
+        } else if let Some(pre_colons) = before.strip_suffix("::") {
+            let qual = pre_colons.trim_end();
+            let qstart = qual
+                .bytes()
+                .rposition(|b| !tokens::is_ident_byte(b))
+                .map_or(0, |p| p + 1);
+            let qname = &qual[qstart..];
+            if qname.is_empty() {
+                Receiver::QualifiedUnknown
+            } else {
+                Receiver::Qualified(qname.to_string())
+            }
+        } else {
+            Receiver::Bare
+        };
+        out.push(Call {
+            fn_idx: innermost(fns, start),
+            line: masked.line_of(start),
+            name: name.to_string(),
+            receiver,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::mask_source;
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_path_of("crates/x/src/lib.rs"), "");
+        assert_eq!(module_path_of("crates/x/src/a.rs"), "a");
+        assert_eq!(module_path_of("crates/x/src/a/mod.rs"), "a");
+        assert_eq!(module_path_of("crates/x/src/a/b.rs"), "a::b");
+    }
+
+    #[test]
+    fn fn_items_with_impl_attribution() {
+        let src = "\
+pub fn free(a: usize) -> usize {
+    helper(a)
+}
+
+impl<'a, B: Clone> Widget<'a, B> {
+    fn method(&self) -> usize {
+        self.free_rider()
+    }
+}
+
+impl Trait for Gadget {
+    fn another(&self) {}
+}
+
+trait Decl {
+    fn sig_only(&self) -> usize;
+}
+";
+        let items = extract(&mask_source(src));
+        let names: Vec<(&str, Option<&str>)> = items
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("method", Some("Widget")),
+                ("another", Some("Gadget")),
+                ("sig_only", None),
+            ]
+        );
+        assert_eq!(items.fns[3].body, (0, 0), "bodyless trait fn");
+    }
+
+    #[test]
+    fn calls_are_attributed_to_the_innermost_fn() {
+        let src = "\
+fn outer() {
+    fn inner() {
+        leaf();
+    }
+    inner();
+}
+";
+        let items = extract(&mask_source(src));
+        let leaf = items.calls.iter().find(|c| c.name == "leaf").unwrap();
+        assert_eq!(items.fns[leaf.fn_idx.unwrap()].name, "inner");
+        let inner_call = items.calls.iter().find(|c| c.name == "inner").unwrap();
+        assert_eq!(items.fns[inner_call.fn_idx.unwrap()].name, "outer");
+    }
+
+    #[test]
+    fn receiver_shapes() {
+        let src = "\
+fn f(ws: &W) {
+    bare(1);
+    ws.method(2);
+    Workspace::qualified(3);
+    crate::module::pathy(4);
+}
+";
+        let items = extract(&mask_source(src));
+        let by_name = |n: &str| {
+            items
+                .calls
+                .iter()
+                .find(|c| c.name == n)
+                .unwrap()
+                .receiver
+                .clone()
+        };
+        assert_eq!(by_name("bare"), Receiver::Bare);
+        assert_eq!(by_name("method"), Receiver::Method);
+        assert_eq!(
+            by_name("qualified"),
+            Receiver::Qualified("Workspace".into())
+        );
+        assert_eq!(by_name("pathy"), Receiver::Qualified("module".into()));
+    }
+
+    #[test]
+    fn panic_alloc_and_float_sites() {
+        let src = "\
+fn f(xs: &[f64], o: Option<usize>) -> f64 {
+    let v = vec![0.0; 3];
+    let w = xs.to_vec();
+    let _ = (v, w, o.unwrap());
+    xs.iter().sum::<f64>()
+}
+";
+        let items = extract(&mask_source(src));
+        let kinds: Vec<(SiteKind, &str)> = items.sites.iter().map(|s| (s.kind, s.what)).collect();
+        assert!(kinds.contains(&(SiteKind::Panic, "unwrap")));
+        assert!(kinds.contains(&(SiteKind::Alloc, "vec!")));
+        assert!(kinds.contains(&(SiteKind::Alloc, "to_vec")));
+        assert!(kinds.contains(&(SiteKind::FloatReduce, "sum")));
+    }
+
+    #[test]
+    fn fold_flagged_only_with_arithmetic() {
+        let max_fold = "fn f(xs: &[f64]) -> f64 { xs.iter().fold(0.0f64, |a, &x| a.max(x.abs())) }";
+        let sum_fold = "fn f(xs: &[f64]) -> f64 { xs.iter().fold(0.0, |a, &x| a + x) }";
+        let m = extract(&mask_source(max_fold));
+        assert!(!m.sites.iter().any(|s| s.kind == SiteKind::FloatReduce));
+        let s = extract(&mask_source(sum_fold));
+        assert!(s.sites.iter().any(|s| s.kind == SiteKind::FloatReduce));
+    }
+
+    #[test]
+    fn max_by_with_total_cmp_passes() {
+        let good = "fn f(xs: &[f64]) { xs.iter().max_by(|a, b| a.total_cmp(b)); }";
+        let bad = "fn f(xs: &[f64]) { xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert!(!extract(&mask_source(good))
+            .sites
+            .iter()
+            .any(|s| s.kind == SiteKind::UntotaledOrd));
+        assert!(extract(&mask_source(bad))
+            .sites
+            .iter()
+            .any(|s| s.kind == SiteKind::UntotaledOrd));
+    }
+
+    #[test]
+    fn index_inventory_counts_subscripts_not_types() {
+        let src = "\
+fn f(xs: &[f64], i: usize) -> f64 {
+    let t: &[f64] = xs;
+    let a = [0.0; 4];
+    t[i] + a[0] + (i, xs).0
+}
+";
+        let items = extract(&mask_source(src));
+        assert_eq!(items.fns[0].index_sites, 2, "t[i] and a[0] only");
+    }
+
+    #[test]
+    fn exempt_fns_are_marked() {
+        let src = "\
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        x.unwrap();
+    }
+}
+";
+        let items = extract(&mask_source(src));
+        assert!(!items.fns[0].exempt);
+        assert!(items.fns[1].exempt);
+        let unwrap_site = items
+            .sites
+            .iter()
+            .find(|s| s.kind == SiteKind::Panic)
+            .unwrap();
+        assert!(items.fns[unwrap_site.fn_idx.unwrap()].exempt);
+    }
+}

@@ -1,29 +1,39 @@
-//! Source-scanning lint pass for the roadpart workspace (xtask-style).
+//! Call-graph-aware lint pass for the roadpart workspace (xtask-style).
 //!
 //! `cargo run -p roadpart-audit` walks the library source of every
 //! workspace crate (dev tooling — bench, cli, and this crate — and the
-//! vendored stubs are exempt) and enforces four correctness rules that
-//! rustc/clippy cannot express precisely enough for this codebase:
+//! vendored stubs are exempt), extracts a workspace call graph (see
+//! [`graph`]), and enforces correctness rules that rustc/clippy cannot
+//! express precisely enough for this codebase:
 //!
 //! | rule | requirement |
 //! |------|-------------|
-//! | `no-panic` | no `unwrap()` / `expect()` / `panic!` in library code (tests are exempt) |
+//! | `panic-reachability` | no `unwrap()` / `expect()` / panic-family macros in library code; entry-reachable sites report the full call chain |
 //! | `total-order` | float comparisons route through `roadpart_linalg::ord` / `f64::total_cmp`, never `partial_cmp` |
 //! | `csr-raw-indexing` | no raw indexing into CSR `row_ptr`/`col_idx`/`indptr`/`indices` outside `roadpart-linalg` |
 //! | `missing-errors-doc` | every public `Result`-returning API documents a `# Errors` section |
+//! | `thread-spawn` | thread creation only inside `roadpart-linalg` |
+//! | `hot-loop-alloc` | no per-call allocation in the call-graph closure of the solver/serving kernels |
+//! | `float-determinism` | total float orderings, BTree collections, ordered reductions |
 //!
 //! Findings are compared against a *ratcheting baseline*
 //! (`AUDIT_baseline.json` at the workspace root): pre-existing violations
-//! are allowed per `(crate, rule)` count, new ones fail the run, and
-//! counts that drop below the baseline are reported as ratchet
-//! opportunities. A machine-readable report is written to
-//! `target/audit/AUDIT_report.json`; human diagnostics with `file:line`
-//! go to stderr. See DESIGN.md "Correctness tooling".
+//! are allowed per `(crate, rule)` count with a written justification,
+//! new ones fail the run, and counts that drop below the baseline are
+//! reported as ratchet opportunities. Machine-readable output goes to
+//! `target/audit/AUDIT_report.json` and `target/audit/CALLGRAPH.json`;
+//! human diagnostics with `file:line` (and call chains) go to stderr.
+//! See DESIGN.md "Correctness tooling".
+
+#![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
+pub mod items;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod tokens;
 pub mod workspace;
 
 use std::collections::BTreeMap;
@@ -71,6 +81,8 @@ pub struct Config {
     pub baseline_path: PathBuf,
     /// Report output path (default `<root>/target/audit/AUDIT_report.json`).
     pub report_path: PathBuf,
+    /// Call-graph dump path (default `<root>/target/audit/CALLGRAPH.json`).
+    pub callgraph_path: PathBuf,
     /// Rewrite the baseline to the current counts instead of failing.
     pub update_baseline: bool,
 }
@@ -82,6 +94,7 @@ impl Config {
         Self {
             baseline_path: root.join("AUDIT_baseline.json"),
             report_path: root.join("target/audit/AUDIT_report.json"),
+            callgraph_path: root.join("target/audit/CALLGRAPH.json"),
             root,
             update_baseline: false,
         }
@@ -116,6 +129,16 @@ pub struct Outcome {
     pub files_scanned: usize,
     /// Number of crates scanned.
     pub crates_scanned: usize,
+    /// Call-site resolution accounting from the graph build.
+    pub resolution: graph::ResolutionStats,
+    /// Number of resolved entry-point functions.
+    pub entry_points: usize,
+    /// Size of the inferred hot set (call-graph closure of the hot roots).
+    pub hot_set_size: usize,
+    /// Declared entry/hot roots that matched no workspace function.
+    pub missing_roots: Vec<(String, String)>,
+    /// Baseline allowances carrying no written justification.
+    pub unjustified_allowances: Vec<(String, String)>,
     /// Process exit code for this outcome.
     pub exit_code: u8,
 }
@@ -129,17 +152,25 @@ pub struct Outcome {
 /// reported through [`Outcome::exit_code`].
 pub fn run(cfg: &Config) -> Result<Outcome> {
     let crates = workspace::discover(&cfg.root)?;
-    let mut violations = Vec::new();
-    let mut files_scanned = 0usize;
+
+    // Phase 1: mask + extract every file (items, call sites, rule sites).
+    let mut prepared = Vec::new();
     for krate in &crates {
         for file in &krate.files {
-            files_scanned += 1;
             let src = read_file(file)?;
-            let masked = scan::mask_source(&src);
             let rel = relative_display(&cfg.root, file);
-            violations.extend(rules::apply_all(&krate.name, &rel, &masked));
+            prepared.push(graph::PreparedFile::new(&krate.name, &rel, &src));
         }
     }
+
+    // Phase 2: per-file rules, then the call graph and its rules.
+    let mut violations = Vec::new();
+    for pf in &prepared {
+        violations.extend(rules::apply_file(&pf.krate, &pf.file, &pf.masked));
+    }
+    let g = graph::CallGraph::build(&prepared);
+    let findings = rules::apply_graph(&g);
+    violations.extend(findings.violations);
     violations.sort_by(|a, b| {
         (&a.krate, &a.file, a.line, &a.rule).cmp(&(&b.krate, &b.file, b.line, &b.rule))
     });
@@ -151,6 +182,7 @@ pub fn run(cfg: &Config) -> Result<Outcome> {
 
     let allowances = baseline::load(&cfg.baseline_path)?;
     let (regressions, ratchet) = baseline::compare(&counts, &allowances);
+    let unjustified_allowances = baseline::unjustified(&allowances);
 
     let exit_code = if regressions.is_empty() || cfg.update_baseline {
         EXIT_CLEAN
@@ -162,16 +194,41 @@ pub fn run(cfg: &Config) -> Result<Outcome> {
         counts,
         regressions,
         ratchet,
-        files_scanned,
+        files_scanned: prepared.len(),
         crates_scanned: crates.len(),
+        resolution: g.stats,
+        entry_points: findings.entry_ids.len(),
+        hot_set_size: findings.hot_set.len(),
+        missing_roots: findings.missing_roots,
+        unjustified_allowances,
         exit_code,
     };
 
     if cfg.update_baseline {
-        baseline::write(&cfg.baseline_path, &outcome.counts)?;
+        baseline::write(&cfg.baseline_path, &outcome.counts, &allowances)?;
     }
+    write_callgraph(
+        &cfg.callgraph_path,
+        &g,
+        &findings.entry_ids,
+        &findings.hot_set,
+    )?;
     report::write(&cfg.report_path, cfg, &outcome)?;
     Ok(outcome)
+}
+
+fn write_callgraph(
+    path: &Path,
+    g: &graph::CallGraph,
+    entry_ids: &[usize],
+    hot_set: &std::collections::BTreeSet<usize>,
+) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| AuditError::Io(parent.to_path_buf(), e))?;
+    }
+    let text = serde_json::to_string_pretty(&g.to_json(entry_ids, hot_set))
+        .map_err(|e| AuditError::Parse(e.to_string()))?;
+    std::fs::write(path, text + "\n").map_err(|e| AuditError::Io(path.to_path_buf(), e))
 }
 
 fn read_file(path: &Path) -> Result<String> {

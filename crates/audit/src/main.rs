@@ -17,7 +17,9 @@ OPTIONS:
     --root <dir>        Workspace root (default: nearest ancestor with Cargo.toml [workspace])
     --baseline <file>   Baseline path (default: <root>/AUDIT_baseline.json)
     --report <file>     Report path (default: <root>/target/audit/AUDIT_report.json)
+    --callgraph <file>  Call-graph dump path (default: <root>/target/audit/CALLGRAPH.json)
     --update-baseline   Rewrite the baseline to current counts and exit 0
+    --github-annotations  Emit ::error workflow commands on stdout for regressions
     --help              Show this message
 ";
 
@@ -35,7 +37,9 @@ fn try_main() -> Result<u8, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut callgraph_path: Option<PathBuf> = None;
     let mut update_baseline = false;
+    let mut github_annotations = false;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -43,7 +47,9 @@ fn try_main() -> Result<u8, String> {
             "--root" => root = Some(take_value(&mut argv, "--root")?),
             "--baseline" => baseline = Some(take_value(&mut argv, "--baseline")?),
             "--report" => report_path = Some(take_value(&mut argv, "--report")?),
+            "--callgraph" => callgraph_path = Some(take_value(&mut argv, "--callgraph")?),
             "--update-baseline" => update_baseline = true,
+            "--github-annotations" => github_annotations = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(0);
@@ -63,11 +69,18 @@ fn try_main() -> Result<u8, String> {
     if let Some(r) = report_path {
         cfg.report_path = r;
     }
+    if let Some(c) = callgraph_path {
+        cfg.callgraph_path = c;
+    }
     cfg.update_baseline = update_baseline;
 
     let outcome = roadpart_audit::run(&cfg).map_err(|e| e.to_string())?;
     let mut stderr = std::io::stderr().lock();
     report::human(&mut stderr, &outcome).map_err(|e| e.to_string())?;
+    if github_annotations {
+        let mut stdout = std::io::stdout().lock();
+        report::github_annotations(&mut stdout, &outcome).map_err(|e| e.to_string())?;
+    }
     if update_baseline {
         eprintln!(
             "audit: baseline rewritten to {}",
@@ -75,6 +88,10 @@ fn try_main() -> Result<u8, String> {
         );
     }
     eprintln!("audit: report written to {}", cfg.report_path.display());
+    eprintln!(
+        "audit: call graph written to {}",
+        cfg.callgraph_path.display()
+    );
     Ok(outcome.exit_code)
 }
 

@@ -39,12 +39,55 @@ pub fn build(cfg: &Config, outcome: &Outcome) -> Value {
     summary.insert("violations".into(), num(outcome.violations.len()));
     summary.insert("regressions".into(), num(outcome.regressions.len()));
     summary.insert("ratchet_opportunities".into(), num(outcome.ratchet.len()));
+    summary.insert("entry_points".into(), num(outcome.entry_points));
+    summary.insert("hot_set_size".into(), num(outcome.hot_set_size));
     summary.insert("exit_code".into(), num(outcome.exit_code as usize));
     summary.insert(
         "baseline".into(),
         Value::String(cfg.baseline_path.display().to_string()),
     );
+    summary.insert(
+        "callgraph".into(),
+        Value::String(cfg.callgraph_path.display().to_string()),
+    );
     root.insert("summary".into(), Value::Object(summary));
+
+    let mut resolution = Map::new();
+    resolution.insert("call_sites".into(), num(outcome.resolution.call_sites));
+    resolution.insert(
+        "internal_sites".into(),
+        num(outcome.resolution.internal_sites),
+    );
+    resolution.insert(
+        "resolved_sites".into(),
+        num(outcome.resolution.resolved_sites),
+    );
+    resolution.insert(
+        "internal_resolution_rate".into(),
+        Value::Number(Number::Float(outcome.resolution.rate())),
+    );
+    root.insert("resolution".into(), Value::Object(resolution));
+
+    root.insert(
+        "missing_roots".into(),
+        Value::Array(
+            outcome
+                .missing_roots
+                .iter()
+                .map(|(k, f)| Value::String(format!("{k}::{f}")))
+                .collect(),
+        ),
+    );
+    root.insert(
+        "unjustified_allowances".into(),
+        Value::Array(
+            outcome
+                .unjustified_allowances
+                .iter()
+                .map(|(k, r)| Value::String(format!("{k}/{r}")))
+                .collect(),
+        ),
+    );
 
     let mut counts = Map::new();
     for ((krate, rule), &n) in &outcome.counts {
@@ -85,6 +128,9 @@ pub fn build(cfg: &Config, outcome: &Outcome) -> Value {
                     m.insert("file".into(), Value::String(v.file.clone()));
                     m.insert("line".into(), num(v.line));
                     m.insert("excerpt".into(), Value::String(v.excerpt.clone()));
+                    if let Some(note) = &v.note {
+                        m.insert("note".into(), Value::String(note.clone()));
+                    }
                     Value::Object(m)
                 })
                 .collect(),
@@ -110,8 +156,25 @@ pub fn human(out: &mut impl std::io::Write, outcome: &Outcome) -> std::io::Resul
                 .filter(|v| v.krate == delta.krate && v.rule == delta.rule)
             {
                 writeln!(out, "    {}:{}: {}", v.file, v.line, v.excerpt)?;
+                if let Some(note) = &v.note {
+                    writeln!(out, "      {note}")?;
+                }
             }
         }
+    }
+    for (krate, name) in &outcome.missing_roots {
+        writeln!(
+            out,
+            "audit: warning: declared root {krate}::{name} matched no workspace \
+             function (renamed without updating rules::ENTRY_POINTS/HOT_ROOTS?)"
+        )?;
+    }
+    for (krate, rule) in &outcome.unjustified_allowances {
+        writeln!(
+            out,
+            "audit: warning: baseline allowance {krate}/{rule} has no written \
+             justification"
+        )?;
     }
     for delta in &outcome.ratchet {
         writeln!(
@@ -123,13 +186,44 @@ pub fn human(out: &mut impl std::io::Write, outcome: &Outcome) -> std::io::Resul
     }
     writeln!(
         out,
-        "audit: {} crates, {} files, {} finding(s), {} above baseline",
+        "audit: {} crates, {} files, {} finding(s), {} above baseline; \
+         call graph: {} internal call sites, {:.1}% resolved, hot set {}",
         outcome.crates_scanned,
         outcome.files_scanned,
         outcome.violations.len(),
-        outcome.regressions.len()
+        outcome.regressions.len(),
+        outcome.resolution.internal_sites,
+        outcome.resolution.rate() * 100.0,
+        outcome.hot_set_size,
     )?;
     Ok(outcome.regressions.is_empty())
+}
+
+/// Emits GitHub Actions workflow annotations (`::error file=…,line=…`) for
+/// every violation belonging to a regressed `(crate, rule)` pair, so CI
+/// failures surface inline on the PR diff.
+pub fn github_annotations(out: &mut impl std::io::Write, outcome: &Outcome) -> std::io::Result<()> {
+    for delta in &outcome.regressions {
+        for v in outcome
+            .violations
+            .iter()
+            .filter(|v| v.krate == delta.krate && v.rule == delta.rule)
+        {
+            // Annotation messages must be single-line; `%0A` encodes the
+            // newline per the workflow-command spec.
+            let mut message = format!("{} above baseline: {}", v.rule, v.excerpt);
+            if let Some(note) = &v.note {
+                message.push_str("%0A");
+                message.push_str(note);
+            }
+            writeln!(
+                out,
+                "::error file={},line={},title=roadpart-audit {}::{}",
+                v.file, v.line, v.rule, message
+            )?;
+        }
+    }
+    Ok(())
 }
 
 fn num(n: usize) -> Value {

@@ -1,11 +1,35 @@
-//! The four audit rules. Each rule scans a [`MaskedFile`] and yields
-//! [`Violation`]s; test-exempt lines are skipped uniformly here so the
-//! individual matchers stay simple.
+//! The audit rules: per-file matchers plus the interprocedural rules that
+//! run over the workspace call graph (see [`crate::graph`]).
+//!
+//! Per-file rules (`total-order`, `csr-raw-indexing`, `thread-spawn`,
+//! `missing-errors-doc`) need only one [`MaskedFile`]. The three
+//! graph rules need the whole workspace:
+//!
+//! * [`PANIC_REACHABILITY`] — every panic site (`unwrap`/`expect`/
+//!   `panic!`/`unreachable!`/`todo!`/`unimplemented!`) in library code is
+//!   a violation; sites transitively reachable from a declared
+//!   [`ENTRY_POINTS`] root carry the full entry-to-site call chain in the
+//!   diagnostic.
+//! * [`HOT_LOOP_ALLOC`] — allocation sites inside the *hot set*, the
+//!   call-graph closure of the [`HOT_ROOTS`] (eigensolve, k-means, the
+//!   Dijkstra serving kernels), are ratcheted. The hot set is inferred,
+//!   not a hardcoded file list: a new helper called from a hot kernel is
+//!   budgeted automatically.
+//! * [`FLOAT_DETERMINISM`] — `max_by`/`min_by` without a total order,
+//!   any `HashMap`/`HashSet` in library code (iteration order is
+//!   per-process random), and unordered float reductions
+//!   (`sum`/`product`/arithmetic `fold`) inside the hot set. The ordered
+//!   reduction primitives in `linalg::par` are the one sanctioned home
+//!   for reductions and are exempt.
 
+use crate::graph::CallGraph;
+use crate::items::SiteKind;
 use crate::scan::MaskedFile;
+use crate::tokens::{indexed_idents, method_calls, token_positions};
+use std::collections::BTreeSet;
 
-/// Identifier for the panic-free-library-code rule.
-pub const NO_PANIC: &str = "no-panic";
+/// Identifier for the interprocedural panic rule.
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
 /// Identifier for the total-order float comparison rule.
 pub const TOTAL_ORDER: &str = "total-order";
 /// Identifier for the CSR encapsulation rule.
@@ -14,27 +38,20 @@ pub const CSR_RAW_INDEXING: &str = "csr-raw-indexing";
 pub const MISSING_ERRORS_DOC: &str = "missing-errors-doc";
 /// Identifier for the thread-spawn containment rule.
 pub const THREAD_SPAWN: &str = "thread-spawn";
-/// Identifier for the hot-loop allocation rule.
+/// Identifier for the hot-set allocation rule.
 pub const HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
-
-/// Workspace-relative files the hot-loop allocation rule covers: the solver
-/// and clustering hot paths that are expected to draw scratch buffers from
-/// a [`roadpart_linalg::workspace::Workspace`]-style pool instead of
-/// allocating per call. The counts are ratcheted via the baseline, so
-/// residual (intentional) allocation sites cannot silently multiply.
-const HOT_MODULES: &[&str] = &[
-    "crates/linalg/src/lanczos.rs",
-    "crates/linalg/src/tridiag.rs",
-    "crates/cluster/src/kmeans.rs",
-    "crates/serve/src/local.rs",
-];
+/// Identifier for the float-determinism rule.
+pub const FLOAT_DETERMINISM: &str = "float-determinism";
 
 /// `(id, requirement)` for every rule, in reporting order.
 pub const RULES: &[(&str, &str)] = &[
     (
-        NO_PANIC,
-        "library code must not call unwrap()/expect() or invoke panic!; \
-         propagate a Result or use a total/defaulting combinator",
+        PANIC_REACHABILITY,
+        "library code must not call unwrap()/expect() or invoke \
+         panic!/unreachable!/todo!/unimplemented!; propagate a Result or \
+         use a total/defaulting combinator. Sites reachable from a \
+         declared entry point (pipeline, stream epoch loop, serve query \
+         path) report the full call chain",
     ),
     (
         TOTAL_ORDER,
@@ -58,12 +75,59 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         HOT_LOOP_ALLOC,
-        "solver/clustering/serving hot modules (linalg::lanczos, \
-         linalg::tridiag, cluster::kmeans, serve::local) must draw scratch \
-         buffers from a Workspace/DijkstraScratch pool; \
+        "functions in the hot set — the call-graph closure of the \
+         eigensolver, k-means, and Dijkstra serving kernels — must draw \
+         scratch buffers from a Workspace/DijkstraScratch pool; \
          Vec::new/vec!/to_vec()/clone() sites there are ratcheted",
     ),
+    (
+        FLOAT_DETERMINISM,
+        "float orderings use total_cmp/cmp_f64; library code uses BTree \
+         collections (HashMap/HashSet iteration order is per-process \
+         random); hot-set float reductions are written as explicit ordered \
+         loops or routed through linalg::par's fixed-chunk primitives",
+    ),
 ];
+
+/// Declared interprocedural entry points `(crate, fn)` — the public
+/// surfaces a deployment actually drives. A root listed here that no
+/// longer resolves to a workspace function is reported via
+/// [`GraphFindings::missing_roots`] (and pinned to empty by the audit
+/// self-test), so a rename cannot silently drop coverage.
+pub const ENTRY_POINTS: &[(&str, &str)] = &[
+    // Offline pipeline (PAPER §3: the three-stage partitioning pipeline);
+    // the core crate's package name is plain `roadpart`.
+    ("roadpart", "partition_network"),
+    ("roadpart", "run_supervised"),
+    // Stream engine epoch loop and ingest surface.
+    ("roadpart-stream", "run_epoch"),
+    ("roadpart-stream", "ingest"),
+    ("roadpart-stream", "ingest_guarded"),
+    ("roadpart-stream", "ingest_history"),
+    // Partition-aware query serving.
+    ("roadpart-serve", "query"),
+    ("roadpart-serve", "query_with"),
+    ("roadpart-serve", "run_batch"),
+    ("roadpart-serve", "refresh"),
+    ("roadpart-serve", "exact_route"),
+];
+
+/// Hot-set roots `(crate, fn)`: the solver and serving kernels whose
+/// call-graph closure defines where per-call allocation is budgeted.
+pub const HOT_ROOTS: &[(&str, &str)] = &[
+    ("roadpart-linalg", "sym_eigs"),
+    ("roadpart-linalg", "sym_eigs_ws"),
+    ("roadpart-linalg", "sym_eigs_recovering"),
+    ("roadpart-linalg", "sym_eigs_recovering_ws"),
+    ("roadpart-cluster", "kmeans"),
+    ("roadpart-serve", "run_forward"),
+    ("roadpart-serve", "run_backward"),
+    ("roadpart-serve", "run_overlay"),
+];
+
+/// Files exempt from the float-reduction arm of [`FLOAT_DETERMINISM`]:
+/// the ordered fixed-chunk reduction primitives themselves.
+const FLOAT_REDUCE_EXEMPT_FILES: &[&str] = &["crates/linalg/src/par.rs"];
 
 /// One lint finding at a specific source location.
 #[derive(Debug, Clone)]
@@ -78,19 +142,33 @@ pub struct Violation {
     pub line: usize,
     /// Trimmed raw source line, for diagnostics.
     pub excerpt: String,
+    /// Interprocedural context — e.g. the entry-point call chain that
+    /// reaches a panic site, or the hot root that pulls a function into
+    /// the allocation budget.
+    pub note: Option<String>,
 }
 
-/// Runs every rule over one prepared file.
-pub fn apply_all(krate: &str, file: &str, masked: &MaskedFile) -> Vec<Violation> {
+/// What the graph rules produced beyond violations.
+#[derive(Debug, Default)]
+pub struct GraphFindings {
+    /// Violations from the three interprocedural rules.
+    pub violations: Vec<Violation>,
+    /// Resolved entry-point node ids.
+    pub entry_ids: Vec<usize>,
+    /// The inferred hot set (node ids).
+    pub hot_set: BTreeSet<usize>,
+    /// Declared roots that matched no workspace function — extraction or
+    /// rename drift; the self-test pins this empty on the real workspace.
+    pub missing_roots: Vec<(String, String)>,
+}
+
+/// Runs the per-file rules over one prepared file.
+pub fn apply_file(krate: &str, file: &str, masked: &MaskedFile) -> Vec<Violation> {
     let mut lines = Vec::new();
-    no_panic(masked, &mut lines);
     total_order(masked, &mut lines);
     if krate != "roadpart-linalg" {
         csr_raw_indexing(masked, &mut lines);
         thread_spawn(masked, &mut lines);
-    }
-    if HOT_MODULES.iter().any(|m| file.ends_with(m)) {
-        hot_loop_alloc(masked, &mut lines);
     }
     missing_errors_doc(masked, &mut lines);
     lines
@@ -102,18 +180,111 @@ pub fn apply_all(krate: &str, file: &str, masked: &MaskedFile) -> Vec<Violation>
             file: file.to_string(),
             line,
             excerpt: masked.excerpt(line),
+            note: None,
         })
         .collect()
 }
 
-fn no_panic(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
-    for name in ["unwrap", "expect"] {
-        for off in method_calls(&masked.masked, name) {
-            out.push((NO_PANIC, masked.line_of(off)));
+/// Runs the interprocedural rules over the workspace call graph.
+pub fn apply_graph(g: &CallGraph) -> GraphFindings {
+    let mut out = GraphFindings::default();
+
+    let mut entry_ids = Vec::new();
+    for &(krate, name) in ENTRY_POINTS {
+        let ids = g.find_fns(krate, name);
+        if ids.is_empty() {
+            out.missing_roots
+                .push((krate.to_string(), name.to_string()));
+        }
+        entry_ids.extend(ids);
+    }
+    let mut hot_roots = Vec::new();
+    for &(krate, name) in HOT_ROOTS {
+        let ids = g.find_fns(krate, name);
+        if ids.is_empty() {
+            out.missing_roots
+                .push((krate.to_string(), name.to_string()));
+        }
+        hot_roots.extend(ids);
+    }
+
+    let entry_parents = g.reachable(&entry_ids);
+    let hot_parents = g.reachable(&hot_roots);
+    let hot_set: BTreeSet<usize> = hot_parents.keys().copied().collect();
+
+    for site in &g.sites {
+        if site.exempt {
+            continue;
+        }
+        let in_hot = site.node.is_some_and(|id| hot_set.contains(&id));
+        match site.kind {
+            SiteKind::Panic => {
+                let note = match site.node {
+                    Some(id) if entry_parents.contains_key(&id) => Some(format!(
+                        "{} reachable via {}",
+                        site.what,
+                        g.render_chain(&g.chain(id, &entry_parents))
+                    )),
+                    _ => Some(format!(
+                        "{} (not reachable from any declared entry point)",
+                        site.what
+                    )),
+                };
+                out.violations
+                    .push(violation(PANIC_REACHABILITY, site, note));
+            }
+            SiteKind::Alloc if in_hot => {
+                let id = site.node.expect("in_hot implies an enclosing fn");
+                let note = Some(format!(
+                    "{} in hot set via {}",
+                    site.what,
+                    g.render_chain(&g.chain(id, &hot_parents))
+                ));
+                out.violations.push(violation(HOT_LOOP_ALLOC, site, note));
+            }
+            SiteKind::UntotaledOrd => {
+                let note = Some(format!("{} without total_cmp/cmp_f64", site.what));
+                out.violations
+                    .push(violation(FLOAT_DETERMINISM, site, note));
+            }
+            SiteKind::HashCollection => {
+                let note = Some(format!(
+                    "{}: iteration order is per-process random; use the BTree \
+                     counterpart",
+                    site.what
+                ));
+                out.violations
+                    .push(violation(FLOAT_DETERMINISM, site, note));
+            }
+            SiteKind::FloatReduce
+                if in_hot && !FLOAT_REDUCE_EXEMPT_FILES.contains(&site.file.as_str()) =>
+            {
+                let id = site.node.expect("in_hot implies an enclosing fn");
+                let note = Some(format!(
+                    "unordered {} reduction in hot set via {}",
+                    site.what,
+                    g.render_chain(&g.chain(id, &hot_parents))
+                ));
+                out.violations
+                    .push(violation(FLOAT_DETERMINISM, site, note));
+            }
+            _ => {}
         }
     }
-    for off in macro_calls(&masked.masked, "panic") {
-        out.push((NO_PANIC, masked.line_of(off)));
+
+    out.entry_ids = entry_ids;
+    out.hot_set = hot_set;
+    out
+}
+
+fn violation(rule: &str, site: &crate::graph::SiteRef, note: Option<String>) -> Violation {
+    Violation {
+        rule: rule.to_string(),
+        krate: site.krate.clone(),
+        file: site.file.clone(),
+        line: site.line,
+        excerpt: site.excerpt.clone(),
+        note,
     }
 }
 
@@ -141,35 +312,18 @@ fn csr_raw_indexing(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
 /// substrate lives in `roadpart_linalg::par`; everything else routes
 /// through a [`ThreadPool`] so reductions stay deterministic.
 fn thread_spawn(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
-    for off in call_sites(&masked.masked, "spawn") {
-        out.push((THREAD_SPAWN, masked.line_of(off)));
+    for off in token_positions(&masked.masked, "spawn") {
+        if masked.masked[off + "spawn".len()..]
+            .trim_start()
+            .starts_with('(')
+        {
+            out.push((THREAD_SPAWN, masked.line_of(off)));
+        }
     }
     for off in token_positions(&masked.masked, "scope") {
         let before = masked.masked[..off].trim_end();
         if before.ends_with("thread::") || before.ends_with("thread ::") {
             out.push((THREAD_SPAWN, masked.line_of(off)));
-        }
-    }
-}
-
-/// Flags per-call heap allocation in the solver/clustering hot modules:
-/// `Vec::new(...)`, `vec![...]`, `.to_vec()`, and `.clone()`. These modules
-/// are expected to recycle scratch buffers through the workspace pool;
-/// whatever allocation sites remain are pinned by the ratcheting baseline.
-fn hot_loop_alloc(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>) {
-    for name in ["to_vec", "clone"] {
-        for off in method_calls(&masked.masked, name) {
-            out.push((HOT_LOOP_ALLOC, masked.line_of(off)));
-        }
-    }
-    for off in macro_calls(&masked.masked, "vec") {
-        out.push((HOT_LOOP_ALLOC, masked.line_of(off)));
-    }
-    for off in token_positions(&masked.masked, "new") {
-        let before = masked.masked[..off].trim_end();
-        let after = masked.masked[off + "new".len()..].trim_start();
-        if after.starts_with('(') && (before.ends_with("Vec::") || before.ends_with("Vec ::")) {
-            out.push((HOT_LOOP_ALLOC, masked.line_of(off)));
         }
     }
 }
@@ -224,117 +378,27 @@ fn missing_errors_doc(masked: &MaskedFile, out: &mut Vec<(&'static str, usize)>)
     }
 }
 
-/// Byte offsets of `.name(` method calls in masked source: the receiver
-/// dot may be separated by whitespace (method chains split across lines),
-/// the name must be a full token, and the call parenthesis must follow.
-/// `name_or_else`-style methods never match because the token continues.
-fn method_calls(masked: &str, name: &str) -> Vec<usize> {
-    token_positions(masked, name)
-        .into_iter()
-        .filter(|&pos| {
-            let before = masked[..pos].trim_end();
-            let after = masked[pos + name.len()..].trim_start();
-            before.ends_with('.') && after.starts_with('(')
-        })
-        .collect()
-}
-
-/// Byte offsets of `name(` call sites regardless of receiver: matches both
-/// `recv.name(` method calls and `path::name(` free-function calls.
-fn call_sites(masked: &str, name: &str) -> Vec<usize> {
-    token_positions(masked, name)
-        .into_iter()
-        .filter(|&pos| masked[pos + name.len()..].trim_start().starts_with('('))
-        .collect()
-}
-
-/// Byte offsets of `name!(`-style macro invocations (also `name!{`/`name![`).
-fn macro_calls(masked: &str, name: &str) -> Vec<usize> {
-    token_positions(masked, name)
-        .into_iter()
-        .filter(|&pos| {
-            let after = &masked[pos + name.len()..];
-            let Some(rest) = after.strip_prefix('!') else {
-                return false;
-            };
-            let rest = rest.trim_start();
-            rest.starts_with('(') || rest.starts_with('{') || rest.starts_with('[')
-        })
-        .collect()
-}
-
-/// Byte offsets of `name[`/`name [` indexing; `field_only` additionally
-/// requires the identifier to be a `.name` field access.
-fn indexed_idents(masked: &str, name: &str, field_only: bool) -> Vec<usize> {
-    token_positions(masked, name)
-        .into_iter()
-        .filter(|&pos| {
-            let after = masked[pos + name.len()..].trim_start();
-            if !after.starts_with('[') {
-                return false;
-            }
-            !field_only || masked[..pos].trim_end().ends_with('.')
-        })
-        .collect()
-}
-
-/// All positions where `name` appears as a complete identifier token.
-fn token_positions(masked: &str, name: &str) -> Vec<usize> {
-    let bytes = masked.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(found) = masked.get(from..).and_then(|s| s.find(name)) {
-        let pos = from + found;
-        from = pos + 1;
-        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
-        let after = pos + name.len();
-        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
-        if before_ok && after_ok {
-            out.push(pos);
-        }
-    }
-    out
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::PreparedFile;
     use crate::scan::mask_source;
 
     fn rules_on(src: &str) -> Vec<(String, usize)> {
-        apply_all("some-crate", "f.rs", &mask_source(src))
+        apply_file("some-crate", "f.rs", &mask_source(src))
             .into_iter()
             .map(|v| (v.rule, v.line))
             .collect()
     }
 
-    #[test]
-    fn unwrap_and_expect_flagged_but_combinators_pass() {
-        let found = rules_on(
-            "fn f() {\n    a.unwrap();\n    b.expect(\"x\");\n    c.unwrap_or(0);\n    d.unwrap_or_else(|| 1);\n    e.unwrap_or_default();\n}\n",
-        );
-        assert_eq!(
-            found,
-            vec![(NO_PANIC.to_string(), 2), (NO_PANIC.to_string(), 3)]
-        );
-    }
-
-    #[test]
-    fn chained_call_across_lines_is_flagged() {
-        let found = rules_on("fn f() {\n    a\n        .unwrap();\n}\n");
-        assert_eq!(found, vec![(NO_PANIC.to_string(), 3)]);
-    }
-
-    #[test]
-    fn panic_macro_flagged_but_not_in_tests() {
-        let found = rules_on(
-            "fn f() {\n    panic!(\"boom\");\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        panic!(\"fine\");\n    }\n}\n",
-        );
-        assert_eq!(found, vec![(NO_PANIC.to_string(), 2)]);
+    fn graph_on(files: &[(&str, &str, &str)]) -> (CallGraph, GraphFindings) {
+        let prepared: Vec<PreparedFile> = files
+            .iter()
+            .map(|(k, f, s)| PreparedFile::new(k, f, s))
+            .collect();
+        let g = CallGraph::build(&prepared);
+        let findings = apply_graph(&g);
+        (g, findings)
     }
 
     #[test]
@@ -346,10 +410,10 @@ mod tests {
     #[test]
     fn csr_indexing_flagged_outside_linalg_only() {
         let src = "fn f(m: &M) -> usize {\n    m.row_ptr[3] + m.indices[0]\n}\n";
-        let outside = apply_all("roadpart-net", "f.rs", &mask_source(src));
+        let outside = apply_file("roadpart-net", "f.rs", &mask_source(src));
         assert_eq!(outside.len(), 2);
         assert!(outside.iter().all(|v| v.rule == CSR_RAW_INDEXING));
-        let inside = apply_all("roadpart-linalg", "f.rs", &mask_source(src));
+        let inside = apply_file("roadpart-linalg", "f.rs", &mask_source(src));
         assert!(inside.is_empty());
     }
 
@@ -405,7 +469,7 @@ pub fn long(
     #[test]
     fn thread_spawn_flagged_outside_linalg_only() {
         let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n";
-        let outside = apply_all("roadpart-stream", "f.rs", &mask_source(src));
+        let outside = apply_file("roadpart-stream", "f.rs", &mask_source(src));
         let mut spawns: Vec<usize> = outside
             .iter()
             .filter(|v| v.rule == THREAD_SPAWN)
@@ -413,56 +477,173 @@ pub fn long(
             .collect();
         spawns.sort_unstable();
         assert_eq!(spawns, vec![2, 3, 4]);
-        let inside = apply_all("roadpart-linalg", "f.rs", &mask_source(src));
+        let inside = apply_file("roadpart-linalg", "f.rs", &mask_source(src));
         assert!(inside.iter().all(|v| v.rule != THREAD_SPAWN));
     }
 
     #[test]
     fn unrelated_spawn_like_identifiers_pass() {
         let src = "fn f() {\n    let spawn_count = 1;\n    respawn(spawn_count);\n    let scope = 2;\n    let _ = (spawn_count, scope);\n}\n";
-        let found = apply_all("roadpart-stream", "f.rs", &mask_source(src));
+        let found = apply_file("roadpart-stream", "f.rs", &mask_source(src));
         assert!(found.iter().all(|v| v.rule != THREAD_SPAWN), "{found:?}");
-    }
-
-    #[test]
-    fn hot_loop_alloc_scoped_to_hot_modules() {
-        let src = "fn f(xs: &[f64]) {\n    let a = Vec::new();\n    let b = vec![0.0; 4];\n    let c = xs.to_vec();\n    let d = c.clone();\n    let _ = (a, b, d);\n}\n";
-        let hot = apply_all(
-            "roadpart-linalg",
-            "crates/linalg/src/lanczos.rs",
-            &mask_source(src),
-        );
-        let mut lines: Vec<usize> = hot
-            .iter()
-            .filter(|v| v.rule == HOT_LOOP_ALLOC)
-            .map(|v| v.line)
-            .collect();
-        lines.sort_unstable();
-        assert_eq!(lines, vec![2, 3, 4, 5]);
-        let cold = apply_all(
-            "roadpart-linalg",
-            "crates/linalg/src/dense.rs",
-            &mask_source(src),
-        );
-        assert!(cold.iter().all(|v| v.rule != HOT_LOOP_ALLOC));
-    }
-
-    #[test]
-    fn hot_loop_alloc_ignores_lookalike_tokens() {
-        // Workspace::new, clone_from, and a to_vec identifier (not a call)
-        // must not fire.
-        let src = "fn f(ws: &mut W, xs: &[f64], mut out: Vec<f64>) {\n    let w = Workspace::new();\n    out.clone_from(&w.take_copy(xs));\n    let to_vec = 1;\n    let _ = (out, to_vec);\n}\n";
-        let found = apply_all(
-            "roadpart-linalg",
-            "crates/linalg/src/tridiag.rs",
-            &mask_source(src),
-        );
-        assert!(found.iter().all(|v| v.rule != HOT_LOOP_ALLOC), "{found:?}");
     }
 
     #[test]
     fn comments_and_strings_never_fire() {
         let src = "fn f() {\n    // a.unwrap() here\n    let s = \"b.expect(c) panic!()\";\n    let _ = s;\n}\n";
         assert!(rules_on(src).is_empty());
+    }
+
+    // ---- interprocedural rules ----
+
+    #[test]
+    fn panic_sites_carry_entry_chains() {
+        let (_, findings) = graph_on(&[(
+            "roadpart-serve",
+            "crates/serve/src/engine.rs",
+            "\
+pub fn query(x: Option<usize>) -> usize { inner(x) }
+fn inner(x: Option<usize>) -> usize { x.unwrap() }
+fn dead(x: Option<usize>) -> usize { x.expect(\"no\") }
+",
+        )]);
+        let panics: Vec<&Violation> = findings
+            .violations
+            .iter()
+            .filter(|v| v.rule == PANIC_REACHABILITY)
+            .collect();
+        assert_eq!(panics.len(), 2, "both sites flagged: {panics:?}");
+        let reachable = panics.iter().find(|v| v.line == 2).unwrap();
+        let note = reachable.note.as_deref().unwrap();
+        assert!(
+            note.contains("roadpart_serve::engine::query")
+                && note.contains("roadpart_serve::engine::inner"),
+            "chain in note: {note}"
+        );
+        let dead = panics.iter().find(|v| v.line == 3).unwrap();
+        assert!(dead
+            .note
+            .as_deref()
+            .unwrap()
+            .contains("not reachable from any declared entry point"));
+    }
+
+    #[test]
+    fn cfg_test_panics_are_exempt() {
+        let (_, findings) = graph_on(&[(
+            "roadpart-serve",
+            "crates/serve/src/engine.rs",
+            "\
+pub fn query() -> usize { 0 }
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<usize>) -> usize { x.unwrap() }
+}
+",
+        )]);
+        assert!(findings
+            .violations
+            .iter()
+            .all(|v| v.rule != PANIC_REACHABILITY));
+    }
+
+    #[test]
+    fn hot_set_is_the_closure_of_hot_roots() {
+        let (g, findings) = graph_on(&[
+            (
+                "roadpart-cluster",
+                "crates/cluster/src/kmeans.rs",
+                "\
+pub fn kmeans(n: usize) -> Vec<f64> { seed_buffers(n) }
+fn seed_buffers(n: usize) -> Vec<f64> { vec![0.0; n] }
+",
+            ),
+            (
+                "roadpart-cluster",
+                "crates/cluster/src/labels.rs",
+                "pub fn relabel(n: usize) -> Vec<usize> { vec![0; n] }\n",
+            ),
+        ]);
+        // `seed_buffers` is hot via the kmeans root even though no file
+        // list mentions it; `relabel` is cold, so its vec! passes.
+        let hot: Vec<&Violation> = findings
+            .violations
+            .iter()
+            .filter(|v| v.rule == HOT_LOOP_ALLOC)
+            .collect();
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert_eq!(hot[0].line, 2);
+        assert!(hot[0].note.as_deref().unwrap().contains("kmeans"));
+        let relabel = g.find_fns("roadpart-cluster", "relabel")[0];
+        assert!(!findings.hot_set.contains(&relabel));
+    }
+
+    #[test]
+    fn float_determinism_arms() {
+        let (_, findings) = graph_on(&[(
+            "roadpart-cluster",
+            "crates/cluster/src/kmeans.rs",
+            "\
+use std::collections::HashMap;
+pub fn kmeans(xs: &[f64]) -> f64 {
+    let _ = xs.iter().max_by(|a, b| a.partial_cmp(b).expect(\"cmp\"));
+    xs.iter().sum::<f64>()
+}
+fn cold(xs: &[f64]) -> f64 { xs.iter().sum() }
+",
+        )]);
+        let floats: Vec<(&str, usize)> = findings
+            .violations
+            .iter()
+            .filter(|v| v.rule == FLOAT_DETERMINISM)
+            .map(|v| (v.note.as_deref().unwrap_or(""), v.line))
+            .collect();
+        // HashMap import (line 1), untotaled max_by (line 3), hot sum
+        // (line 4); the cold sum on line 6 passes.
+        assert_eq!(floats.len(), 3, "{floats:?}");
+        assert!(floats.iter().any(|(n, l)| *l == 1 && n.contains("HashMap")));
+        assert!(floats.iter().any(|(n, l)| *l == 3 && n.contains("max_by")));
+        assert!(floats
+            .iter()
+            .any(|(n, l)| *l == 4 && n.contains("reduction in hot set")));
+    }
+
+    #[test]
+    fn par_primitives_are_reduce_exempt() {
+        let (_, findings) = graph_on(&[
+            (
+                "roadpart-linalg",
+                "crates/linalg/src/lanczos.rs",
+                "pub fn sym_eigs(xs: &[f64]) -> f64 { crate::par::chunk_sum(xs) }\n",
+            ),
+            (
+                "roadpart-linalg",
+                "crates/linalg/src/par.rs",
+                "pub fn chunk_sum(xs: &[f64]) -> f64 { xs.iter().sum() }\n",
+            ),
+        ]);
+        assert!(
+            findings
+                .violations
+                .iter()
+                .all(|v| v.rule != FLOAT_DETERMINISM),
+            "{:?}",
+            findings.violations
+        );
+    }
+
+    #[test]
+    fn missing_roots_are_reported() {
+        let (_, findings) = graph_on(&[(
+            "roadpart-serve",
+            "crates/serve/src/engine.rs",
+            "pub fn query() -> usize { 0 }\n",
+        )]);
+        assert!(findings
+            .missing_roots
+            .contains(&("roadpart".to_string(), "partition_network".to_string())));
+        assert!(!findings
+            .missing_roots
+            .contains(&("roadpart-serve".to_string(), "query".to_string())));
     }
 }

@@ -1,0 +1,188 @@
+//! Low-level token matching over masked source text.
+//!
+//! Every matcher in this module operates on the *masked* text of a file
+//! (see [`crate::scan::mask_source`]): comments and literal contents are
+//! already blanked, so a token match is a code match. Byte offsets map to
+//! the same line numbers as the raw text.
+
+/// True for bytes that can continue a Rust identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All positions where `name` appears as a complete identifier token.
+pub fn token_positions(masked: &str, name: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(found) = masked.get(from..).and_then(|s| s.find(name)) {
+        let pos = from + found;
+        from = pos + 1;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + name.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// Byte offsets of `.name(` method calls: the receiver dot may be
+/// separated by whitespace (method chains split across lines), the name
+/// must be a full token, and the call parenthesis — optionally after a
+/// `::<...>` turbofish — must follow.
+pub fn method_calls(masked: &str, name: &str) -> Vec<usize> {
+    token_positions(masked, name)
+        .into_iter()
+        .filter(|&pos| {
+            masked[..pos].trim_end().ends_with('.') && called_at(masked, pos + name.len())
+        })
+        .collect()
+}
+
+/// Byte offsets of `name!(`-style macro invocations (also `name!{`/`name![`).
+pub fn macro_calls(masked: &str, name: &str) -> Vec<usize> {
+    token_positions(masked, name)
+        .into_iter()
+        .filter(|&pos| {
+            let after = &masked[pos + name.len()..];
+            let Some(rest) = after.strip_prefix('!') else {
+                return false;
+            };
+            let rest = rest.trim_start();
+            rest.starts_with('(') || rest.starts_with('{') || rest.starts_with('[')
+        })
+        .collect()
+}
+
+/// Byte offsets of `name[`/`name [` indexing; `field_only` additionally
+/// requires the identifier to be a `.name` field access.
+pub fn indexed_idents(masked: &str, name: &str, field_only: bool) -> Vec<usize> {
+    token_positions(masked, name)
+        .into_iter()
+        .filter(|&pos| {
+            let after = masked[pos + name.len()..].trim_start();
+            if !after.starts_with('[') {
+                return false;
+            }
+            !field_only || masked[..pos].trim_end().ends_with('.')
+        })
+        .collect()
+}
+
+/// Whether the text at `after` (the byte just past an identifier) is a
+/// call: an opening parenthesis, optionally preceded by a `::<...>`
+/// turbofish, with whitespace allowed throughout.
+pub fn called_at(masked: &str, after: usize) -> bool {
+    let rest = masked[after..].trim_start();
+    if rest.starts_with('(') {
+        return true;
+    }
+    // Turbofish: `name::<T>(`.
+    let Some(rest) = rest.strip_prefix("::") else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('<') else {
+        return false;
+    };
+    let bytes = rest.as_bytes();
+    let mut depth = 1usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return rest[i + 1..].trim_start().starts_with('(');
+                }
+            }
+            // A turbofish holds only types; bail on statement boundaries.
+            b';' | b'{' => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Byte offset just past the `)` matching the `(` at `open`; `None` when
+/// unbalanced (malformed source).
+pub fn matching_paren_end(masked: &str, open: usize) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Byte offset of the `}` matching the `{` at `open`.
+pub fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The argument span (text between the call parentheses, exclusive) of the
+/// call whose identifier ends at `after`; empty when unbalanced.
+pub fn call_arg_span(masked: &str, after: usize) -> &str {
+    let Some(open_rel) = masked[after..].find('(') else {
+        return "";
+    };
+    let open = after + open_rel;
+    match matching_paren_end(masked, open) {
+        Some(end) => &masked[open + 1..end - 1],
+        None => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_respect_identifier_boundaries() {
+        let positions = token_positions("sum sums resum sum_", "sum");
+        assert_eq!(positions, vec![0]);
+    }
+
+    #[test]
+    fn turbofish_calls_are_calls() {
+        let src = "let a: f64 = xs.iter().sum::<f64>();";
+        assert_eq!(method_calls(src, "sum").len(), 1);
+        let nested = "let a = xs.iter().sum::<Vec<f64>>();";
+        assert_eq!(method_calls(nested, "sum").len(), 1);
+        let not_call = "let f = Iterator::sum::<f64>;";
+        assert!(method_calls(not_call, "sum").is_empty());
+    }
+
+    #[test]
+    fn arg_span_covers_nested_parens() {
+        let src = "xs.max_by(|a, b| f(a).total_cmp(&f(b))).unwrap_or(0)";
+        let pos = token_positions(src, "max_by")[0];
+        let span = call_arg_span(src, pos + "max_by".len());
+        assert!(span.contains("total_cmp"));
+        assert!(!span.contains("unwrap_or"));
+    }
+}

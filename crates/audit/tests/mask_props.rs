@@ -1,0 +1,186 @@
+//! Property tests for `scan::mask_source`, the layer every audit rule and
+//! the call-graph extractor stand on. A deterministic LCG composes random
+//! source files from code lines, line/block comments (nested), plain and
+//! raw strings, and char literals; the invariants below must hold for all
+//! of them:
+//!
+//! 1. masking is line-preserving — newline positions are bit-identical,
+//!    so byte offsets map to the same line numbers as the raw text;
+//! 2. non-code content never survives (a secret marker placed inside any
+//!    comment/string form is blanked), while code tokens always survive;
+//! 3. `line_of` agrees with a naive newline count at every offset;
+//! 4. a `#[cfg(test)]` module — including one at the very end of the
+//!    file — exempts exactly its own lines.
+
+use roadpart_audit::scan::{mask_source, MaskedFile};
+
+/// Secret that generators only ever place inside masked-away content.
+const SECRET: &str = "QQSECRETQQ";
+/// Token that generators only ever place in real code.
+const CODE: &str = "kk_code_kk";
+
+/// Minimal deterministic RNG (LCG, Numerical Recipes constants) so the
+/// "random" sources are reproducible across runs and platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One random source fragment; `true` when its payload is maskable
+/// content (comment/string) carrying the secret marker.
+fn fragment(rng: &mut Lcg) -> (String, bool) {
+    match rng.below(8) {
+        0 => (format!("let {CODE}{} = 1;", rng.below(100)), false),
+        1 => (format!("// line comment {SECRET}\n"), true),
+        2 => {
+            // Nested block comment, 1-3 levels deep, possibly multiline.
+            let depth = 1 + rng.below(3);
+            let mut s = String::new();
+            for _ in 0..depth {
+                s.push_str("/* ");
+            }
+            s.push_str(SECRET);
+            if rng.below(2) == 0 {
+                s.push('\n');
+            }
+            for _ in 0..depth {
+                s.push_str(" */");
+            }
+            (s, true)
+        }
+        3 => (format!("let s = \"{SECRET} \\\" escaped\";"), true),
+        4 => {
+            // Raw string with 0-3 hashes. With >=1 hash we can embed a
+            // quote followed by a strictly shorter hash run without
+            // terminating; with 0 hashes any quote would end the string.
+            let hashes = "#".repeat(rng.below(4));
+            let frag = if hashes.is_empty() {
+                format!("let r = r\"{SECRET} {SECRET}\";")
+            } else {
+                let inner = "#".repeat(hashes.len() - 1);
+                format!("let r = r{hashes}\"{SECRET} \"{inner} {SECRET}\"{hashes};")
+            };
+            (frag, true)
+        }
+        5 => (format!("let c = 'q'; let {CODE} = c;"), false),
+        6 => ("let lt: &'static str = \"\";".to_string(), true),
+        _ => (format!("fn {CODE}{}() {{}}", rng.below(100)), false),
+    }
+}
+
+fn random_source(rng: &mut Lcg, fragments: usize) -> String {
+    let mut src = String::new();
+    for _ in 0..fragments {
+        let (frag, _) = fragment(rng);
+        src.push_str(&frag);
+        src.push(if rng.below(4) == 0 { ' ' } else { '\n' });
+    }
+    src
+}
+
+fn newline_offsets(s: &str) -> Vec<usize> {
+    s.bytes()
+        .enumerate()
+        .filter(|&(_, b)| b == b'\n')
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn masking_preserves_newlines_and_length() {
+    let mut rng = Lcg(0xfeed);
+    for _ in 0..200 {
+        let n = 1 + rng.below(30);
+        let src = random_source(&mut rng, n);
+        let masked = mask_source(&src);
+        assert_eq!(
+            masked.masked.len(),
+            src.len(),
+            "ASCII masking is length-preserving:\n{src}"
+        );
+        assert_eq!(
+            newline_offsets(&masked.masked),
+            newline_offsets(&src),
+            "newline positions must be bit-identical:\n{src}"
+        );
+    }
+}
+
+#[test]
+fn content_is_blanked_and_code_survives() {
+    let mut rng = Lcg(0xbeef);
+    for _ in 0..200 {
+        let n = 1 + rng.below(30);
+        let src = random_source(&mut rng, n);
+        let masked = mask_source(&src);
+        assert!(
+            !masked.masked.contains(SECRET),
+            "masked content leaked:\n{src}\n---\n{}",
+            masked.masked
+        );
+        assert_eq!(
+            masked.masked.matches(CODE).count(),
+            src.matches(CODE).count(),
+            "code tokens must survive masking:\n{src}\n---\n{}",
+            masked.masked
+        );
+    }
+}
+
+#[test]
+fn line_of_round_trips_at_every_offset() {
+    let mut rng = Lcg(0xc0ffee);
+    for _ in 0..50 {
+        let n = 1 + rng.below(20);
+        let src = random_source(&mut rng, n);
+        let masked = mask_source(&src);
+        for off in 0..=src.len() {
+            let expected = src[..off].bytes().filter(|&b| b == b'\n').count() + 1;
+            assert_eq!(masked.line_of(off), expected, "line_of({off}) in:\n{src}");
+        }
+    }
+}
+
+#[test]
+fn cfg_test_module_at_file_end_is_exempt() {
+    let mut rng = Lcg(0xdead);
+    for _ in 0..100 {
+        // Library half (never exempt), then a cfg(test) module running to
+        // the last line of the file with no trailing newline.
+        let n = 1 + rng.below(10);
+        let mut lib = random_source(&mut rng, n);
+        if !lib.ends_with('\n') {
+            lib.push('\n');
+        }
+        let lib_lines = lib.lines().count();
+        let body = "    fn t() { helper(); }".repeat(1 + rng.below(3));
+        let src = format!("{lib}#[cfg(test)]\nmod tests {{\n{body}\n}}");
+        let masked: MaskedFile = mask_source(&src);
+        for line in 1..=lib_lines {
+            assert!(
+                !masked.is_exempt(line),
+                "library line {line} wrongly exempt in:\n{src}"
+            );
+        }
+        // The module body and closing brace are exempt; the attribute
+        // line itself marks the start of the region.
+        let total = src.lines().count();
+        for line in (lib_lines + 2)..=total {
+            assert!(
+                masked.is_exempt(line),
+                "test-module line {line}/{total} not exempt in:\n{src}"
+            );
+        }
+    }
+}

@@ -82,7 +82,15 @@ impl KMeans {
 
 #[inline]
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    // Explicit left-to-right accumulation: the audit's float-determinism
+    // rule bans iterator reductions in hot-kernel code so the summation
+    // order is visibly pinned (bitwise-stable under refactors).
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
 }
 
 /// Clusters the rows of `points` (`n x d`) into `k` groups.
@@ -160,7 +168,10 @@ fn single_run(points: &DenseMatrix, k: usize, cfg: &KMeansConfig, rng: &mut ChaC
             }
         });
     for c in 1..k {
-        let total: f64 = min_d2.iter().sum();
+        let mut total: f64 = 0.0;
+        for &w in &min_d2 {
+            total += w;
+        }
         let chosen = if total <= 0.0 {
             rng.gen_range(0..n) // all points coincide with chosen centers
         } else {

@@ -77,8 +77,8 @@ fn merge_small_partitions(graph: &RoadGraph, labels: &mut [usize], k: usize) {
             .map(|g| g.iter().map(|&v| features[v]).sum::<f64>() / g.len().max(1) as f64)
             .collect();
         // Partition adjacency from graph links.
-        let mut neighbors: Vec<std::collections::HashSet<usize>> =
-            vec![std::collections::HashSet::new(); kp];
+        let mut neighbors: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); kp];
         for (u, v, _) in graph.adjacency().iter() {
             let (a, b) = (labels[u], labels[v]);
             if a != b {
@@ -173,7 +173,7 @@ fn still_connected_without(graph: &RoadGraph, labels: &[usize], part: usize, ski
     if members.len() <= 1 {
         return true;
     }
-    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut seen: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     let mut stack = vec![members[0]];
     seen.insert(members[0]);
     while let Some(u) = stack.pop() {

@@ -178,14 +178,14 @@ impl Supergraph {
             )));
         }
         // Superlink pattern ⇔ crossing road links.
-        let mut crossing = std::collections::HashSet::new();
+        let mut crossing = std::collections::BTreeSet::new();
         for (u, v, _) in road_adj.iter() {
             let (p, q) = (self.member_of[u], self.member_of[v]);
             if p != q {
                 crossing.insert((p.min(q), p.max(q)));
             }
         }
-        let mut linked = std::collections::HashSet::new();
+        let mut linked = std::collections::BTreeSet::new();
         for (p, q, _) in self.adjacency.iter() {
             if p < q {
                 linked.insert((p, q));

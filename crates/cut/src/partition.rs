@@ -15,7 +15,7 @@ impl Partition {
     /// Builds a partition from arbitrary labels, re-mapping them to the
     /// dense range `0..k` in first-appearance order.
     pub fn from_labels(raw: &[usize]) -> Self {
-        let mut remap = std::collections::HashMap::new();
+        let mut remap = std::collections::BTreeMap::new();
         let mut labels = Vec::with_capacity(raw.len());
         for &l in raw {
             let next = remap.len();

@@ -44,8 +44,8 @@ pub fn partition_connectivity(adj: &CsrMatrix, groups: &[Vec<usize>]) -> Result<
         ));
     }
     // Accumulate sum of squared weights and adjacency counts per group pair.
-    let mut sums: std::collections::HashMap<(usize, usize), (f64, usize)> =
-        std::collections::HashMap::new();
+    let mut sums: std::collections::BTreeMap<(usize, usize), (f64, usize)> =
+        std::collections::BTreeMap::new();
     for (i, j, w) in adj.iter() {
         let (gi, gj) = (owner[i], owner[j]);
         if gi < gj {
@@ -180,7 +180,7 @@ pub fn greedy_merge(connectivity: &CsrMatrix, k: usize) -> Result<Partition> {
         }
         x
     }
-    let mut weights: std::collections::HashMap<(usize, usize), f64> = connectivity
+    let mut weights: std::collections::BTreeMap<(usize, usize), f64> = connectivity
         .iter()
         .filter(|&(i, j, _)| i < j)
         .map(|(i, j, w)| ((i, j), w))
@@ -200,9 +200,9 @@ pub fn greedy_merge(connectivity: &CsrMatrix, k: usize) -> Result<Partition> {
         parent[rb] = ra;
         remaining -= 1;
         // Re-root the weight table on canonical pairs.
-        let mut next: std::collections::HashMap<(usize, usize), f64> =
-            std::collections::HashMap::new();
-        for ((x, y), w) in weights.drain() {
+        let mut next: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        for ((x, y), w) in std::mem::take(&mut weights) {
             let (rx, ry) = (find(&mut parent, x), find(&mut parent, y));
             if rx == ry {
                 continue;

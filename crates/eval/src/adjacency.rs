@@ -1,7 +1,7 @@
 //! Partition-level spatial adjacency.
 
 use roadpart_linalg::CsrMatrix;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The set of unordered partition pairs `(i, j)`, `i < j`, connected by at
 /// least one graph link, plus per-partition neighbor lists.
@@ -16,7 +16,7 @@ pub struct PartitionAdjacency {
 /// Computes which partitions are spatially adjacent under `labels`
 /// (`labels[v]` = partition of node `v`, dense in `0..k`).
 pub fn partition_adjacency(adj: &CsrMatrix, labels: &[usize], k: usize) -> PartitionAdjacency {
-    let mut set: HashSet<(usize, usize)> = HashSet::new();
+    let mut set: BTreeSet<(usize, usize)> = BTreeSet::new();
     for (u, v, _) in adj.iter() {
         let (a, b) = (labels[u], labels[v]);
         if a != b {

@@ -99,8 +99,8 @@ impl SymOp for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        // Shapes are validated by apply_checked; infallible here.
-        self.matvec(x, y).expect("CSR matvec with validated shapes");
+        // Row-wise kernel needs no shape check, so no fallible call here.
+        self.rows_into(0, x, y);
     }
 
     fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
@@ -117,8 +117,11 @@ impl SymOp for DenseMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.matvec(x, y)
-            .expect("dense matvec with validated shapes");
+        // Row-wise dots are infallible for any `x`/`y` of the trait's
+        // contract length; no fallible matvec call needed.
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = vecops::dot(self.row(i), x);
+        }
     }
 
     fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {

@@ -331,7 +331,7 @@ pub fn dot(pool: &ThreadPool, a: &[f64], b: &[f64]) -> f64 {
         a.len(),
         DEFAULT_CHUNK,
         0.0,
-        |r| vecops::dot(&a[r.clone()], &b[r]),
+        |r| vecops::dot(&a[r.start..r.end], &b[r]),
         |x, y| x + y,
     )
 }

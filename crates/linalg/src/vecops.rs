@@ -11,7 +11,14 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    // Explicit left-to-right loop: the accumulation order is part of the
+    // bit-identity contract (and what the float-determinism audit checks),
+    // not an iterator implementation detail.
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
 }
 
 /// Euclidean (L2) norm.

@@ -9,7 +9,7 @@ use crate::error::Result;
 use crate::ids::SegmentId;
 use crate::network::RoadNetwork;
 use roadpart_linalg::CsrMatrix;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The dual road graph: binary adjacency over segments plus per-node
 /// features (traffic densities) and planar positions (segment midpoints).
@@ -28,7 +28,7 @@ impl RoadGraph {
     /// validated [`RoadNetwork`], but the signature stays honest).
     pub fn from_network(net: &RoadNetwork) -> Result<Self> {
         let n = net.segment_count();
-        let mut edges: HashSet<(usize, usize)> = HashSet::new();
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
         for i in 0..net.intersection_count() {
             let id = crate::ids::IntersectionId::from_index(i);
             let incident: Vec<SegmentId> = net.incident(id).collect();

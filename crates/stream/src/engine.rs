@@ -544,7 +544,11 @@ impl StreamEngine {
                 self.check_publishable(&out.partition)?;
                 Ok((out.partition.labels().to_vec(), out.drift, false))
             }
-            EpochAction::NoOp => unreachable!("NoOp is not a solve rung"),
+            // Defensive: the epoch loop never dispatches NoOp here, but a
+            // panic is not an acceptable failure mode on the serve path.
+            EpochAction::NoOp => Err(StreamError::InvalidConfig(
+                "internal: NoOp is not a solve rung".into(),
+            )),
         }
     }
 

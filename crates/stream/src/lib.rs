@@ -28,6 +28,8 @@
 //! See DESIGN.md, section *"Online repartitioning & serving"*, for the
 //! epoch lifecycle and the consistency model.
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod drift;
 pub mod engine;

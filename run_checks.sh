@@ -17,9 +17,12 @@ step() {
 step fmt    cargo fmt --all --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step tests  cargo test -q --workspace
-# Workspace lint pass: exits non-zero when library code regresses against
-# AUDIT_baseline.json (panic-freedom, total-order floats, CSR
-# encapsulation, # Errors docs). Report: target/audit/AUDIT_report.json.
+# Workspace lint pass: builds the interprocedural call graph and exits
+# non-zero when library code regresses against AUDIT_baseline.json
+# (panic reachability from declared entry points, inferred hot-set
+# allocations, float determinism, total-order floats, CSR encapsulation,
+# # Errors docs). Reports: target/audit/AUDIT_report.json and
+# target/audit/CALLGRAPH.json.
 step audit  cargo run -q -p roadpart-audit
 # Concurrency model checking of the snapshot store under --cfg loom (own
 # target dir so the flag does not invalidate the main build cache).
