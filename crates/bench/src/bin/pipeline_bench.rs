@@ -18,6 +18,11 @@
 //! steady-state spectral stage (retained workspace + warm artifacts, the
 //! online engine's epoch loop) against the cold baseline stage.
 //!
+//! A flat-vs-sharded scaling arm runs the ASG divide-and-conquer mode at
+//! 2/4/8 shards on every network, recording wall time against the flat
+//! pipeline plus the assembled partition's inter/intra/GDBI/ANS — the
+//! quality comparison that `integration_sharded` pins with per-metric ε.
+//!
 //! `--smoke` restricts the run to the smallest size with one repetition and
 //! keeps every internal validity check (finite, non-negative timings;
 //! successful pipelines), exiting non-zero on any violation — the CI
@@ -388,6 +393,87 @@ fn spectral_stage_record(
     }))
 }
 
+/// Flat-vs-sharded scaling arm for one network (ASG, optimized
+/// defaults): median wall time of the divide-and-conquer pipeline at
+/// each shard count against the flat pipeline, plus the assembled
+/// partition's paper metrics — the report carries the same quality
+/// comparison that `integration_sharded` pins with per-metric ε.
+fn sharded_scaling_record(
+    case: &NetCase,
+    seed: u64,
+    pool: ThreadPool,
+    runs: usize,
+    shard_counts: &[usize],
+    failures: &mut u32,
+) -> roadpart::Result<serde_json::Value> {
+    let mut graph = RoadGraph::from_network(&case.net)?;
+    graph.set_features(case.densities.clone())?;
+    let affinity = roadpart_cut::gaussian_affinity_par(graph.adjacency(), graph.features(), &pool)?;
+    let quality_json = |labels: &[usize]| {
+        let q = QualityReport::compute(&affinity, graph.features(), labels);
+        let finite = [q.inter, q.intra, q.gdbi, q.ans]
+            .iter()
+            .all(|m| m.is_finite() && *m >= 0.0);
+        (
+            finite,
+            json!({"inter": q.inter, "intra": q.intra, "gdbi": q.gdbi, "ans": q.ans}),
+        )
+    };
+
+    let flat_cfg = optimized_cfg(Scheme::ASG, seed, pool);
+    let flat = sample_pipeline(&case.net, &case.densities, &flat_cfg, runs)?;
+    let flat_result = partition_network(&case.net, &case.densities, &flat_cfg)?;
+    let (flat_finite, flat_quality) = quality_json(flat_result.partition.labels());
+    if !flat.is_valid() || !flat_finite {
+        eprintln!("FAIL [{} sharded-arm flat]: invalid sample", case.family);
+        *failures += 1;
+    }
+
+    let mut arms = Vec::new();
+    for &shards in shard_counts {
+        let cfg = optimized_cfg(Scheme::ASG, seed, pool).with_shards(shards);
+        let sample = sample_pipeline(&case.net, &case.densities, &cfg, runs)?;
+        let result = partition_network(&case.net, &case.densities, &cfg)?;
+        let (finite, quality) = quality_json(result.partition.labels());
+        if !sample.is_valid() || !finite {
+            eprintln!(
+                "FAIL [{} sharded-arm shards={shards}]: invalid sample",
+                case.family
+            );
+            *failures += 1;
+        }
+        let outcome = result
+            .sharded
+            .as_ref()
+            .expect("sharded mode always reports an outcome");
+        println!(
+            "  sharded shards={shards}: {:.1} ms ({:.2}x vs flat{})",
+            sample.total_ms,
+            flat.total_ms / sample.total_ms.max(1e-9),
+            if outcome.flat_fallback {
+                ", flat fallback"
+            } else {
+                ""
+            }
+        );
+        arms.push(json!({
+            "shards": shards,
+            "sharded": sample.to_json(),
+            "speedup_vs_flat": flat.total_ms / sample.total_ms.max(1e-9),
+            "flat_fallback": outcome.flat_fallback,
+            "seam_repairs": outcome.seam_repairs,
+            "shard_sizes": outcome.shard_sizes.clone(),
+            "quality": quality,
+        }));
+    }
+    Ok(json!({
+        "scheme": "ASG",
+        "flat": flat.to_json(),
+        "flat_quality": flat_quality,
+        "arms": arms,
+    }))
+}
+
 fn main() -> std::process::ExitCode {
     match run() {
         Ok(0) => {
@@ -465,6 +551,9 @@ fn run() -> roadpart::Result<u32> {
                 }));
             }
             let spectral = spectral_stage_record(&case, args.seed, pool, &mut failures)?;
+            let shard_counts: &[usize] = if args.smoke { &[4] } else { &[2, 4, 8] };
+            let sharded =
+                sharded_scaling_record(&case, args.seed, pool, runs, shard_counts, &mut failures)?;
             if largest.map_or(true, |(seg, _, _)| n > seg) {
                 let red = spectral["eigensolve"]["alloc_reduction"].as_f64();
                 largest = Some((n, ag_speedup, red));
@@ -476,6 +565,7 @@ fn run() -> roadpart::Result<u32> {
                 "k": K,
                 "schemes": scheme_records,
                 "spectral_stage": spectral,
+                "sharded_scaling": sharded,
             }));
         }
     }

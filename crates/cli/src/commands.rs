@@ -18,7 +18,7 @@ USAGE:
   roadpart generate  --preset <d1|m1|m2|m3> [--scale F] [--seed N]
                      --out <network file> [--densities <densities file>]
   roadpart partition --net <network file> --k N [--scheme <ag|asg|ng|nsg|jg>]
-                     [--densities <densities file>] [--seed N]
+                     [--densities <densities file>] [--seed N] [--shards N]
                      [--labels <out labels>] [--geojson <out geojson>]
                      [--policy <clamp|strict>] [--attempts N]
                      [--report <out report json>]
@@ -43,7 +43,12 @@ sanitized per --policy (clamp repairs and records, strict fails fast),
 transient solver failures climb a fallback ladder and rotate seeds for up
 to --attempts tries, and supergraph schemes degrade to their direct
 counterpart when mining fails. --report writes the machine-readable run
-report (attempts, repairs, recovery rungs, timings) as JSON.
+report (attempts, repairs, recovery rungs, timings) as JSON. --shards N
+(N > 1) switches to the divide-and-conquer mode: the network is split into
+N geometric shards (disconnected components are never merged into one
+shard), each shard is partitioned in parallel, the shard results are
+condensed and cut globally into k, and the seams are refined; a shard
+whose solve keeps failing degrades the run back to the flat pipeline.
 
 stream replays the preset's simulated density trace through the online
 repartitioning engine: each epoch it aggregates the feed, probes drift, and
@@ -212,11 +217,14 @@ pub fn partition(argv: &[String]) -> CliResult<()> {
         (p.labels().to_vec(), p.k())
     } else {
         let scheme = parse_scheme(scheme_name)?;
+        let shards: usize = args.get_or("shards", 1)?;
         let pipeline = PipelineConfig {
             scheme,
             k,
             framework: FrameworkConfig::default().with_seed(seed),
-        };
+            mode: PartitionMode::Flat,
+        }
+        .with_shards(shards);
         let mut sup = SupervisorConfig::new(pipeline);
         sup.policy = parse_policy(&args)?;
         sup.max_attempts = args.get_or("attempts", 3)?;
@@ -233,6 +241,19 @@ pub fn partition(argv: &[String]) -> CliResult<()> {
                 "supergraph: {} supernodes from {} segments",
                 order,
                 net.segment_count()
+            );
+        }
+        if let Some(sharded) = &result.sharded {
+            println!(
+                "sharded: {} shard(s), fine k' = {}, {} boundary move(s){}",
+                sharded.shard_sizes.len(),
+                sharded.fine_k,
+                sharded.boundary_moves,
+                if sharded.flat_fallback {
+                    " — degraded to the flat pipeline"
+                } else {
+                    ""
+                }
             );
         }
         if !report.validation.repairs.is_empty() {

@@ -1,0 +1,1391 @@
+//! Divide-and-conquer (sharded) partitioning — the multilevel scheme of
+//! ROADMAP item 2.
+//!
+//! The flat pipeline runs one global spectral solve over the whole road
+//! graph, which caps the network size a rebuild can absorb. The sharded
+//! mode splits the work in four deterministic stages:
+//!
+//! 1. **shard split** — a Tarjan-SCC pre-split isolates disconnected (or,
+//!    on a directed adjacency, strongly-connected) components, then a
+//!    geometric grid over the segment midpoints cuts each component into
+//!    roughly equal spatial cells; undersized cells merge into their most
+//!    strongly linked neighbor so no shard is degenerate;
+//! 2. **per-shard solve** — each shard runs the configured scheme
+//!    (supergraph mining + α-Cut for ASG) on its own subgraph, in parallel
+//!    on the [`roadpart_linalg::ThreadPool`], oversegmenting to
+//!    `≈ oversample · k · |shard| / n` fine partitions;
+//! 3. **cross-shard condensation** — the fine partitions become supernodes
+//!    of a condensed connectivity graph (§5.4's partition-connectivity
+//!    matrix over the Gaussian affinity), which the existing spectral
+//!    stack partitions globally into `k` groups;
+//! 4. **boundary refinement** — segments within a hop radius of a shard
+//!    seam are greedily re-labeled toward their strongest-affinity
+//!    neighboring partition; a move never empties a partition and never
+//!    disconnects the one it leaves.
+//!
+//! **Determinism contract.** Shards are canonically ordered by their
+//! minimum member segment, per-shard seeds derive from that canonical
+//! index, and results are assembled in canonical order — so the output is
+//! bit-identical at any pool width ([`ThreadPool::map_tasks`] gathers by
+//! index) and under any submission rotation ([`ShardConfig::rotation`]).
+//!
+//! **Degradation contract.** A shard solve that keeps failing retryably
+//! after [`ShardConfig::max_retries`] seed-rotating retries does not sink
+//! the run: the whole network falls back to the flat pipeline
+//! ([`ShardedOutcome::flat_fallback`]). Structural errors propagate
+//! immediately, exactly like the batch supervisor.
+
+use crate::error::{Result, RoadpartError};
+use crate::schemes::{run_scheme, FrameworkConfig, Scheme};
+use roadpart_cut::{
+    bipartition, gaussian_affinity_par, partition_connectivity, spectral_partition_recovering,
+    SpectralConfig,
+};
+use roadpart_cut::{CutKind, Partition};
+use roadpart_eval::{gdbi, partition_adjacency};
+use roadpart_linalg::{CsrMatrix, RecoveryLog};
+use roadpart_net::RoadGraph;
+use serde::{Deserialize, Serialize};
+
+/// How the pipeline distributes the partitioning work.
+#[derive(Debug, Clone, Default)]
+pub enum PartitionMode {
+    /// One global solve over the whole road graph (the paper's default).
+    #[default]
+    Flat,
+    /// Divide-and-conquer: shard, solve per shard in parallel, condense,
+    /// refine seams. See the module docs for the equivalence contract.
+    Sharded(ShardConfig),
+}
+
+impl PartitionMode {
+    /// True for the sharded variant.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, PartitionMode::Sharded(_))
+    }
+}
+
+/// Configuration for [`partition_sharded`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Target number of geometric shards (grid cells per connected
+    /// component). The effective count after the SCC pre-split and the
+    /// small-shard merge may differ; `1` degenerates to a flat run.
+    pub shards: usize,
+    /// BFS hop radius around shard seams inside which segments may be
+    /// re-labeled by the boundary-refinement pass; `0` disables it.
+    pub refine_hops: usize,
+    /// Shards smaller than this merge into their most strongly linked
+    /// neighboring shard before any solve runs.
+    pub min_shard_size: usize,
+    /// Oversegmentation factor: each shard solves for
+    /// `≈ oversample · k · |shard| / n` fine partitions, so the condensed
+    /// cross-shard graph has enough supernodes to cut into `k`.
+    pub oversample: f64,
+    /// Seed-rotating retries per shard before the run degrades to the
+    /// flat pipeline.
+    pub max_retries: usize,
+    /// Seed increment between retry attempts of one shard.
+    pub seed_stride: u64,
+    /// Rotates the order shards are *submitted* to the pool (their
+    /// canonical assembly order never changes). Purely a harness knob for
+    /// proving shard-order invariance; leave at `0` in production.
+    pub rotation: usize,
+    /// Canonical shard indices whose solves fail synthetically (test
+    /// hook, mirrors the stream engine's fault injection).
+    pub fault_shards: Vec<usize>,
+    /// How many attempts fail per sabotaged shard before it recovers.
+    pub fault_attempts: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            refine_hops: 2,
+            min_shard_size: 8,
+            oversample: 8.0,
+            max_retries: 2,
+            seed_stride: 0x9E37_79B9,
+            rotation: 0,
+            fault_shards: Vec::new(),
+            fault_attempts: 0,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Default settings targeting `shards` geometric shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything [`partition_sharded`] produces beyond the labels.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// The final road-segment partition.
+    pub partition: Partition,
+    /// Segment count per shard, canonical order (one entry, the whole
+    /// network, when the split degenerated or the run fell back flat).
+    pub shard_sizes: Vec<usize>,
+    /// Fine partition count `k'` before cross-shard condensation.
+    pub fine_k: usize,
+    /// Segments re-labeled by the boundary-refinement pass.
+    pub boundary_moves: usize,
+    /// Accepted merge-and-resplit repairs of coincident-mean seam pairs.
+    pub seam_repairs: usize,
+    /// Total per-shard solve attempts (retries included).
+    pub shard_attempts: usize,
+    /// True when a shard exhausted its retries and the whole network was
+    /// re-solved with the flat pipeline instead.
+    pub flat_fallback: bool,
+    /// Eigensolver fallback activity across every shard solve, the
+    /// condensation solve, and any flat fallback, canonical order.
+    pub recovery: RecoveryLog,
+}
+
+/// One shard's work order.
+struct ShardTask {
+    /// Canonical shard index (assembly and seed derivation key).
+    cid: usize,
+    /// Member segments, ascending.
+    members: Vec<usize>,
+    /// Fine partitions this shard solves for.
+    k_s: usize,
+}
+
+/// One shard's result, tagged for canonical reassembly.
+struct ShardRun {
+    cid: usize,
+    /// Local labels per member (`None`: retry budget exhausted).
+    labels: Option<Vec<usize>>,
+    attempts: usize,
+    recovery: RecoveryLog,
+}
+
+/// Runs the divide-and-conquer pipeline: shard split, parallel per-shard
+/// solves, cross-shard condensation to `k` partitions, and boundary
+/// refinement. See the module docs for the determinism and degradation
+/// contracts.
+///
+/// # Errors
+/// Returns [`RoadpartError::InvalidConfig`] for `k == 0`, `k` above the
+/// graph order, or a zero shard target; propagates structural subgraph,
+/// mining, and spectral failures (retryable solver failures are retried
+/// per shard and then degrade to the flat pipeline instead of erroring).
+pub fn partition_sharded(
+    graph: &RoadGraph,
+    scheme: Scheme,
+    k: usize,
+    framework: &FrameworkConfig,
+    shard: &ShardConfig,
+) -> Result<ShardedOutcome> {
+    let n = graph.node_count();
+    if k == 0 || k > n {
+        return Err(RoadpartError::InvalidConfig(format!(
+            "sharded: k = {k} outside 1..={n}"
+        )));
+    }
+    if shard.shards == 0 {
+        return Err(RoadpartError::InvalidConfig(
+            "sharded: shard target must be at least 1".into(),
+        ));
+    }
+
+    let membership = split_shards(graph, shard);
+    if membership.len() <= 1 {
+        // Degenerate split: one shard is exactly the flat pipeline.
+        let out = run_scheme(graph, scheme, k, framework)?;
+        return Ok(ShardedOutcome {
+            partition: out.partition,
+            shard_sizes: vec![n],
+            fine_k: 0,
+            boundary_moves: 0,
+            seam_repairs: 0,
+            shard_attempts: 1,
+            flat_fallback: false,
+            recovery: out.recovery,
+        });
+    }
+
+    let shard_sizes: Vec<usize> = membership.iter().map(Vec::len).collect();
+    let mut shard_of = vec![0usize; n];
+    for (cid, members) in membership.iter().enumerate() {
+        for &m in members {
+            shard_of[m] = cid;
+        }
+    }
+
+    // Work orders in canonical order, then rotated for submission. The
+    // rotation only permutes *execution* order; assembly sorts by cid.
+    let mut tasks: Vec<ShardTask> = membership
+        .into_iter()
+        .enumerate()
+        .map(|(cid, members)| {
+            let quota =
+                (shard.oversample * k as f64 * members.len() as f64 / n as f64).ceil() as usize;
+            let k_s = quota.clamp(1, members.len());
+            ShardTask { cid, members, k_s }
+        })
+        .collect();
+    let m = tasks.len();
+    tasks.rotate_left(shard.rotation % m);
+
+    let pool = framework.spectral.pool();
+    let mut runs: Vec<Result<ShardRun>> = pool.map_tasks(tasks, |_, task| {
+        solve_shard(graph, scheme, framework, shard, &task)
+    });
+    // Canonical order for deterministic error selection and assembly.
+    runs.sort_by_key(|r| match r {
+        Ok(run) => run.cid,
+        Err(_) => usize::MAX,
+    });
+
+    let mut recovery = RecoveryLog::new();
+    let mut shard_attempts = 0usize;
+    let mut exhausted = false;
+    let mut solved: Vec<(usize, Vec<usize>)> = Vec::with_capacity(m);
+    for run in runs {
+        let run = run?;
+        shard_attempts += run.attempts;
+        recovery.absorb(run.recovery);
+        match run.labels {
+            Some(labels) => solved.push((run.cid, labels)),
+            None => exhausted = true,
+        }
+    }
+
+    if exhausted {
+        return flat_fallback(
+            graph,
+            scheme,
+            k,
+            framework,
+            shard_sizes,
+            shard_attempts,
+            recovery,
+        );
+    }
+
+    // Compose per-shard fine labels with canonical base offsets.
+    let mut fine_raw = vec![0usize; n];
+    let mut next = 0usize;
+    for (cid, local) in &solved {
+        let members = collect_members(&shard_of, *cid);
+        debug_assert_eq!(members.len(), local.len());
+        let mut max_l = 0usize;
+        for (slot, &node) in members.iter().enumerate() {
+            fine_raw[node] = next + local[slot];
+            max_l = max_l.max(local[slot]);
+        }
+        next += max_l + 1;
+    }
+    let fine = Partition::from_labels(&fine_raw);
+    let fine_k = fine.k();
+    if fine_k < k {
+        // Not enough fine partitions to condense into k groups; the flat
+        // pipeline is the honest answer.
+        return flat_fallback(
+            graph,
+            scheme,
+            k,
+            framework,
+            shard_sizes,
+            shard_attempts,
+            recovery,
+        );
+    }
+
+    // Cross-shard condensation: supernodes = fine partitions with their
+    // *mean density* as the feature (the superlink idiom — cluster means
+    // are tail-free), structure = §5.4 partition connectivity over the
+    // Gaussian affinity, weights = Gaussian similarity of the means. The
+    // geometric split cuts straight through homogeneous-density regions,
+    // so the global cut must see density similarity (not just connection
+    // strength) to merge the seam-separated halves back together.
+    let affinity = gaussian_affinity_par(graph.adjacency(), graph.features(), &pool)?;
+    let mut labels = if fine_k == k {
+        fine.labels().to_vec()
+    } else {
+        let groups = fine.groups();
+        let conn = partition_connectivity(&affinity, &groups)?;
+        let features = graph.features();
+        let mean_feats: Vec<f64> = groups
+            .iter()
+            .map(|g| g.iter().map(|&m| features[m]).sum::<f64>() / g.len().max(1) as f64)
+            .collect();
+        let condensed = gaussian_affinity_par(&conn, &mean_feats, &pool)?;
+        let meta = spectral_partition_recovering(
+            &condensed,
+            k,
+            scheme.cut_kind(),
+            &framework.spectral,
+            &mut recovery,
+        )?;
+        fine.compose(&meta).labels().to_vec()
+    };
+
+    let boundary_moves = refine_boundaries(
+        graph.adjacency(),
+        &affinity,
+        &shard_of,
+        &mut labels,
+        shard.refine_hops,
+    );
+    let seam_repairs = repair_seam_twins(
+        graph.adjacency(),
+        &affinity,
+        graph.features(),
+        &mut labels,
+        k,
+        scheme.cut_kind(),
+        &framework.spectral,
+    );
+
+    Ok(ShardedOutcome {
+        partition: Partition::from_labels(&labels),
+        shard_sizes,
+        fine_k,
+        boundary_moves,
+        seam_repairs,
+        shard_attempts,
+        flat_fallback: false,
+        recovery,
+    })
+}
+
+/// Ascending members of shard `cid`.
+fn collect_members(shard_of: &[usize], cid: usize) -> Vec<usize> {
+    shard_of
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s == cid)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Degrades the whole run to the flat pipeline (a shard exhausted its
+/// retries, or the split produced too few fine partitions).
+fn flat_fallback(
+    graph: &RoadGraph,
+    scheme: Scheme,
+    k: usize,
+    framework: &FrameworkConfig,
+    shard_sizes: Vec<usize>,
+    shard_attempts: usize,
+    mut recovery: RecoveryLog,
+) -> Result<ShardedOutcome> {
+    let out = run_scheme(graph, scheme, k, framework)?;
+    recovery.absorb(out.recovery);
+    Ok(ShardedOutcome {
+        partition: out.partition,
+        shard_sizes,
+        fine_k: 0,
+        boundary_moves: 0,
+        seam_repairs: 0,
+        shard_attempts: shard_attempts + 1,
+        flat_fallback: true,
+        recovery,
+    })
+}
+
+/// Solves one shard with seed-rotating retries. Retryable solver failures
+/// consume attempts; structural failures propagate. `labels: None` means
+/// the retry budget ran out (the caller degrades to flat).
+fn solve_shard(
+    graph: &RoadGraph,
+    scheme: Scheme,
+    framework: &FrameworkConfig,
+    shard: &ShardConfig,
+    task: &ShardTask,
+) -> Result<ShardRun> {
+    let size = task.members.len();
+    if task.k_s <= 1 || size < 2 {
+        // Nothing to split: the shard stays whole.
+        return Ok(ShardRun {
+            cid: task.cid,
+            labels: Some(vec![0; size]),
+            attempts: 0,
+            recovery: RecoveryLog::new(),
+        });
+    }
+    let sub_adj = graph.adjacency().submatrix(&task.members)?;
+    let sub_feats: Vec<f64> = task.members.iter().map(|&m| graph.features()[m]).collect();
+    let sub_pos: Vec<(f64, f64)> = task.members.iter().map(|&m| graph.positions()[m]).collect();
+    let sub_graph = RoadGraph::from_parts(sub_adj, sub_feats, sub_pos)?;
+    // Supergraph mining needs at least 3 nodes; tiny shards degrade to
+    // the scheme's direct counterpart (ASG -> AG, NSG -> NG).
+    let eff_scheme = if scheme.uses_supergraph() && size < 3 {
+        scheme.degraded().unwrap_or(scheme)
+    } else {
+        scheme
+    };
+    let sabotaged = shard.fault_shards.contains(&task.cid);
+    let base_seed = framework
+        .mining
+        .seed
+        .wrapping_add((task.cid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut attempts = 0usize;
+    let mut recovery = RecoveryLog::new();
+    for attempt in 0..=shard.max_retries {
+        attempts += 1;
+        if sabotaged && attempt < shard.fault_attempts {
+            // Synthetic retryable failure (test hook): consumes an
+            // attempt exactly like a real non-converged solve.
+            continue;
+        }
+        let seed = base_seed.wrapping_add(attempt as u64 * shard.seed_stride);
+        let cfg = framework.clone().with_seed(seed);
+        match run_scheme(&sub_graph, eff_scheme, task.k_s, &cfg) {
+            Ok(out) => {
+                recovery.absorb(out.recovery);
+                return Ok(ShardRun {
+                    cid: task.cid,
+                    labels: Some(out.partition.labels().to_vec()),
+                    attempts,
+                    recovery,
+                });
+            }
+            Err(err) if is_retryable(&err) => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(ShardRun {
+        cid: task.cid,
+        labels: None,
+        attempts,
+        recovery,
+    })
+}
+
+/// True for failures another seed can plausibly fix (the supervisor's
+/// classification).
+fn is_retryable(err: &RoadpartError) -> bool {
+    matches!(
+        err,
+        RoadpartError::Linalg(_) | RoadpartError::Cut(_) | RoadpartError::Cluster(_)
+    )
+}
+
+/// A synthetic retryable failure, for tests that want the *error* path of
+/// a shard solve rather than the silent attempt-consuming hook.
+#[cfg(test)]
+pub(crate) fn injected_shard_fault() -> RoadpartError {
+    RoadpartError::Linalg(roadpart_linalg::LinalgError::NotConverged {
+        iterations: 0,
+        context: "injected shard fault",
+    })
+}
+
+/// Splits the graph into shards: Tarjan-SCC pre-split, geometric grid per
+/// component, small-shard merge. Returns member lists in canonical order
+/// (ascending minimum member), members ascending within each shard.
+fn split_shards(graph: &RoadGraph, shard: &ShardConfig) -> Vec<Vec<usize>> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    if shard.shards <= 1 {
+        return vec![(0..n).collect()];
+    }
+    let comp = tarjan_scc(graph.adjacency());
+    let cells = grid_cells(graph.positions(), shard.shards);
+    // Raw shard key: (component, grid cell). BTreeMap gives the keys a
+    // stable order; canonical order is re-derived from members below.
+    let mut raw: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for i in 0..n {
+        raw.entry((comp[i], cells[i])).or_default().push(i);
+    }
+    let mut groups: Vec<Vec<usize>> = raw.into_values().collect();
+    merge_small_shards(graph.adjacency(), &mut groups, shard.min_shard_size);
+    // Canonical order: ascending minimum member index.
+    groups.sort_by_key(|g| g.first().copied().unwrap_or(usize::MAX));
+    groups
+}
+
+/// Grid-cell index per node over the positions' bounding box, aiming for
+/// `target` cells. Degenerate geometry (all midpoints equal, e.g. graphs
+/// built without positions) falls back to contiguous index stripes.
+fn grid_cells(positions: &[(f64, f64)], target: usize) -> Vec<usize> {
+    let n = positions.len();
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for &(x, y) in positions {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let w = max_x - min_x;
+    let h = max_y - min_y;
+    if !(w.is_finite() && h.is_finite()) || (w <= 0.0 && h <= 0.0) {
+        // No usable geometry: contiguous index stripes of near-equal size.
+        return (0..n)
+            .map(|i| i * target.min(n.max(1)) / n.max(1))
+            .collect();
+    }
+    // Split the longer axis into more columns: gx * gy >= target.
+    let aspect = if h > 0.0 && w > 0.0 { w / h } else { 1.0 };
+    let gx = ((target as f64 * aspect).sqrt().ceil() as usize).clamp(1, target);
+    let gy = target.div_ceil(gx);
+    positions
+        .iter()
+        .map(|&(x, y)| {
+            let cx = if w > 0.0 {
+                (((x - min_x) / w) * gx as f64) as usize
+            } else {
+                0
+            }
+            .min(gx - 1);
+            let cy = if h > 0.0 {
+                (((y - min_y) / h) * gy as f64) as usize
+            } else {
+                0
+            }
+            .min(gy - 1);
+            cy * gx + cx
+        })
+        .collect()
+}
+
+/// Merges shards smaller than `min_size` into the neighboring shard they
+/// share the most adjacency links with (ties: lowest group index).
+/// Isolated small components with no external links stay as they are.
+fn merge_small_shards(adj: &CsrMatrix, groups: &mut Vec<Vec<usize>>, min_size: usize) {
+    if min_size <= 1 {
+        return;
+    }
+    loop {
+        let n = adj.dim();
+        let mut owner = vec![usize::MAX; n];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                owner[m] = g;
+            }
+        }
+        // Smallest offender first (ties: lowest first-member index, which
+        // the canonical group construction already orders by).
+        let victim = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.len() < min_size)
+            .min_by_key(|(idx, g)| (g.len(), *idx))
+            .map(|(idx, _)| idx);
+        let Some(v) = victim else { break };
+        // Count links from the victim into each other shard.
+        let mut links: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for &m in &groups[v] {
+            for &nb in adj.row(m).0 {
+                let o = owner[nb];
+                if o != v && o != usize::MAX {
+                    *links.entry(o).or_insert(0) += 1;
+                }
+            }
+        }
+        let Some((&target, _)) = links
+            .iter()
+            .max_by_key(|&(&g, &c)| (c, std::cmp::Reverse(g)))
+        else {
+            // No external links: an isolated component; leave it whole and
+            // stop considering it (mark by swapping out of the candidate
+            // set — simplest is to bail when every remaining offender is
+            // isolated).
+            if groups
+                .iter()
+                .filter(|g| g.len() < min_size)
+                .all(|g| shard_is_isolated(adj, g, &owner))
+            {
+                break;
+            }
+            break;
+        };
+        let moved = std::mem::take(&mut groups[v]);
+        groups[target].extend(moved);
+        groups[target].sort_unstable();
+        groups.remove(v);
+    }
+}
+
+/// True when no member of `group` has a neighbor owned by another shard.
+fn shard_is_isolated(adj: &CsrMatrix, group: &[usize], owner: &[usize]) -> bool {
+    let Some(&first) = group.first() else {
+        return true;
+    };
+    let own = owner[first];
+    group
+        .iter()
+        .all(|&m| adj.row(m).0.iter().all(|&nb| owner[nb] == own))
+}
+
+/// Iterative Tarjan strongly-connected components over a CSR adjacency.
+/// On the symmetric road-graph adjacency this reduces to connected
+/// components; on a directed adjacency it isolates the SCCs, which is the
+/// pre-split the shard grid runs inside. Labels are dense in
+/// `0..n_components`.
+fn tarjan_scc(adj: &CsrMatrix) -> Vec<usize> {
+    let n = adj.dim();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    // Explicit DFS frames: (node, next-neighbor offset).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    let mut counter = 0usize;
+    let mut n_comp = 0usize;
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = counter;
+        low[start] = counter;
+        counter += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            let (cols, _) = adj.row(v);
+            if *next < cols.len() {
+                let w = cols[*next];
+                *next += 1;
+                if index[w] == UNSET {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    // v roots an SCC: pop the stack down to v.
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = n_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    n_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Greedy seam refinement: every segment within `hops` BFS hops of a
+/// shard seam may move to the neighboring partition it has the strongest
+/// Gaussian affinity to. A move must strictly improve the node's affinity
+/// to its own partition, may not empty the partition it leaves, and may
+/// not disconnect it. Two deterministic ascending sweeps. Returns the
+/// number of applied moves.
+fn refine_boundaries(
+    adj: &CsrMatrix,
+    affinity: &CsrMatrix,
+    shard_of: &[usize],
+    labels: &mut [usize],
+    hops: usize,
+) -> usize {
+    if hops == 0 {
+        return 0;
+    }
+    let n = labels.len();
+    // Seam ring: BFS out to `hops` from every seam node.
+    let mut depth = vec![usize::MAX; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if adj.row(i).0.iter().any(|&j| shard_of[j] != shard_of[i]) {
+            depth[i] = 0;
+            frontier.push(i);
+        }
+    }
+    let mut ring: Vec<usize> = frontier.clone();
+    for d in 1..=hops.saturating_sub(1) {
+        let mut next_frontier = Vec::new();
+        for &i in &frontier {
+            for &j in adj.row(i).0 {
+                if depth[j] == usize::MAX {
+                    depth[j] = d;
+                    next_frontier.push(j);
+                    ring.push(j);
+                }
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    ring.sort_unstable();
+    ring.dedup();
+
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &l in labels.iter() {
+        sizes[l] += 1;
+    }
+
+    let mut moves = 0usize;
+    for _sweep in 0..2 {
+        let mut moved_this_sweep = 0usize;
+        for &i in &ring {
+            let a = labels[i];
+            if sizes[a] <= 1 {
+                continue;
+            }
+            // Affinity mass toward each adjacent partition.
+            let (cols, vals) = affinity.row(i);
+            let mut mass: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
+            for (&j, &w) in cols.iter().zip(vals) {
+                *mass.entry(labels[j]).or_insert(0.0) += w;
+            }
+            let own = mass.get(&a).copied().unwrap_or(0.0);
+            // Best alternative: max mass, ties to the lowest label
+            // (BTreeMap iterates ascending, strict > keeps the first).
+            let mut best = a;
+            let mut best_mass = own;
+            for (&l, &w) in &mass {
+                if l != a && w > best_mass {
+                    best = l;
+                    best_mass = w;
+                }
+            }
+            if best == a {
+                continue;
+            }
+            if !stays_connected(adj, labels, i, a) {
+                continue;
+            }
+            labels[i] = best;
+            sizes[a] -= 1;
+            sizes[best] += 1;
+            moves += 1;
+            moved_this_sweep += 1;
+        }
+        if moved_this_sweep == 0 {
+            break;
+        }
+    }
+    moves
+}
+
+/// True when partition `label` stays connected after removing `node`
+/// (BFS over the remaining members).
+fn stays_connected(adj: &CsrMatrix, labels: &[usize], node: usize, label: usize) -> bool {
+    let members: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|&(i, &l)| l == label && i != node)
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&seed) = members.first() else {
+        return false; // would empty the partition
+    };
+    if members.len() == 1 {
+        return true;
+    }
+    let mut in_part = vec![false; labels.len()];
+    for &m in &members {
+        in_part[m] = true;
+    }
+    let mut seen = vec![false; labels.len()];
+    let mut stack = vec![seed];
+    seen[seed] = true;
+    let mut visited = 1usize;
+    while let Some(i) = stack.pop() {
+        for &j in adj.row(i).0 {
+            if in_part[j] && !seen[j] {
+                seen[j] = true;
+                visited += 1;
+                stack.push(j);
+            }
+        }
+    }
+    visited == members.len()
+}
+
+/// No partition may end up smaller than `n / (SIZE_FLOOR_DIVISOR * k)`
+/// segments (an eighth of its fair share) — the balance floor the
+/// size-repair pass enforces.
+const SIZE_FLOOR_DIVISOR: usize = 8;
+
+/// Structural seam repair, in two deterministic stages.
+///
+/// Condensing per-shard fine partitions hides their *sizes* from the
+/// global cut (supernodes are unweighted), and a geometric seam can leave
+/// two *adjacent* partitions with near-identical density means — both
+/// topologies the flat pipeline's global embedding naturally avoids, and
+/// both catastrophically penalized by the ratio metrics (ANS and GDBI
+/// divide through floored separations). Local boundary moves can fix
+/// neither, so the repair works structurally, re-using one primitive:
+/// merge a partition into a neighbor, then re-split some partition along
+/// its density gradient (min-affinity bipartition, stray components
+/// untangled) so exactly `k` groups survive.
+///
+/// 1. **size floor** — any partition below [`SIZE_FLOOR_DIVISOR`]'s floor
+///    merges into its strongest-affinity neighbor; the re-split halves
+///    must both clear the floor.
+/// 2. **seam twins** — the adjacent pair with the smallest density-mean
+///    separation merges; the trial is kept only when GDBI strictly
+///    improves.
+///
+/// Runs at most `k` repairs per stage; returns the number applied.
+fn repair_seam_twins(
+    adj: &CsrMatrix,
+    affinity: &CsrMatrix,
+    features: &[f64],
+    labels: &mut Vec<usize>,
+    k: usize,
+    kind: CutKind,
+    spectral: &SpectralConfig,
+) -> usize {
+    let budget = k.max(2);
+    let mut repairs = 0usize;
+    for _ in 0..budget {
+        match size_floor_step(adj, affinity, features, labels, kind, spectral) {
+            Some(next) => {
+                *labels = next;
+                repairs += 1;
+            }
+            None => break,
+        }
+    }
+    for _ in 0..budget {
+        match seam_twin_step(adj, affinity, features, labels, kind, spectral) {
+            Some(next) => {
+                *labels = next;
+                repairs += 1;
+            }
+            None => break,
+        }
+    }
+    repairs
+}
+
+/// The dense label count of `labels` (may exceed the requested k: the meta
+/// cut's connectivity enforcement can split groups) and the matching
+/// minimum partition size.
+fn label_count_and_floor(labels: &[usize]) -> (usize, usize) {
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let floor = if k == 0 {
+        2
+    } else {
+        (labels.len() / (SIZE_FLOOR_DIVISOR * k)).max(2)
+    };
+    (k, floor)
+}
+
+/// One size-floor repair: merges the smallest under-floor partition into
+/// its strongest-affinity neighbor and re-splits a heterogeneous partition
+/// into two above-floor halves. `None` when every partition clears the
+/// floor or no valid re-split exists.
+fn size_floor_step(
+    adj: &CsrMatrix,
+    affinity: &CsrMatrix,
+    features: &[f64],
+    labels: &[usize],
+    kind: CutKind,
+    spectral: &SpectralConfig,
+) -> Option<Vec<usize>> {
+    let (k, floor) = label_count_and_floor(labels);
+    if k < 2 {
+        return None;
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    // Smallest partition under the floor (ties: lowest label).
+    let (small, _) = sizes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s < floor)
+        .min_by_key(|&(l, &s)| (s, l))?;
+    // Its strongest-affinity neighboring partition (ties: lowest label —
+    // BTreeMap iterates ascending, strict > keeps the first).
+    let mut mass: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+    for (i, j, w) in affinity.iter() {
+        if labels[i] == small && labels[j] != small {
+            *mass.entry(labels[j]).or_insert(0.0) += w;
+        }
+    }
+    let mut absorber = usize::MAX;
+    let mut best_mass = f64::NEG_INFINITY;
+    for (&l, &m) in &mass {
+        if m > best_mass {
+            best_mass = m;
+            absorber = l;
+        }
+    }
+    if absorber == usize::MAX {
+        return None;
+    }
+    let mut merged = labels.to_vec();
+    for l in merged.iter_mut() {
+        if *l == small {
+            *l = absorber;
+        }
+    }
+    for target in split_targets(&merged, features, k, small) {
+        if let Some(trial) = split_partition(adj, affinity, &merged, target, small, kind, spectral)
+        {
+            if half_sizes(&trial, target, small).0 >= floor
+                && half_sizes(&trial, target, small).1 >= floor
+            {
+                return Some(trial);
+            }
+        }
+    }
+    None
+}
+
+/// One seam-twin repair: merges one of the few adjacent pairs with the
+/// smallest density-mean separation and re-splits the most heterogeneous
+/// partition; the first trial that strictly improves GDBI (without
+/// breaking the size floor) wins. `None` when nothing improves.
+fn seam_twin_step(
+    adj: &CsrMatrix,
+    affinity: &CsrMatrix,
+    features: &[f64],
+    labels: &[usize],
+    kind: CutKind,
+    spectral: &SpectralConfig,
+) -> Option<Vec<usize>> {
+    let (k, floor) = label_count_and_floor(labels);
+    if k < 2 {
+        return None;
+    }
+    let padj = partition_adjacency(adj, labels, k);
+    let groups = grouped_features(features, labels, k);
+    let current = gdbi(&groups, &padj);
+    // Adjacent pairs by ascending mean separation (ties: lexicographically
+    // first — `pairs` is sorted); the tightest few are merge candidates.
+    let means: Vec<f64> = groups
+        .iter()
+        .map(|g| g.iter().sum::<f64>() / g.len().max(1) as f64)
+        .collect();
+    let mut pairs: Vec<(usize, usize, f64)> = padj
+        .pairs
+        .iter()
+        .map(|&(a, b)| (a, b, (means[a] - means[b]).abs()))
+        .collect();
+    pairs.sort_by(|x, y| x.2.total_cmp(&y.2).then((x.0, x.1).cmp(&(y.0, y.1))));
+    const MAX_MERGE_CANDIDATES: usize = 3;
+    for &(merge_a, merge_b, _) in pairs.iter().take(MAX_MERGE_CANDIDATES) {
+        // `merge_b`'s slot is re-used by the re-split so labels stay dense.
+        let mut merged = labels.to_vec();
+        for l in merged.iter_mut() {
+            if *l == merge_b {
+                *l = merge_a;
+            }
+        }
+        for target in split_targets(&merged, features, k, merge_b) {
+            let Some(trial) =
+                split_partition(adj, affinity, &merged, target, merge_b, kind, spectral)
+            else {
+                continue;
+            };
+            let (left, right) = half_sizes(&trial, target, merge_b);
+            if left < floor || right < floor {
+                continue;
+            }
+            let trial_padj = partition_adjacency(adj, &trial, k);
+            let trial_groups = grouped_features(features, &trial, k);
+            if gdbi(&trial_groups, &trial_padj) < current {
+                return Some(trial);
+            }
+        }
+    }
+    None
+}
+
+/// Split candidates in descending total absolute density deviation (the
+/// most internally heterogeneous partitions split along the cleanest
+/// density gradients), ties to the lowest label. `skip` is the emptied
+/// slot being re-used.
+fn split_targets(merged: &[usize], features: &[f64], k: usize, skip: usize) -> Vec<usize> {
+    let mut scatter: Vec<(usize, f64)> = Vec::new();
+    for l in 0..k {
+        if l == skip {
+            continue;
+        }
+        let members: Vec<f64> = merged
+            .iter()
+            .zip(features)
+            .filter(|&(&ml, _)| ml == l)
+            .map(|(_, &f)| f)
+            .collect();
+        if members.len() < 4 {
+            continue;
+        }
+        let mean = members.iter().sum::<f64>() / members.len() as f64;
+        let dev: f64 = members.iter().map(|f| (f - mean).abs()).sum();
+        scatter.push((l, dev));
+    }
+    scatter.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+    scatter.into_iter().map(|(l, _)| l).collect()
+}
+
+/// Bipartitions partition `target` of `merged` along its density gradient
+/// (min-affinity cut, stray components untangled); the second half takes
+/// label `new_label`. `None` when the split cannot produce two connected
+/// halves.
+fn split_partition(
+    adj: &CsrMatrix,
+    affinity: &CsrMatrix,
+    merged: &[usize],
+    target: usize,
+    new_label: usize,
+    kind: CutKind,
+    spectral: &SpectralConfig,
+) -> Option<Vec<usize>> {
+    let members: Vec<usize> = merged
+        .iter()
+        .enumerate()
+        .filter(|&(_, &ml)| ml == target)
+        .map(|(i, _)| i)
+        .collect();
+    let sub = affinity.submatrix(&members).ok()?;
+    let mut side = bipartition(&sub, kind, &spectral.eigen, &spectral.kmeans).ok()?;
+    if !untangle_split(adj, &members, &mut side) {
+        return None;
+    }
+    let mut trial = merged.to_vec();
+    for (slot, &node) in members.iter().enumerate() {
+        if side[slot] == 1 {
+            trial[node] = new_label;
+        }
+    }
+    Some(trial)
+}
+
+/// Sizes of the two halves `(|target|, |new_label|)` after a re-split.
+fn half_sizes(labels: &[usize], target: usize, new_label: usize) -> (usize, usize) {
+    let mut a = 0usize;
+    let mut b = 0usize;
+    for &l in labels {
+        if l == target {
+            a += 1;
+        } else if l == new_label {
+            b += 1;
+        }
+    }
+    (a, b)
+}
+
+/// Untangles a bipartition of a connected member set into two *connected*
+/// halves: each side keeps only its largest connected component (ties: the
+/// one holding the lowest node) and strays migrate to the other side.
+/// Returns `false` when the result is still not two non-empty connected
+/// halves. `side[slot]` is the side (0/1) of `members[slot]`.
+fn untangle_split(adj: &CsrMatrix, members: &[usize], side: &mut [usize]) -> bool {
+    let mut slot_of = vec![usize::MAX; adj.dim()];
+    for (s, &m) in members.iter().enumerate() {
+        slot_of[m] = s;
+    }
+    for phase in 0..2usize {
+        // Connected components of side `phase`, as slot lists.
+        let mut seen = vec![false; members.len()];
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        for s0 in 0..members.len() {
+            if side[s0] != phase || seen[s0] {
+                continue;
+            }
+            seen[s0] = true;
+            let mut comp = vec![s0];
+            let mut stack = vec![s0];
+            while let Some(s) = stack.pop() {
+                for &j in adj.row(members[s]).0 {
+                    let t = slot_of[j];
+                    if t != usize::MAX && !seen[t] && side[t] == phase {
+                        seen[t] = true;
+                        comp.push(t);
+                        stack.push(t);
+                    }
+                }
+            }
+            comps.push(comp);
+        }
+        if comps.is_empty() {
+            return false;
+        }
+        comps.sort_by_key(|c| {
+            (
+                std::cmp::Reverse(c.len()),
+                c.iter().copied().min().unwrap_or(usize::MAX),
+            )
+        });
+        for comp in comps.iter().skip(1) {
+            for &s in comp {
+                side[s] = 1 - phase;
+            }
+        }
+    }
+    let left: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .filter(|&(s, _)| side[s] == 0)
+        .map(|(_, &m)| m)
+        .collect();
+    let right: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .filter(|&(s, _)| side[s] == 1)
+        .map(|(_, &m)| m)
+        .collect();
+    !left.is_empty()
+        && !right.is_empty()
+        && connected_subset(adj, &left)
+        && connected_subset(adj, &right)
+}
+
+/// Feature values grouped by label (`k` groups, possibly empty).
+fn grouped_features(features: &[f64], labels: &[usize], k: usize) -> Vec<Vec<f64>> {
+    let mut groups: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for (&l, &f) in labels.iter().zip(features) {
+        groups[l].push(f);
+    }
+    groups
+}
+
+/// True when `members` induce a connected subgraph of `adj`.
+fn connected_subset(adj: &CsrMatrix, members: &[usize]) -> bool {
+    let Some(&seed) = members.first() else {
+        return false;
+    };
+    let mut in_set = vec![false; adj.dim()];
+    for &m in members {
+        in_set[m] = true;
+    }
+    let mut seen = vec![false; adj.dim()];
+    let mut stack = vec![seed];
+    seen[seed] = true;
+    let mut visited = 1usize;
+    while let Some(i) = stack.pop() {
+        for &j in adj.row(i).0 {
+            if in_set[j] && !seen[j] {
+                seen[j] = true;
+                visited += 1;
+                stack.push(j);
+            }
+        }
+    }
+    visited == members.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roadpart_linalg::CsrMatrix;
+
+    /// Grid-ish graph: `rows x cols` lattice with positions, densities in
+    /// four quadrant plateaus.
+    fn lattice(rows: usize, cols: usize) -> RoadGraph {
+        let n = rows * cols;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((i, i + 1, 1.0));
+                }
+                if r + 1 < rows {
+                    edges.push((i, i + cols, 1.0));
+                }
+            }
+        }
+        let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+        let feats: Vec<f64> = (0..n)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                let quad = usize::from(r >= rows / 2) * 2 + usize::from(c >= cols / 2);
+                0.1 + quad as f64 * 0.25 + (i % 7) as f64 * 1e-3
+            })
+            .collect();
+        let pos: Vec<(f64, f64)> = (0..n)
+            .map(|i| ((i % cols) as f64 * 100.0, (i / cols) as f64 * 100.0))
+            .collect();
+        RoadGraph::from_parts(adj, feats, pos).unwrap()
+    }
+
+    #[test]
+    fn tarjan_matches_components() {
+        let g = lattice(4, 4);
+        let comp = tarjan_scc(g.adjacency());
+        assert!(comp.iter().all(|&c| c == comp[0]), "lattice is connected");
+        // Two disjoint triangles.
+        let mut edges = Vec::new();
+        for b in [0usize, 3] {
+            edges.push((b, b + 1, 1.0));
+            edges.push((b + 1, b + 2, 1.0));
+            edges.push((b, b + 2, 1.0));
+        }
+        let adj = CsrMatrix::from_undirected_edges(6, &edges).unwrap();
+        let comp = tarjan_scc(&adj);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn split_covers_disjointly_in_canonical_order() {
+        let g = lattice(8, 8);
+        let groups = split_shards(&g, &ShardConfig::new(4));
+        let mut seen = [false; 64];
+        let mut last_min = 0usize;
+        for (gi, members) in groups.iter().enumerate() {
+            assert!(!members.is_empty());
+            let mn = members[0];
+            if gi > 0 {
+                assert!(mn > last_min, "canonical order by min member");
+            }
+            last_min = mn;
+            for &m in members {
+                assert!(!seen[m], "node {m} in two shards");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every node sharded");
+    }
+
+    #[test]
+    fn small_shards_merge() {
+        let g = lattice(6, 6);
+        let mut cfg = ShardConfig::new(9);
+        cfg.min_shard_size = 6;
+        let groups = split_shards(&g, &cfg);
+        assert!(groups.iter().all(|gr| gr.len() >= 6 || groups.len() == 1));
+    }
+
+    #[test]
+    fn sharded_end_to_end_reaches_k() {
+        let g = lattice(8, 8);
+        let fw = FrameworkConfig::default().with_seed(11);
+        let out = partition_sharded(&g, Scheme::AG, 4, &fw, &ShardConfig::new(4)).unwrap();
+        assert_eq!(out.partition.len(), 64);
+        assert_eq!(out.partition.k(), 4);
+        assert!(!out.flat_fallback);
+        assert!(out.fine_k >= 4);
+        assert!(out.shard_sizes.len() > 1);
+        out.partition.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_pool_width_and_rotation() {
+        let g = lattice(8, 8);
+        let base = FrameworkConfig::default().with_seed(7);
+        let wide = FrameworkConfig::default().with_seed(7).with_threads(4);
+        let mut rotated = ShardConfig::new(4);
+        rotated.rotation = 3;
+        let a = partition_sharded(&g, Scheme::AG, 4, &base, &ShardConfig::new(4)).unwrap();
+        let b = partition_sharded(&g, Scheme::AG, 4, &wide, &ShardConfig::new(4)).unwrap();
+        let c = partition_sharded(&g, Scheme::AG, 4, &wide, &rotated).unwrap();
+        assert_eq!(a.partition.labels(), b.partition.labels(), "pool width");
+        assert_eq!(a.partition.labels(), c.partition.labels(), "shard order");
+    }
+
+    #[test]
+    fn fault_injection_retries_then_falls_back_flat() {
+        let g = lattice(8, 8);
+        let fw = FrameworkConfig::default().with_seed(3);
+        // One sabotaged attempt: the retry recovers in-shard.
+        let mut cfg = ShardConfig::new(4);
+        cfg.fault_shards = vec![0];
+        cfg.fault_attempts = 1;
+        let out = partition_sharded(&g, Scheme::AG, 4, &fw, &cfg).unwrap();
+        assert!(!out.flat_fallback);
+        assert!(out.shard_attempts > out.shard_sizes.len());
+        // Saturating sabotage: every attempt fails, the run degrades flat.
+        let mut cfg = ShardConfig::new(4);
+        cfg.fault_shards = vec![0];
+        cfg.fault_attempts = cfg.max_retries + 1;
+        let out = partition_sharded(&g, Scheme::AG, 4, &fw, &cfg).unwrap();
+        assert!(out.flat_fallback);
+        assert_eq!(out.partition.k(), 4);
+        out.partition.validate().unwrap();
+    }
+
+    #[test]
+    fn refinement_never_empties_a_partition() {
+        let g = lattice(8, 8);
+        let fw = FrameworkConfig::default().with_seed(5);
+        let mut cfg = ShardConfig::new(4);
+        cfg.refine_hops = 3;
+        let out = partition_sharded(&g, Scheme::AG, 4, &fw, &cfg).unwrap();
+        let sizes = out.partition.sizes();
+        assert!(sizes.iter().all(|&s| s > 0));
+        assert_eq!(out.partition.k(), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_pre_splits_by_component() {
+        // Two lattices glued into one disconnected graph.
+        let n = 32;
+        let mut edges = Vec::new();
+        for b in [0usize, 16] {
+            for i in 0..15 {
+                edges.push((b + i, b + i + 1, 1.0));
+            }
+        }
+        let adj = CsrMatrix::from_undirected_edges(n, &edges).unwrap();
+        let feats: Vec<f64> = (0..n).map(|i| 0.1 + (i / 8) as f64 * 0.2).collect();
+        let g = RoadGraph::from_parts(adj, feats, vec![]).unwrap();
+        let mut cfg = ShardConfig::new(2);
+        cfg.min_shard_size = 4;
+        let groups = split_shards(&g, &cfg);
+        // No shard spans the component boundary.
+        for members in &groups {
+            assert!(
+                members.iter().all(|&m| m < 16) || members.iter().all(|&m| m >= 16),
+                "shard spans disconnected components: {members:?}"
+            );
+        }
+        let fw = FrameworkConfig::default().with_seed(9);
+        let out = partition_sharded(&g, Scheme::AG, 4, &fw, &cfg).unwrap();
+        assert_eq!(out.partition.len(), n);
+        assert!(out.partition.k() >= 4);
+    }
+
+    #[test]
+    fn k_bounds_rejected() {
+        let g = lattice(4, 4);
+        let fw = FrameworkConfig::default();
+        assert!(partition_sharded(&g, Scheme::AG, 0, &fw, &ShardConfig::new(2)).is_err());
+        assert!(partition_sharded(&g, Scheme::AG, 17, &fw, &ShardConfig::new(2)).is_err());
+        let mut zero = ShardConfig::new(1);
+        zero.shards = 0;
+        assert!(partition_sharded(&g, Scheme::AG, 2, &fw, &zero).is_err());
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_flat() {
+        let g = lattice(6, 6);
+        let fw = FrameworkConfig::default().with_seed(13);
+        let sharded = partition_sharded(&g, Scheme::AG, 3, &fw, &ShardConfig::new(1)).unwrap();
+        let flat = run_scheme(&g, Scheme::AG, 3, &fw).unwrap();
+        assert_eq!(sharded.partition.labels(), flat.partition.labels());
+        assert_eq!(sharded.shard_sizes, vec![36]);
+    }
+
+    #[test]
+    fn injected_fault_error_is_retryable() {
+        assert!(is_retryable(&injected_shard_fault()));
+    }
+}

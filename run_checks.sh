@@ -63,6 +63,11 @@ step drift-json  test -s target/experiments/BENCH_drift.json
 # the oracle/epoch swap; the bench smoke run validity-gates qps/latency
 # stats and the live-swap throughput into BENCH_serve.json.
 step serve-diff cargo test -q -p roadpart-serve --test integration_serve
+# Sharded-mode gate: the cross-mode differential harness pins the
+# divide-and-conquer pipeline ε-equivalent to the flat pipeline
+# (inter/intra/GDBI/ANS), bit-identical across pool widths and shard
+# submission orders, and gracefully degrading under injected shard faults.
+step shard-diff cargo test -q -p roadpart --test integration_sharded
 step serve-loom env RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
   cargo test -q -p roadpart-serve --test loom_oracle
 step serve-smoke cargo run -q --release -p roadpart-bench --bin serve_bench -- --smoke
