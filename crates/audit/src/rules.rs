@@ -18,9 +18,10 @@
 //! * [`FLOAT_DETERMINISM`] — `max_by`/`min_by` without a total order,
 //!   any `HashMap`/`HashSet` in library code (iteration order is
 //!   per-process random), and unordered float reductions
-//!   (`sum`/`product`/arithmetic `fold`) inside the hot set. The ordered
-//!   reduction primitives in `linalg::par` are the one sanctioned home
-//!   for reductions and are exempt.
+//!   (`sum`/`product`/arithmetic `fold`) inside the hot set. The blessed
+//!   reduction primitives — `linalg::par`'s ordered fixed-chunk merges and
+//!   `linalg::vecops`' fixed-tree lane reductions — are the sanctioned
+//!   homes for reductions and are exempt.
 
 use crate::graph::CallGraph;
 use crate::items::SiteKind;
@@ -85,7 +86,9 @@ pub const RULES: &[(&str, &str)] = &[
         "float orderings use total_cmp/cmp_f64; library code uses BTree \
          collections (HashMap/HashSet iteration order is per-process \
          random); hot-set float reductions are written as explicit ordered \
-         loops or routed through linalg::par's fixed-chunk primitives",
+         loops or routed through the blessed primitives: linalg::par's \
+         fixed-chunk ordered merges and linalg::vecops' fixed-tree lane \
+         reductions",
     ),
 ];
 
@@ -128,8 +131,14 @@ pub const HOT_ROOTS: &[(&str, &str)] = &[
 ];
 
 /// Files exempt from the float-reduction arm of [`FLOAT_DETERMINISM`]:
-/// the ordered fixed-chunk reduction primitives themselves.
-const FLOAT_REDUCE_EXEMPT_FILES: &[&str] = &["crates/linalg/src/par.rs"];
+/// the blessed reduction primitives themselves — the ordered fixed-chunk
+/// parallel reductions in `linalg::par`, and the fixed-order lane-unrolled
+/// reductions in `linalg::vecops` (`dot`/`norm2` and friends), whose
+/// `LANES`-wide accumulators fold through a fixed reduction tree and are
+/// therefore bit-reproducible at every input length (see the vecops module
+/// docs and its canonical-model tests).
+const FLOAT_REDUCE_EXEMPT_FILES: &[&str] =
+    &["crates/linalg/src/par.rs", "crates/linalg/src/vecops.rs"];
 
 /// One lint finding at a specific source location.
 #[derive(Debug, Clone)]
@@ -632,6 +641,41 @@ fn cold(xs: &[f64]) -> f64 { xs.iter().sum() }
             "{:?}",
             findings.violations
         );
+    }
+
+    #[test]
+    fn vecops_lane_reductions_are_reduce_exempt() {
+        // The lane-unrolled kernels in vecops are the second blessed
+        // reduction home: hot-set reachable reductions there pass, while
+        // the same construct in any other hot file is still flagged.
+        let (_, findings) = graph_on(&[
+            (
+                "roadpart-linalg",
+                "crates/linalg/src/lanczos.rs",
+                "\
+pub fn sym_eigs(xs: &[f64]) -> f64 {
+    crate::vecops::dot(xs) + crate::csr::row_sum(xs)
+}
+",
+            ),
+            (
+                "roadpart-linalg",
+                "crates/linalg/src/vecops.rs",
+                "pub fn dot(xs: &[f64]) -> f64 { xs.iter().sum() }\n",
+            ),
+            (
+                "roadpart-linalg",
+                "crates/linalg/src/csr.rs",
+                "pub fn row_sum(xs: &[f64]) -> f64 { xs.iter().sum() }\n",
+            ),
+        ]);
+        let floats: Vec<&Violation> = findings
+            .violations
+            .iter()
+            .filter(|v| v.rule == FLOAT_DETERMINISM)
+            .collect();
+        assert_eq!(floats.len(), 1, "{floats:?}");
+        assert_eq!(floats[0].file, "crates/linalg/src/csr.rs");
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! BENCH_pipeline — end-to-end AG/ASG pipeline wall time, per stage, for
-//! the pre-PR solver configuration (full reorthogonalization, unpruned
-//! k-means, fresh scratch buffers) against the optimized defaults
-//! (ω-monitored selective reorthogonalization, bound-pruned k-means,
-//! pooled workspaces).
+//! the pre-PR solver configuration (full reorthogonalization, sequential
+//! reduction order in the solver, unpruned k-means, per-κ mining DP sweeps,
+//! fresh scratch buffers) against the optimized defaults (ω-monitored
+//! selective reorthogonalization, canonical lane kernels, bound-pruned
+//! k-means, shared mining DP sweeps, pooled workspaces).
 //!
 //! ```text
 //! cargo run -p roadpart-bench --release --bin pipeline_bench -- --runs 3
@@ -33,7 +34,7 @@ use roadpart_bench::{median, write_json};
 use roadpart_cut::{
     embedding_recovering_ws, spectral_partition_warm_ws, CutKind, SpectralArtifacts,
 };
-use roadpart_linalg::{RecoveryLog, ReorthPolicy, ThreadPool, Workspace};
+use roadpart_linalg::{KernelLayout, RecoveryLog, ReorthPolicy, ThreadPool, Workspace};
 use roadpart_net::RoadGraph;
 use serde_json::json;
 use std::time::Instant;
@@ -167,15 +168,21 @@ fn build_networks(grid_scale: f64, rings: usize, spokes: usize, seed: u64) -> Ve
 }
 
 /// The pre-PR solver configuration: full reorthogonalization every Lanczos
-/// iteration, exhaustive k-means scans. Everything else matches `opt`.
+/// iteration, exhaustive k-means scans, per-κ 1-D DP sweeps in the mining
+/// stage, and the solver-internal reductions in the historical sequential
+/// order (`KernelLayout::LegacyScalar`) rather than the canonical lane
+/// order. Everything else matches `opt`.
 fn baseline_cfg(scheme: Scheme, seed: u64, pool: ThreadPool) -> PipelineConfig {
     let mut cfg = optimized_cfg(scheme, seed, pool);
     cfg.framework.spectral.eigen.reorth = ReorthPolicy::Full;
+    cfg.framework.spectral.eigen.layout = KernelLayout::LegacyScalar;
     cfg.framework.spectral.kmeans.prune = false;
+    cfg.framework.mining.legacy_per_kappa_sweep = true;
     cfg
 }
 
-/// The current defaults: selective reorthogonalization + pruned k-means.
+/// The current defaults: selective reorthogonalization + pruned k-means +
+/// shared mining DP sweeps.
 fn optimized_cfg(scheme: Scheme, seed: u64, pool: ThreadPool) -> PipelineConfig {
     let mut cfg = PipelineConfig::asg(K);
     cfg.scheme = scheme;
@@ -592,8 +599,8 @@ fn run() -> roadpart::Result<u32> {
             "k": K,
             "host_threads": host_threads,
             "alloc_counting": alloc_count().is_some(),
-            "baseline_config": "ReorthPolicy::Full + KMeansConfig{prune: false} + fresh workspace",
-            "optimized_config": "ReorthPolicy::Selective + KMeansConfig{prune: true} + retained workspace",
+            "baseline_config": "ReorthPolicy::Full + KernelLayout::LegacyScalar + KMeansConfig{prune: false} + MiningConfig{legacy_per_kappa_sweep: true} + fresh workspace",
+            "optimized_config": "ReorthPolicy::Selective + KernelLayout::RowMajor lane kernels + KMeansConfig{prune: true} + MiningConfig{legacy_per_kappa_sweep: false} + retained workspace",
             "networks": records,
             "largest": largest_rec,
         }),

@@ -93,6 +93,26 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     acc
 }
 
+/// Squared distances from `p` to four centers at once — four interleaved
+/// copies of [`sq_dist`]. Each lane keeps its own left-to-right accumulator
+/// over the coordinate index, so lane `l` is bitwise equal to an
+/// independent `sq_dist(p, c[l])` call; the blocking only buys instruction
+/// level parallelism (four independent FMA chains instead of one), never a
+/// different rounding. The exhaustive k-means scan walks centers in blocks
+/// of four and compares lanes in ascending center order, keeping the
+/// lowest-index tie-breaking of the scalar scan.
+#[inline]
+fn sq_dist4(p: &[f64], c: [&[f64]; 4]) -> [f64; 4] {
+    let mut acc = [0.0f64; 4];
+    for (j, &x) in p.iter().enumerate() {
+        for l in 0..4 {
+            let d = x - c[l][j];
+            acc[l] += d * d;
+        }
+    }
+    acc
+}
+
 /// Clusters the rows of `points` (`n x d`) into `k` groups.
 ///
 /// # Errors
@@ -279,10 +299,35 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
                         }
                     }
                     // Exhaustive scan, tracking the two smallest distances so
-                    // the bounds can be rebuilt exactly.
+                    // the bounds can be rebuilt exactly. Centers are walked
+                    // in blocks of four ([`sq_dist4`]) with lanes compared in
+                    // ascending center order, so best/second/tie-breaking are
+                    // bitwise those of the scalar one-center-at-a-time scan.
                     let (mut best_c, mut best_d, mut second_d) =
                         (0usize, f64::INFINITY, f64::INFINITY);
-                    for c in 0..k {
+                    let mut c = 0usize;
+                    while c + 4 <= k {
+                        let dists = sq_dist4(
+                            p,
+                            [
+                                frozen.row(c),
+                                frozen.row(c + 1),
+                                frozen.row(c + 2),
+                                frozen.row(c + 3),
+                            ],
+                        );
+                        for (l, &dist) in dists.iter().enumerate() {
+                            if dist < best_d {
+                                second_d = best_d;
+                                best_d = dist;
+                                best_c = c + l;
+                            } else if dist < second_d {
+                                second_d = dist;
+                            }
+                        }
+                        c += 4;
+                    }
+                    while c < k {
                         let dist = sq_dist(p, frozen.row(c));
                         if dist < best_d {
                             second_d = best_d;
@@ -291,6 +336,7 @@ fn lloyd(points: &DenseMatrix, mut centers: DenseMatrix, cfg: &KMeansConfig) -> 
                         } else if dist < second_d {
                             second_d = dist;
                         }
+                        c += 1;
                     }
                     s.assign = best_c;
                     s.upper = best_d.sqrt();
@@ -488,6 +534,30 @@ mod tests {
             .unwrap();
             assert_eq!(r.assignments.len(), 30);
             assert!(r.inertia < 5.0, "fell back to k-means++ seeding");
+        }
+    }
+
+    #[test]
+    fn sq_dist4_is_bitwise_four_sq_dists() {
+        // Awkward magnitudes so any re-association would show up in the bits.
+        let dims = [1usize, 2, 3, 7, 16];
+        for &d in &dims {
+            let mk = |seed: f64| -> Vec<f64> {
+                (0..d)
+                    .map(|j| (seed + j as f64 * 0.37).sin() * 10f64.powi((j % 5) as i32 - 2))
+                    .collect()
+            };
+            let p = mk(0.1);
+            let c: Vec<Vec<f64>> = (0..4).map(|l| mk(1.0 + l as f64)).collect();
+            let blocked = sq_dist4(&p, [&c[0], &c[1], &c[2], &c[3]]);
+            for l in 0..4 {
+                let scalar = sq_dist(&p, &c[l]);
+                assert_eq!(
+                    blocked[l].to_bits(),
+                    scalar.to_bits(),
+                    "lane {l} at dim {d}"
+                );
+            }
         }
     }
 

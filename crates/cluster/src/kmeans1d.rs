@@ -41,6 +41,7 @@ impl KMeans1d {
 }
 
 /// Prefix sums enabling `O(1)` within-range squared-error queries.
+#[derive(Debug, Clone)]
 struct RangeCost {
     /// Prefix sums of values.
     s1: Vec<f64>,
@@ -80,17 +81,52 @@ impl RangeCost {
     }
 }
 
-/// Runs exact k-means on scalar values.
+/// The full DP state of an exact 1-D k-means run to `kappa_max` layers.
+///
+/// DP layer `k` (the split table row and the layer's final SSE) does not
+/// depend on how many further layers run, so one sweep to `kappa_max`
+/// contains the *complete* solution for every `kappa <= kappa_max`:
+/// [`KMeans1dSweep::extract`] backtracks any of them bitwise-identical to
+/// an independent [`kmeans_1d`] run at that `kappa`. The supergraph-mining
+/// shortlist scan (which historically re-ran the whole DP once per
+/// candidate `kappa`, `Σκ` layers instead of `κ_max`) reduces to one sweep
+/// plus cheap per-`kappa` backtracks.
+#[derive(Debug, Clone)]
+pub struct KMeans1dSweep {
+    /// Sorted position -> original index.
+    order: Vec<usize>,
+    /// Prefix sums over the sorted values.
+    rc: RangeCost,
+    /// `layer_sse[k-1]` = optimal SSE with `k` clusters (`dp[n-1]` after
+    /// layer `k-1`).
+    layer_sse: Vec<f64>,
+    /// Flat `kappa_max x n` split table; row `k` is layer `k`'s
+    /// first-index-of-last-cluster argmin (row 0 is unused, matching the
+    /// historical layout).
+    split: Vec<usize>,
+    n: usize,
+    kappa_max: usize,
+}
+
+/// Runs the exact 1-D k-means DP once up to `kappa_max` layers, retaining
+/// every layer so any `kappa <= kappa_max` can be extracted without
+/// re-solving.
+///
+/// The hot loop is allocation-lean by construction: the two DP layers are
+/// double-buffered (no per-layer clone + fresh `INFINITY` fill — stale
+/// entries below index `k` are provably never read, since layer `k + 1`
+/// only reads `prev[j - 1]` for `j >= k + 1`) and the split table is one
+/// flat allocation instead of `kappa` row vectors.
 ///
 /// # Errors
-/// Returns [`ClusterError::BadClusterCount`] unless `1 <= kappa <= values.len()`
-/// and [`ClusterError::InvalidInput`] on non-finite values.
-#[allow(clippy::needless_range_loop)] // DP index style mirrors the recurrence
-pub fn kmeans_1d(values: &[f64], kappa: usize) -> Result<KMeans1d> {
+/// Returns [`ClusterError::BadClusterCount`] unless
+/// `1 <= kappa_max <= values.len()` and [`ClusterError::InvalidInput`] on
+/// non-finite values.
+pub fn kmeans_1d_sweep(values: &[f64], kappa_max: usize) -> Result<KMeans1dSweep> {
     let n = values.len();
-    if kappa == 0 || kappa > n {
+    if kappa_max == 0 || kappa_max > n {
         return Err(ClusterError::BadClusterCount {
-            requested: kappa,
+            requested: kappa_max,
             points: n,
         });
     }
@@ -107,18 +143,22 @@ pub fn kmeans_1d(values: &[f64], kappa: usize) -> Result<KMeans1d> {
     let rc = RangeCost::new(&sorted);
 
     // dp[i] = optimal SSE of sorted[0..=i] using the current layer count;
-    // split[k][i] = first index of the last cluster in that optimum.
+    // split[k * n + i] = first index of the last cluster in that optimum.
     let mut dp: Vec<f64> = (0..n).map(|i| rc.cost(0, i)).collect();
-    let mut split: Vec<Vec<usize>> = vec![vec![0; n]; kappa];
+    let mut next = vec![f64::INFINITY; n];
+    let mut split = vec![0usize; kappa_max * n];
+    let mut layer_sse = Vec::with_capacity(kappa_max);
+    layer_sse.push(dp[n - 1]);
+    let mut stack: Vec<(usize, usize, usize, usize)> = Vec::new();
 
-    for k in 1..kappa {
-        let prev = dp.clone();
+    for k in 1..kappa_max {
         // Divide-and-conquer optimization: the optimal split position is
         // monotone in i, so solve the midpoint and recurse on halves with a
         // narrowed candidate window. Explicit stack avoids deep recursion.
-        let mut next = vec![f64::INFINITY; n];
+        let (prev, split_row) = (&dp, &mut split[k * n..(k + 1) * n]);
         // (lo, hi, opt_lo, opt_hi) over the i-range [lo, hi].
-        let mut stack = vec![(k, n - 1, k, n - 1)];
+        stack.clear();
+        stack.push((k, n - 1, k, n - 1));
         while let Some((lo, hi, opt_lo, opt_hi)) = stack.pop() {
             if lo > hi {
                 continue;
@@ -139,7 +179,7 @@ pub fn kmeans_1d(values: &[f64], kappa: usize) -> Result<KMeans1d> {
                 j += 1;
             }
             next[mid] = best.0;
-            split[k][mid] = best.1;
+            split_row[mid] = best.1;
             if mid > lo {
                 stack.push((lo, mid - 1, opt_lo, best.1));
             }
@@ -147,36 +187,98 @@ pub fn kmeans_1d(values: &[f64], kappa: usize) -> Result<KMeans1d> {
                 stack.push((mid + 1, hi, best.1, opt_hi));
             }
         }
-        dp = next;
+        std::mem::swap(&mut dp, &mut next);
+        layer_sse.push(dp[n - 1]);
     }
 
-    // Backtrack cluster boundaries.
-    let mut bounds = vec![0usize; kappa + 1];
-    bounds[kappa] = n;
-    let mut end = n - 1;
-    for k in (1..kappa).rev() {
-        let start = split[k][end];
-        bounds[k] = start;
-        end = start - 1;
-    }
-
-    let mut centers = Vec::with_capacity(kappa);
-    let mut assignments = vec![0usize; n];
-    for q in 0..kappa {
-        let (lo, hi) = (bounds[q], bounds[q + 1]);
-        debug_assert!(hi > lo, "DP clusters are non-empty by construction");
-        centers.push(rc.mean(lo, hi - 1));
-        for s in lo..hi {
-            assignments[order[s]] = q;
-        }
-    }
-    let sse = dp[n - 1].max(0.0);
-    Ok(KMeans1d {
-        assignments,
-        centers,
-        iterations: kappa,
-        sse,
+    Ok(KMeans1dSweep {
+        order,
+        rc,
+        layer_sse,
+        split,
+        n,
+        kappa_max,
     })
+}
+
+impl KMeans1dSweep {
+    /// The deepest layer this sweep solved; every `kappa` up to this is
+    /// extractable.
+    pub fn kappa_max(&self) -> usize {
+        self.kappa_max
+    }
+
+    /// Optimal SSE at `kappa` clusters without materializing the
+    /// clustering.
+    ///
+    /// # Errors
+    /// Returns [`ClusterError::BadClusterCount`] unless
+    /// `1 <= kappa <= kappa_max`.
+    pub fn sse(&self, kappa: usize) -> Result<f64> {
+        if kappa == 0 || kappa > self.kappa_max {
+            return Err(ClusterError::BadClusterCount {
+                requested: kappa,
+                points: self.kappa_max,
+            });
+        }
+        Ok(self.layer_sse[kappa - 1].max(0.0))
+    }
+
+    /// Materializes the optimal `kappa`-clustering from the recorded DP
+    /// state — bitwise-identical to `kmeans_1d(values, kappa)` on the
+    /// original input.
+    ///
+    /// # Errors
+    /// Returns [`ClusterError::BadClusterCount`] unless
+    /// `1 <= kappa <= kappa_max`.
+    pub fn extract(&self, kappa: usize) -> Result<KMeans1d> {
+        if kappa == 0 || kappa > self.kappa_max {
+            return Err(ClusterError::BadClusterCount {
+                requested: kappa,
+                points: self.kappa_max,
+            });
+        }
+        let n = self.n;
+        // Backtrack cluster boundaries.
+        let mut bounds = vec![0usize; kappa + 1];
+        bounds[kappa] = n;
+        let mut end = n - 1;
+        for k in (1..kappa).rev() {
+            let start = self.split[k * n + end];
+            bounds[k] = start;
+            end = start - 1;
+        }
+
+        let mut centers = Vec::with_capacity(kappa);
+        let mut assignments = vec![0usize; n];
+        for q in 0..kappa {
+            let (lo, hi) = (bounds[q], bounds[q + 1]);
+            debug_assert!(hi > lo, "DP clusters are non-empty by construction");
+            centers.push(self.rc.mean(lo, hi - 1));
+            for s in lo..hi {
+                assignments[self.order[s]] = q;
+            }
+        }
+        let sse = self.layer_sse[kappa - 1].max(0.0);
+        Ok(KMeans1d {
+            assignments,
+            centers,
+            iterations: kappa,
+            sse,
+        })
+    }
+}
+
+/// Runs exact k-means on scalar values.
+///
+/// One DP sweep to `kappa` layers plus a backtrack; see [`kmeans_1d_sweep`]
+/// for amortizing the sweep across several `kappa` targets.
+///
+/// # Errors
+/// Returns [`ClusterError::BadClusterCount`] unless `1 <= kappa <= values.len()`
+/// and [`ClusterError::InvalidInput`] on non-finite values.
+pub fn kmeans_1d(values: &[f64], kappa: usize) -> Result<KMeans1d> {
+    kmeans_1d_sweep(values, kappa)?.extract(kappa)
 }
 
 #[cfg(test)]
@@ -291,6 +393,46 @@ mod tests {
         assert!(kmeans_1d(&[1.0, 2.0], 0).is_err());
         assert!(kmeans_1d(&[1.0, 2.0], 3).is_err());
         assert!(kmeans_1d(&[1.0, f64::NAN], 1).is_err());
+    }
+
+    /// Pre-sweep reference: an independent full DP per `kappa` (what
+    /// `kmeans_1d` compiles to, spelled out so the equivalence claim is
+    /// against a separately-constructed sweep, not the same object).
+    fn fresh_run(values: &[f64], kappa: usize) -> KMeans1d {
+        kmeans_1d_sweep(values, kappa)
+            .unwrap()
+            .extract(kappa)
+            .unwrap()
+    }
+
+    #[test]
+    fn shared_sweep_extract_bitwise_matches_independent_runs() {
+        let values: Vec<f64> = (0..157)
+            .map(|i| ((i * 73) % 149) as f64 * 0.31 - 7.0)
+            .collect();
+        let kappa_max = 24;
+        let sweep = kmeans_1d_sweep(&values, kappa_max).unwrap();
+        for kappa in 1..=kappa_max {
+            let shared = sweep.extract(kappa).unwrap();
+            let fresh = fresh_run(&values, kappa);
+            assert_eq!(shared.assignments, fresh.assignments, "kappa {kappa}");
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&shared.centers), bits(&fresh.centers), "kappa {kappa}");
+            assert_eq!(shared.sse.to_bits(), fresh.sse.to_bits(), "kappa {kappa}");
+            assert_eq!(shared.sse.to_bits(), sweep.sse(kappa).unwrap().to_bits());
+            assert_eq!(shared.iterations, kappa);
+        }
+    }
+
+    #[test]
+    fn sweep_error_cases() {
+        assert!(kmeans_1d_sweep(&[1.0, 2.0], 0).is_err());
+        assert!(kmeans_1d_sweep(&[1.0, 2.0], 3).is_err());
+        let sweep = kmeans_1d_sweep(&[1.0, 2.0, 3.0], 2).unwrap();
+        assert_eq!(sweep.kappa_max(), 2);
+        assert!(sweep.extract(0).is_err());
+        assert!(sweep.extract(3).is_err());
+        assert!(sweep.sse(3).is_err());
     }
 
     #[test]

@@ -22,7 +22,8 @@ pub mod optimality;
 pub use components::{component_groups, constrained_components, count_components};
 pub use error::{ClusterError, Result};
 pub use kmeans::{kmeans, KMeans, KMeansConfig};
-pub use kmeans1d::{kmeans_1d, KMeans1d};
+pub use kmeans1d::{kmeans_1d, kmeans_1d_sweep, KMeans1d, KMeans1dSweep};
 pub use optimality::{
-    clustering_balance, clustering_gain, mcg, mcg_argmax, optimality_sweep, OptimalityPoint,
+    clustering_balance, clustering_gain, mcg, mcg_argmax, optimality_sweep,
+    optimality_sweep_legacy, OptimalityPoint,
 };

@@ -11,7 +11,7 @@
 //!   `Θ₂ ∈ [0, 1]` that discounts sparse, diffuse clusters.
 
 use crate::error::{ClusterError, Result};
-use crate::kmeans1d::kmeans_1d;
+use crate::kmeans1d::{kmeans_1d, kmeans_1d_sweep, KMeans1d};
 use serde::{Deserialize, Serialize};
 
 /// Per-cluster summary statistics shared by all three measures.
@@ -138,8 +138,24 @@ pub struct OptimalityPoint {
     pub balance: f64,
 }
 
-/// Runs 1-D k-means for every `kappa` in `kappas` and evaluates all three
+/// Evaluates all three measures on one clustering.
+fn measure_point(values: &[f64], km: &KMeans1d, kappa: usize) -> Result<OptimalityPoint> {
+    Ok(OptimalityPoint {
+        kappa,
+        mcg: mcg(values, &km.assignments, kappa)?,
+        gain: clustering_gain(values, &km.assignments, kappa)?,
+        balance: clustering_balance(values, &km.assignments, kappa)?,
+    })
+}
+
+/// Solves 1-D k-means for every `kappa` in `kappas` and evaluates all three
 /// optimality measures — the data behind Figure 5 and the ablation study.
+///
+/// All `kappa` targets share **one** DP sweep to the largest of them (see
+/// [`kmeans_1d_sweep`]): each clustering — and therefore every measure — is
+/// bitwise-identical to an independent [`kmeans_1d`] run, but the DP cost
+/// drops from `Σκ` layers to `max κ`. [`optimality_sweep_legacy`] keeps the
+/// historical per-`kappa` resolve for benchmarks and differential tests.
 ///
 /// # Errors
 /// Propagates k-means failures (`kappa` out of range, non-finite values).
@@ -147,15 +163,42 @@ pub fn optimality_sweep(
     values: &[f64],
     kappas: impl IntoIterator<Item = usize>,
 ) -> Result<Vec<OptimalityPoint>> {
+    let kappas: Vec<usize> = kappas.into_iter().collect();
+    let Some(&kappa_hi) = kappas.iter().max() else {
+        return Ok(Vec::new());
+    };
+    // Invalid requests (kappa = 0 or > n) must surface the same error the
+    // per-kappa path would raise, not a sweep-construction artifact.
+    if let Some(&bad) = kappas.iter().find(|&&k| k == 0 || k > values.len()) {
+        return Err(ClusterError::BadClusterCount {
+            requested: bad,
+            points: values.len(),
+        });
+    }
+    let sweep = kmeans_1d_sweep(values, kappa_hi)?;
+    let mut out = Vec::with_capacity(kappas.len());
+    for kappa in kappas {
+        let km = sweep.extract(kappa)?;
+        out.push(measure_point(values, &km, kappa)?);
+    }
+    Ok(out)
+}
+
+/// The pre-shared-sweep [`optimality_sweep`]: an independent DP re-solve
+/// per `kappa`. Produces bitwise-identical output at `Σκ`-layer cost; kept
+/// as the baseline arm of `pipeline_bench` and the reference side of the
+/// shared-vs-legacy differential tests.
+///
+/// # Errors
+/// Propagates k-means failures (`kappa` out of range, non-finite values).
+pub fn optimality_sweep_legacy(
+    values: &[f64],
+    kappas: impl IntoIterator<Item = usize>,
+) -> Result<Vec<OptimalityPoint>> {
     let mut out = Vec::new();
     for kappa in kappas {
         let km = kmeans_1d(values, kappa)?;
-        out.push(OptimalityPoint {
-            kappa,
-            mcg: mcg(values, &km.assignments, kappa)?,
-            gain: clustering_gain(values, &km.assignments, kappa)?,
-            balance: clustering_balance(values, &km.assignments, kappa)?,
-        });
+        out.push(measure_point(values, &km, kappa)?);
     }
     Ok(out)
 }
@@ -186,6 +229,38 @@ mod tests {
         let values = three_blobs();
         let sweep = optimality_sweep(&values, 2..=8).unwrap();
         assert_eq!(mcg_argmax(&sweep), Some(3), "sweep: {sweep:?}");
+    }
+
+    #[test]
+    fn shared_sweep_bitwise_matches_legacy_per_kappa_resolve() {
+        let values: Vec<f64> = (0..300)
+            .map(|i| ((i * 53) % 271) as f64 * 0.17 + ((i % 7) as f64) * 0.01)
+            .collect();
+        let shared = optimality_sweep(&values, 2..=24).unwrap();
+        let legacy = optimality_sweep_legacy(&values, 2..=24).unwrap();
+        assert_eq!(shared.len(), legacy.len());
+        for (s, l) in shared.iter().zip(&legacy) {
+            assert_eq!(s.kappa, l.kappa);
+            assert_eq!(s.mcg.to_bits(), l.mcg.to_bits(), "kappa {}", s.kappa);
+            assert_eq!(s.gain.to_bits(), l.gain.to_bits(), "kappa {}", s.kappa);
+            assert_eq!(
+                s.balance.to_bits(),
+                l.balance.to_bits(),
+                "kappa {}",
+                s.kappa
+            );
+        }
+        // Non-contiguous and unordered kappa sets go through the same path.
+        let subset = optimality_sweep(&values, [9usize, 3, 17]).unwrap();
+        let subset_legacy = optimality_sweep_legacy(&values, [9usize, 3, 17]).unwrap();
+        for (s, l) in subset.iter().zip(&subset_legacy) {
+            assert_eq!(s.kappa, l.kappa);
+            assert_eq!(s.mcg.to_bits(), l.mcg.to_bits());
+        }
+        // Error parity for out-of-range requests.
+        assert!(optimality_sweep(&values, [0usize]).is_err());
+        assert!(optimality_sweep(&values, [values.len() + 1]).is_err());
+        assert!(optimality_sweep(&values, Vec::new()).unwrap().is_empty());
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl PipelineConfig {
         self.with_pool(roadpart_linalg::ThreadPool::new(threads))
     }
 
+    /// Selects the sparse-operator memory layout for the spectral hot path
+    /// (see `roadpart_linalg::layout`). `RowMajor` and `Blocked` are purely
+    /// performance knobs with bit-identical products (as `kernels_bench`
+    /// asserts); `LegacyScalar` is the bench-only pre-lane emulation arm.
+    pub fn with_layout(mut self, layout: roadpart_linalg::KernelLayout) -> Self {
+        self.framework.spectral.eigen.layout = layout;
+        self
+    }
+
     /// Switches the pipeline into divide-and-conquer mode with `shards`
     /// geometric shards (`shards <= 1` keeps the flat pipeline).
     pub fn with_shards(mut self, shards: usize) -> Self {

@@ -6,7 +6,7 @@
 //! node-level analogue of the superlink weight of Eq. 3 (with `|L_pq| = 1`).
 
 use crate::error::{CutError, Result};
-use roadpart_linalg::par::{ThreadPool, DEFAULT_CHUNK};
+use roadpart_linalg::par::ThreadPool;
 use roadpart_linalg::CsrMatrix;
 
 /// Replaces each binary link `(i, j)` with the Gaussian similarity
@@ -35,8 +35,10 @@ pub fn gaussian_affinity(adj: &CsrMatrix, features: &[f64]) -> Result<CsrMatrix>
 
 /// [`gaussian_affinity`] with the per-link weighting distributed over
 /// `pool` in fixed row chunks. The weights are pure per-entry functions
-/// and the chunk triplet lists concatenate in chunk (= row) order, so the
-/// result is bit-identical to the serial construction at any pool size.
+/// evaluated into deterministic slots of the adjacency's own sparsity
+/// pattern ([`CsrMatrix::map_entries_par`]), so the result is bit-identical
+/// to the serial construction at any pool size — and the full triplet
+/// sort/merge rebuild the historical path paid per time step disappears.
 ///
 /// # Errors
 /// Returns [`CutError::InvalidInput`] on length mismatch or non-finite
@@ -61,28 +63,20 @@ pub fn gaussian_affinity_par(
         sigma * sigma
     };
     // Weights are floored at a tiny positive value so that links between
-    // very dissimilar segments stay *structurally* present (the CSR builder
-    // drops exact zeros, and the spatial-adjacency pattern must survive for
-    // connectivity checks and partition-adjacency metrics).
+    // very dissimilar segments stay *structurally* present (entries mapped
+    // to exact zeros are dropped, and the spatial-adjacency pattern must
+    // survive for connectivity checks and partition-adjacency metrics).
+    // The floor also means no entry maps to 0.0, so the affinity keeps the
+    // adjacency's sparsity pattern exactly.
     const MIN_WEIGHT: f64 = 1e-12;
-    let chunks = pool.chunked_map(n, DEFAULT_CHUNK, |rows| {
-        let mut part: Vec<(usize, usize, f64)> = Vec::new();
-        for i in rows {
-            let (cols, _) = adj.row(i);
-            for &j in cols {
-                let w = if var > 0.0 {
-                    let d = features[i] - features[j];
-                    (-(d * d) / (2.0 * var)).exp().max(MIN_WEIGHT)
-                } else {
-                    1.0
-                };
-                part.push((i, j, w));
-            }
+    Ok(adj.map_entries_par(pool, |i, j, _| {
+        if var > 0.0 {
+            let d = features[i] - features[j];
+            (-(d * d) / (2.0 * var)).exp().max(MIN_WEIGHT)
+        } else {
+            1.0
         }
-        part
-    });
-    let triplets: Vec<(usize, usize, f64)> = chunks.into_iter().flatten().collect();
-    Ok(CsrMatrix::from_triplets(n, &triplets)?)
+    })?)
 }
 
 /// Robust scale: `1.4826 x median(|f - median(f)|)`, the Gaussian-consistent

@@ -229,15 +229,107 @@ impl CsrMatrix {
 
     /// Computes rows `row0 .. row0 + out.len()` of `A x` into `out`.
     /// Shapes are the caller's responsibility.
+    ///
+    /// Each row reduces in the crate's canonical lane order (see
+    /// [`crate::vecops`]): short rows fold left-to-right, rows with at
+    /// least [`crate::vecops::LANES`] entries run the lane-unrolled kernel
+    /// with the fixed reduction tree.
     pub(crate) fn rows_into(&self, row0: usize, x: &[f64], out: &mut [f64]) {
         for (offset, yi) in out.iter_mut().enumerate() {
             let (cols, vals) = self.row(row0 + offset);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c];
-            }
-            *yi = acc;
+            *yi = row_gather_dot(cols, vals, x);
         }
+    }
+
+    /// Rebuilds a matrix with this matrix's sparsity pattern and
+    /// `mapped[p]` as the value of stored entry `p`, dropping entries that
+    /// mapped to exactly `0.0` (matching [`CsrMatrix::from_triplets`]
+    /// semantics).
+    fn rebuild_mapped(&self, mapped: &[f64]) -> Result<CsrMatrix> {
+        debug_assert_eq!(mapped.len(), self.values.len());
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut col_idx = Vec::with_capacity(self.col_idx.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        row_ptr.push(0);
+        for i in 0..self.n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            for (&v, &c) in mapped[lo..hi].iter().zip(&self.col_idx[lo..hi]) {
+                if !v.is_finite() {
+                    return Err(LinalgError::InvalidInput(format!(
+                        "non-finite mapped value {v} at ({i},{c})"
+                    )));
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Self {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds a new matrix with the same sparsity pattern whose entry
+    /// `(i, j)` holds `f(i, j, value)`. Entries mapped to exactly `0.0` are
+    /// dropped, so the result is identical to re-running
+    /// [`CsrMatrix::from_triplets`] on the mapped triplets — without the
+    /// bucket sort, per-row sort, and duplicate merge that path pays.
+    ///
+    /// This is the fast construction path for pattern-preserving
+    /// transforms such as the Gaussian affinity kernel, which reweights a
+    /// graph adjacency without changing which edges exist.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] if `f` produces a non-finite
+    /// value.
+    pub fn map_entries<F>(&self, f: F) -> Result<CsrMatrix>
+    where
+        F: Fn(usize, usize, f64) -> f64,
+    {
+        let mut mapped = vec![0.0f64; self.values.len()];
+        for i in 0..self.n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            for ((m, &c), &v) in mapped[lo..hi]
+                .iter_mut()
+                .zip(&self.col_idx[lo..hi])
+                .zip(&self.values[lo..hi])
+            {
+                *m = f(i, c, v);
+            }
+        }
+        self.rebuild_mapped(&mapped)
+    }
+
+    /// [`CsrMatrix::map_entries`] with the per-entry evaluation distributed
+    /// over `pool` in fixed row chunks. `f` runs once per stored entry in a
+    /// deterministic slot, so the result is bit-identical to the serial
+    /// map at every pool size.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidInput`] if `f` produces a non-finite
+    /// value.
+    pub fn map_entries_par<F>(&self, pool: &crate::par::ThreadPool, f: F) -> Result<CsrMatrix>
+    where
+        F: Fn(usize, usize, f64) -> f64 + Sync,
+    {
+        let chunks = pool.chunked_map(self.n, crate::par::DEFAULT_CHUNK, |rows| {
+            let lo = self.row_ptr[rows.start];
+            let hi = self.row_ptr[rows.end];
+            let mut out = Vec::with_capacity(hi - lo);
+            for i in rows {
+                for p in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    out.push(f(i, self.col_idx[p], self.values[p]));
+                }
+            }
+            out
+        });
+        let mapped = chunks.concat();
+        self.rebuild_mapped(&mapped)
     }
 
     /// Row sums — the weighted degree vector `d` of a graph adjacency matrix.
@@ -423,6 +515,36 @@ impl CsrMatrix {
     }
 }
 
+/// Sparse gather-dot `Σ vals[p] · x[cols[p]]` in the canonical lane order:
+/// a left-to-right fold for rows shorter than [`crate::vecops::LANES`],
+/// otherwise [`crate::vecops::LANES`] accumulator chains combined by
+/// [`crate::vecops::reduce_lanes`]. Shared by the row-major and blocked CSR
+/// kernels so both layouts produce bit-identical products.
+#[inline]
+pub(crate) fn row_gather_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+    use crate::vecops::{reduce_lanes, LANES};
+    debug_assert_eq!(cols.len(), vals.len());
+    if cols.len() < LANES {
+        let mut acc = 0.0;
+        for (c, v) in cols.iter().zip(vals) {
+            acc += v * x[*c];
+        }
+        return acc;
+    }
+    let mut acc = [0.0f64; LANES];
+    let mut cc = cols.chunks_exact(LANES);
+    let mut vc = vals.chunks_exact(LANES);
+    for (cb, vb) in cc.by_ref().zip(vc.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += vb[l] * x[cb[l]];
+        }
+    }
+    for (l, (c, v)) in cc.remainder().iter().zip(vc.remainder()).enumerate() {
+        acc[l] += v * x[*c];
+    }
+    reduce_lanes(&acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +686,77 @@ mod tests {
         assert!(CsrMatrix::from_raw_parts(1, vec![0, 1], vec![0], vec![]).is_err());
         // Duplicate column in a row.
         assert!(CsrMatrix::from_raw_parts(2, vec![0, 2, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn map_entries_matches_from_triplets_rebuild() {
+        let m = CsrMatrix::from_undirected_edges(
+            4,
+            &[(0, 1, 2.0), (1, 2, -3.0), (2, 3, 4.0), (0, 3, 0.5)],
+        )
+        .unwrap();
+        let f = |i: usize, j: usize, v: f64| (v * 0.7) + (i as f64) - (j as f64) * 0.01;
+        let mapped = m.map_entries(f).unwrap();
+        let triplets: Vec<_> = m.iter().map(|(i, j, v)| (i, j, f(i, j, v))).collect();
+        let reference = CsrMatrix::from_triplets(4, &triplets).unwrap();
+        assert_eq!(mapped, reference);
+
+        // Entries mapped to zero are dropped, matching from_triplets.
+        let zeroed = m
+            .map_entries(|i, j, v| if i == 0 && j == 1 { 0.0 } else { v })
+            .unwrap();
+        assert_eq!(zeroed.nnz(), m.nnz() - 1);
+        assert_eq!(zeroed.get(0, 1), 0.0);
+        zeroed.validate_structure().unwrap();
+    }
+
+    #[test]
+    fn map_entries_par_is_bit_identical_to_serial() {
+        let edges: Vec<_> = (0..200)
+            .map(|i| (i, (i * 7 + 3) % 300, 1.0 + i as f64 * 0.25))
+            .collect();
+        let m = CsrMatrix::from_undirected_edges(300, &edges).unwrap();
+        let f = |i: usize, j: usize, v: f64| (-(v * v) / (2.0 + (i + j) as f64)).exp();
+        let serial = m.map_entries(f).unwrap();
+        for threads in [1, 2, 4] {
+            let pool = crate::par::ThreadPool::new(threads);
+            let par = m.map_entries_par(&pool, f).unwrap();
+            assert_eq!(par, serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn map_entries_rejects_non_finite() {
+        let m = path3();
+        assert!(m.map_entries(|_, _, _| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn row_gather_dot_matches_sequential_fold_semantics() {
+        use crate::vecops::{reduce_lanes, LANES};
+        for len in 0..=2 * LANES + 3 {
+            let cols: Vec<usize> = (0..len).map(|p| (p * 3) % 40).collect();
+            let vals: Vec<f64> = (0..len).map(|p| 0.5 + p as f64 * 0.3).collect();
+            let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.11).cos()).collect();
+            let expect = if len < LANES {
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(&vals) {
+                    acc += v * x[*c];
+                }
+                acc
+            } else {
+                let mut acc = [0.0f64; LANES];
+                for p in 0..len {
+                    acc[p % LANES] += vals[p] * x[cols[p]];
+                }
+                reduce_lanes(&acc)
+            };
+            assert_eq!(
+                row_gather_dot(&cols, &vals, &x).to_bits(),
+                expect.to_bits(),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Cache-layout experiment: a blocked (SELL-C–style) CSR variant.
+//!
+//! Row-major CSR walks `row_ptr` one row at a time, which leaves the short
+//! rows of a road-graph adjacency (2–6 stored entries) too small to fill
+//! vector lanes. [`BlockedCsrMatrix`] regroups the matrix into blocks of
+//! [`BLOCK_ROWS`] consecutive rows stored *slot-major*: slot `j` of every
+//! row in the block is contiguous, so the matvec kernel advances
+//! [`BLOCK_ROWS`] independent accumulators per inner step — vertical
+//! vectorization across rows instead of (futile) horizontal vectorization
+//! within a row.
+//!
+//! **Bit-identity:** each row's partial products are still accumulated in
+//! ascending column-slot order into that row's own accumulator, and rows
+//! with at least [`crate::vecops::LANES`] entries fall back to the
+//! canonical per-row lane kernel — so the product is bit-identical to
+//! [`CsrMatrix::matvec`] for every matrix and every pool width. Padding
+//! slots are skipped by an explicit bounds check, never folded in as
+//! `0.0 · x` (which could flip a signed-zero bit).
+//!
+//! The layout is selected per pipeline run via [`KernelLayout`] on
+//! [`crate::lanczos::EigenConfig`]; `kernels_bench` benchmarks both arms
+//! honestly and DESIGN.md records the results, negative ones included.
+
+use crate::csr::{row_gather_dot, CsrMatrix};
+use crate::operator::SymOp;
+use crate::par::{self, ThreadPool};
+
+/// Memory layout the spectral hot path uses for its sparse operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelLayout {
+    /// Plain row-major CSR ([`CsrMatrix`]) — the default.
+    #[default]
+    RowMajor,
+    /// Blocked slot-major CSR ([`BlockedCsrMatrix`]), the cache-layout
+    /// experiment arm.
+    Blocked,
+    /// Benchmark-only emulation of the pre-lane solver: the Lanczos-internal
+    /// reductions (reorthogonalization dots, β norms, Ritz formation) run in
+    /// the historical left-to-right order (`vecops::{dot_seq, norm2_seq}`)
+    /// instead of the canonical lane order. The sparse operator itself stays
+    /// row-major — road-graph rows are shorter than `vecops::LANES`, so
+    /// their matvec order is the sequential fold under both. Unlike the
+    /// other two variants this one is **not** bit-identical to the canonical
+    /// order for vectors of length ≥ `LANES`; `pipeline_bench` selects it
+    /// for its baseline arm so the checked-in before/after keeps measuring
+    /// against the pre-PR kernels, and nothing else should.
+    LegacyScalar,
+}
+
+/// Rows per block. Must divide [`par::DEFAULT_CHUNK`] so parallel chunk
+/// boundaries never split a block.
+pub const BLOCK_ROWS: usize = 4;
+
+/// A square sparse matrix grouped into [`BLOCK_ROWS`]-row blocks with
+/// slot-major storage (see the module docs). Built from a [`CsrMatrix`];
+/// values and pattern are identical, only the memory order differs.
+#[derive(Debug, Clone)]
+pub struct BlockedCsrMatrix {
+    n: usize,
+    /// Per-block start offset into `cols`/`vals` (length `blocks + 1`).
+    block_ptr: Vec<usize>,
+    /// Per-block padded width (the longest row in the block).
+    widths: Vec<usize>,
+    /// Per-row stored-entry count.
+    row_len: Vec<usize>,
+    /// Column indices, slot-major within each block: entry `j` of block row
+    /// `r` lives at `block_ptr[b] + j * BLOCK_ROWS + r`. Padding slots hold
+    /// column `0` and are skipped by the `row_len` bounds check.
+    cols: Vec<usize>,
+    /// Values in the same slot order as `cols` (padding slots hold `0.0`).
+    vals: Vec<f64>,
+}
+
+impl BlockedCsrMatrix {
+    /// Re-packs a row-major CSR matrix into the blocked layout.
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let n = m.dim();
+        let blocks = n.div_ceil(BLOCK_ROWS);
+        let mut row_len = Vec::with_capacity(n);
+        let mut widths = Vec::with_capacity(blocks);
+        let mut block_ptr = Vec::with_capacity(blocks + 1);
+        block_ptr.push(0);
+        for b in 0..blocks {
+            let r0 = b * BLOCK_ROWS;
+            let r1 = (r0 + BLOCK_ROWS).min(n);
+            let mut width = 0;
+            for i in r0..r1 {
+                let len = m.row(i).0.len();
+                row_len.push(len);
+                width = width.max(len);
+            }
+            widths.push(width);
+            block_ptr.push(block_ptr[b] + width * BLOCK_ROWS);
+        }
+        let slots = *block_ptr.last().unwrap_or(&0);
+        let mut cols = vec![0usize; slots];
+        let mut vals = vec![0.0f64; slots];
+        for (b, &base) in block_ptr[..blocks].iter().enumerate() {
+            let r0 = b * BLOCK_ROWS;
+            let r1 = (r0 + BLOCK_ROWS).min(n);
+            for (r, i) in (r0..r1).enumerate() {
+                let (rc, rv) = m.row(i);
+                for (j, (&c, &v)) in rc.iter().zip(rv).enumerate() {
+                    let slot = base + j * BLOCK_ROWS + r;
+                    cols[slot] = c;
+                    vals[slot] = v;
+                }
+            }
+        }
+        Self {
+            n,
+            block_ptr,
+            widths,
+            row_len,
+            cols,
+            vals,
+        }
+    }
+
+    /// The matrix dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Computes rows `row0 .. row0 + out.len()` of `A x` into `out`.
+    /// `row0` and `row0 + out.len()` must fall on block boundaries (or the
+    /// matrix end); [`par::DEFAULT_CHUNK`] is a multiple of [`BLOCK_ROWS`],
+    /// so the pool's fixed chunks always satisfy this.
+    fn rows_into(&self, row0: usize, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(row0 % BLOCK_ROWS, 0);
+        let lanes = crate::vecops::LANES;
+        for (chunk_b, yb) in out.chunks_mut(BLOCK_ROWS).enumerate() {
+            let b = row0 / BLOCK_ROWS + chunk_b;
+            let r0 = b * BLOCK_ROWS;
+            let width = self.widths[b];
+            let base = self.block_ptr[b];
+            let lens = &self.row_len[r0..r0 + yb.len()];
+            if width < lanes && yb.len() == BLOCK_ROWS {
+                // Fast path: every row in the block is short enough that
+                // the canonical order is the plain sequential fold, so the
+                // slot-major sweep below reproduces it exactly.
+                let mut acc = [0.0f64; BLOCK_ROWS];
+                for j in 0..width {
+                    let s = base + j * BLOCK_ROWS;
+                    for r in 0..BLOCK_ROWS {
+                        if j < lens[r] {
+                            acc[r] += self.vals[s + r] * x[self.cols[s + r]];
+                        }
+                    }
+                }
+                yb.copy_from_slice(&acc);
+            } else {
+                // A row reached the lane-kernel regime (or this is the
+                // ragged final block): reduce each row independently in
+                // its canonical order via the shared gather-dot.
+                for (r, yi) in yb.iter_mut().enumerate() {
+                    *yi = self.row_dot(base, lens[r], r, x);
+                }
+            }
+        }
+    }
+
+    /// Canonical-order dot of one block row against `x`, reading the
+    /// strided slot layout. Gathers the row into a small stack buffer so
+    /// the shared [`row_gather_dot`] kernel defines the reduction order.
+    fn row_dot(&self, base: usize, len: usize, r: usize, x: &[f64]) -> f64 {
+        let mut acc_cols = [0usize; 64];
+        let mut acc_vals = [0.0f64; 64];
+        if len <= 64 {
+            for j in 0..len {
+                let s = base + j * BLOCK_ROWS + r;
+                acc_cols[j] = self.cols[s];
+                acc_vals[j] = self.vals[s];
+            }
+            row_gather_dot(&acc_cols[..len], &acc_vals[..len], x)
+        } else {
+            let mut cols = Vec::with_capacity(len);
+            let mut vals = Vec::with_capacity(len);
+            for j in 0..len {
+                let s = base + j * BLOCK_ROWS + r;
+                cols.push(self.cols[s]);
+                vals.push(self.vals[s]);
+            }
+            row_gather_dot(&cols, &vals, x)
+        }
+    }
+}
+
+impl SymOp for BlockedCsrMatrix {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.rows_into(0, x, y);
+    }
+
+    fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        pool.for_each_chunk_mut(y, par::DEFAULT_CHUNK, |r, yc| {
+            self.rows_into(r.start, x, yc);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with_hub(n: usize) -> CsrMatrix {
+        // Ring edges plus a hub joined to everyone: row 0 has n-1 entries,
+        // exercising the per-row lane fallback inside a block.
+        let mut edges: Vec<(usize, usize, f64)> = (0..n)
+            .map(|i| (i, (i + 1) % n, 1.0 + i as f64 * 0.1))
+            .collect();
+        for i in 2..n - 1 {
+            edges.push((0, i, 0.5 + i as f64 * 0.01));
+        }
+        CsrMatrix::from_undirected_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn blocked_matvec_bit_identical_to_row_major() {
+        for n in [1, 3, 4, 5, 17, 64, 130] {
+            let m = ring_with_hub(n.max(4));
+            let n = m.dim();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() - 0.2).collect();
+            let mut y_ref = vec![0.0; n];
+            m.matvec(&x, &mut y_ref).unwrap();
+            let blocked = BlockedCsrMatrix::from_csr(&m);
+            let mut y = vec![0.0; n];
+            blocked.apply(&x, &mut y);
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&y), bits(&y_ref), "n = {n}");
+            for threads in [1, 2, 4] {
+                let pool = ThreadPool::new(threads);
+                let mut y_par = vec![0.0; n];
+                blocked.apply_par(&pool, &x, &mut y_par);
+                assert_eq!(bits(&y_par), bits(&y_ref), "n = {n}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_rows_divides_default_chunk() {
+        assert_eq!(par::DEFAULT_CHUNK % BLOCK_ROWS, 0);
+    }
+}

@@ -254,13 +254,9 @@ impl<B: SymOp + Sync> SymOp for DiagScaledOp<'_, B> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         let n = self.dim();
         let mut sx = vec![0.0; n];
-        for i in 0..n {
-            sx[i] = self.s[i] * x[i];
-        }
+        vecops::mul_into(&self.s, x, &mut sx);
         self.base.apply(&sx, y);
-        for i in 0..n {
-            y[i] = self.sign * self.s[i] * y[i] + self.shift * x[i];
-        }
+        vecops::diag_combine(self.sign, &self.s, self.shift, x, y);
     }
 
     fn apply_par(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
@@ -275,15 +271,13 @@ impl<B: SymOp + Sync> SymOp for DiagScaledOp<'_, B> {
         let n = self.dim();
         let mut sx = ws.take_zeroed(n);
         pool.for_each_chunk_mut(&mut sx, par::DEFAULT_CHUNK, |r, out| {
-            for (o, i) in out.iter_mut().zip(r) {
-                *o = self.s[i] * x[i];
-            }
+            let (lo, hi) = (r.start, r.end);
+            vecops::mul_into(&self.s[lo..hi], &x[lo..hi], out);
         });
         self.base.apply_par_ws(pool, ws, &sx, y);
         pool.for_each_chunk_mut(y, par::DEFAULT_CHUNK, |r, yc| {
-            for (yi, i) in yc.iter_mut().zip(r) {
-                *yi = self.sign * self.s[i] * *yi + self.shift * x[i];
-            }
+            let (lo, hi) = (r.start, r.end);
+            vecops::diag_combine(self.sign, &self.s[lo..hi], self.shift, &x[lo..hi], yc);
         });
         ws.put(sx);
     }

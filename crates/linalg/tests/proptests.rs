@@ -275,3 +275,114 @@ proptest! {
         prop_assert_eq!(expected, got);
     }
 }
+
+// --- Lane-unrolled reduction contract (vecops + layouts) ----------------
+//
+// The canonical order: lane `l` accumulates elements with index ≡ l
+// (mod LANES) in ascending order, lanes fold through the fixed tree
+// ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)); inputs shorter than LANES fold
+// left-to-right. The models below restate that contract in plain scalar
+// code, independently of the unrolled implementations.
+
+/// Scalar restatement of the canonical lane order for `vecops::dot`.
+fn dot_model(a: &[f64], b: &[f64]) -> f64 {
+    use roadpart_linalg::vecops::LANES;
+    if a.len() < LANES {
+        return a.iter().zip(b).fold(0.0, |acc, (x, y)| acc + x * y);
+    }
+    let mut acc = [0.0f64; LANES];
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        acc[i % LANES] += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lane-unrolled dot matches the canonical scalar model bit for
+    /// bit at every length around the lane width (0..=2·LANES covered by
+    /// the range below) and far past it.
+    #[test]
+    fn lane_dot_matches_canonical_model(
+        len in 0usize..2100,
+        scale in 0.01f64..100.0,
+    ) {
+        use roadpart_linalg::vecops;
+        let a: Vec<f64> = (0..len).map(|i| ((i * 29 + 3) % 101) as f64 * scale - 40.0).collect();
+        let b: Vec<f64> = (0..len).map(|i| ((i * 53 + 17) % 89) as f64 * 0.011 - 0.4).collect();
+        let got = vecops::dot(&a, &b);
+        let want = dot_model(&a, &b);
+        prop_assert!(got.to_bits() == want.to_bits(), "{got} vs {want} at len {len}");
+    }
+
+    /// The lane kernels compose with the fixed-chunk pool reduction: the
+    /// parallel dot equals the left fold of per-chunk canonical models at
+    /// 1/2/4/8 threads, including lengths that straddle DEFAULT_CHUNK
+    /// boundaries (so chunks see both full-lane and remainder tails).
+    #[test]
+    fn par_dot_matches_chunked_canonical_model(
+        excess in 0usize..300,
+        threads_idx in 0usize..4,
+    ) {
+        use roadpart_linalg::par::{chunk_ranges, dot, ThreadPool, DEFAULT_CHUNK};
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let len = DEFAULT_CHUNK + excess; // always crosses one chunk boundary
+        let a: Vec<f64> = (0..len).map(|i| ((i * 31 + 7) % 113) as f64 * 0.017 - 0.9).collect();
+        let b: Vec<f64> = (0..len).map(|i| ((i * 41 + 5) % 97) as f64 * 0.013 - 0.6).collect();
+        let want = chunk_ranges(len, DEFAULT_CHUNK)
+            .into_iter()
+            .map(|r| dot_model(&a[r.start..r.end], &b[r]))
+            .fold(0.0f64, |acc, p| acc + p);
+        let got = dot(&ThreadPool::new(threads), &a, &b);
+        prop_assert!(got.to_bits() == want.to_bits(), "{got} vs {want} at {threads} threads");
+    }
+
+    /// The blocked (SELL-style) layout produces bit-identical matvecs to
+    /// the row-major CSR at every pool size — the layout enum is purely a
+    /// performance knob.
+    #[test]
+    fn blocked_layout_matvec_bit_identical((a, x) in arb_sparse(), threads in 1usize..9) {
+        use roadpart_linalg::{par::ThreadPool, BlockedCsrMatrix};
+        let n = a.dim();
+        let mut y_row = vec![0.0; n];
+        a.matvec(&x, &mut y_row).unwrap();
+        let blocked = BlockedCsrMatrix::from_csr(&a);
+        let mut y_blk = vec![0.0; n];
+        blocked.apply(&x, &mut y_blk);
+        for (r, bkd) in y_row.iter().zip(&y_blk) {
+            prop_assert!(r.to_bits() == bkd.to_bits(), "serial blocked apply differs");
+        }
+        let pool = ThreadPool::new(threads);
+        let mut y_par = vec![0.0; n];
+        blocked.apply_par(&pool, &x, &mut y_par);
+        for (r, p) in y_row.iter().zip(&y_par) {
+            prop_assert!(r.to_bits() == p.to_bits(), "parallel blocked apply differs");
+        }
+    }
+
+    /// `map_entries` equals a from-scratch `from_triplets` rebuild of the
+    /// mapped triplets — structure and bits — and the parallel variant
+    /// equals the serial one at every pool size.
+    #[test]
+    fn map_entries_matches_triplet_rebuild((a, _) in arb_sparse(), threads in 1usize..9) {
+        use roadpart_linalg::par::ThreadPool;
+        let f = |i: usize, j: usize, v: f64| (v * 0.75 + (i as f64 - j as f64) * 1e-3).max(1e-12);
+        let mapped = a.map_entries(f).unwrap();
+        let triplets: Vec<(usize, usize, f64)> =
+            a.iter().map(|(i, j, v)| (i, j, f(i, j, v))).collect();
+        let rebuilt = CsrMatrix::from_triplets(a.dim(), &triplets).unwrap();
+        prop_assert_eq!(mapped.nnz(), rebuilt.nnz());
+        for ((ri, ci, wi), (rj, cj, wj)) in mapped.iter().zip(rebuilt.iter()) {
+            prop_assert_eq!((ri, ci), (rj, cj));
+            prop_assert!(wi.to_bits() == wj.to_bits());
+        }
+        let pool = ThreadPool::new(threads);
+        let par = a.map_entries_par(&pool, f).unwrap();
+        prop_assert_eq!(par.nnz(), mapped.nnz());
+        for ((ri, ci, wi), (rj, cj, wj)) in par.iter().zip(mapped.iter()) {
+            prop_assert_eq!((ri, ci), (rj, cj));
+            prop_assert!(wi.to_bits() == wj.to_bits());
+        }
+    }
+}

@@ -47,6 +47,14 @@ step kernels-json  test -s target/experiments/BENCH_kernels.json
 step kernels-deterministic sh -c \
   "grep -q '\"all_bit_identical\": true' target/experiments/BENCH_kernels.json && \
    grep -q '\"pipeline_label_diffs\": 0' target/experiments/BENCH_kernels.json"
+# SIMD gate: the scalar-vs-lanes differential tests (lane kernels vs their
+# canonical scalar reduction models, blocked vs row-major layout,
+# map_entries vs triplet rebuild) plus the bench's own zero-bit-diff
+# assertion over every scalar/lanes kernel pair.
+step kernels-simd sh -c \
+  "cargo test -q -p roadpart-linalg --test proptests && \
+   cargo test -q -p roadpart-linalg --lib -- vecops:: layout:: && \
+   grep -q '\"simd_all_bit_identical\": true' target/experiments/BENCH_kernels.json"
 # Hot-path perf gate: the end-to-end pipeline bench on the smallest size
 # rung with its internal validity checks (finite timings, successful
 # baseline + optimized runs under both schemes); exit code is the gate.
